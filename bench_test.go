@@ -1,0 +1,192 @@
+// Package hawkeye's top-level benchmark harness regenerates every table
+// and figure of the paper's evaluation (§4). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the corresponding table once. Absolute numbers
+// come from the simulation substrate (see DESIGN.md); the reproduction
+// target is the SHAPE of each result — who wins, by what order of
+// magnitude, and where the parameter sensitivities lie.
+//
+// The drivers default to reduced trial counts so the full suite stays
+// laptop-sized; raise them with -hawkeye.trials for tighter confidence.
+package hawkeye
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/resources"
+)
+
+var trialsFlag = flag.Int("hawkeye.trials", 3, "trials per scenario in evaluation benches")
+
+// sharedEval memoizes the evaluation pass: Figs 8, 9, 10, 11 and 14 all
+// read the same trial set, exactly as the paper derives them from the
+// same traces.
+var (
+	evalOnce sync.Once
+	evalRun  *experiments.EvalRun
+	evalErr  error
+)
+
+func getEval(b *testing.B) *experiments.EvalRun {
+	evalOnce.Do(func() {
+		evalRun, evalErr = experiments.RunEval(*trialsFlag)
+	})
+	if evalErr != nil {
+		b.Fatal(evalErr)
+	}
+	return evalRun
+}
+
+var printOnce sync.Map
+
+func printTable(name, s string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkFig7_EpochThresholdSweep(b *testing.B) {
+	cfg := experiments.QuickFig7()
+	cfg.Trials = *trialsFlag
+	for i := 0; i < b.N; i++ {
+		_, table, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig7", table.String())
+	}
+}
+
+func BenchmarkFig8_AccuracyVsBaselines(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		printTable("fig8", run.Fig8().String())
+	}
+}
+
+func BenchmarkFig9a_ProcessingOverhead(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		printTable("fig9", run.Fig9().String())
+	}
+}
+
+func BenchmarkFig9b_BandwidthOverhead(b *testing.B) {
+	// Fig 9b shares the Fig 9 table (monitor-wire column).
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		_ = run.Fig9()
+	}
+}
+
+func BenchmarkFig10_TelemetryGranularity(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		printTable("fig10", run.Fig10().String())
+	}
+}
+
+func BenchmarkFig11_SwitchCoverage(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		printTable("fig11", run.Fig11().String())
+	}
+}
+
+func BenchmarkFig12_CaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig12", out)
+	}
+}
+
+func BenchmarkFig13a_ResourceUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("fig13a", resources.Fig13a().String())
+	}
+}
+
+func BenchmarkFig13b_MemoryScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("fig13b", resources.Fig13b().String())
+	}
+}
+
+func BenchmarkFig14a_TelemetryReduction(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		printTable("fig14", run.Fig14().String())
+	}
+}
+
+func BenchmarkFig14b_PacketReduction(b *testing.B) {
+	run := getEval(b)
+	for i := 0; i < b.N; i++ {
+		_ = run.Fig14()
+	}
+}
+
+func BenchmarkPollerLatencyModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		printTable("poller", experiments.PollerLatency().String())
+	}
+}
+
+func BenchmarkAblation_CausalityMeterBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationMeterBits(*trialsFlag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("abl-meter", table.String())
+	}
+}
+
+func BenchmarkAblation_EpochCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationEpochCount(*trialsFlag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("abl-epochs", table.String())
+	}
+}
+
+func BenchmarkAblation_DedupWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationDedup(*trialsFlag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("abl-dedup", table.String())
+	}
+}
+
+func BenchmarkDiscussion_PartialDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.PartialDeployment(*trialsFlag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("partial-deploy", table.String())
+	}
+}
+
+func BenchmarkTestbed_LeafSpine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.TestbedTable(*trialsFlag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("testbed", table.String())
+	}
+}

@@ -1,0 +1,44 @@
+// Command hawkeye-analyzer runs the Hawkeye analyzer as a standalone TCP
+// service. Telemetry producers (switch CPU pollers, or a simulation
+// harness) open a session with the fabric topology, push binary telemetry
+// reports, and request diagnoses of victim flows; the service answers
+// with the provenance verdict (anomaly type, initial congestion point,
+// culprit flows).
+//
+// Usage:
+//
+//	hawkeye-analyzer -listen 127.0.0.1:9393
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hawkeye/internal/analyzd"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9393", "TCP listen address")
+	flag.Parse()
+
+	s, err := analyzd.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hawkeye-analyzer:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hawkeye-analyzer listening on %s\n", s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hawkeye-analyzer: close:", err)
+	}
+	st := s.Stats()
+	fmt.Printf("served %d sessions, %d reports, %d diagnoses\n",
+		st.Sessions, st.Reports, st.Diagnoses)
+}

@@ -1,0 +1,81 @@
+// Command hawkeye-bench runs the full evaluation suite (§4) and prints
+// every table/figure: the Fig. 7 parameter sweep, the Fig. 8-11 baseline
+// comparison, the Fig. 12 case studies, the Fig. 13 resource model, the
+// Fig. 14 collection-efficiency numbers, and the extra ablations.
+//
+// Usage:
+//
+//	hawkeye-bench -trials 5 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/resources"
+)
+
+func main() {
+	trials := flag.Int("trials", 3, "trials per scenario")
+	full := flag.Bool("full", false, "run the full Fig 7 sweep (5 epochs x 4 thresholds)")
+	skipCases := flag.Bool("no-cases", false, "skip the Fig 12 case studies")
+	flag.Parse()
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hawkeye-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+
+	fig7cfg := experiments.QuickFig7()
+	if *full {
+		fig7cfg = experiments.DefaultFig7()
+	}
+	fig7cfg.Trials = *trials
+	_, t7, err := experiments.Fig7(fig7cfg)
+	die(err)
+	fmt.Println(t7)
+
+	run, err := experiments.RunEval(*trials)
+	die(err)
+	fmt.Println(run.Fig8())
+	fmt.Println(run.Fig9())
+	fmt.Println(run.Fig10())
+	fmt.Println(run.Fig11())
+
+	if !*skipCases {
+		cases, err := experiments.Fig12()
+		die(err)
+		fmt.Println(cases)
+	}
+
+	fmt.Println(resources.Fig13a())
+	fmt.Println(resources.Fig13b())
+	fmt.Println(run.Fig14())
+	fmt.Println(experiments.PollerLatency())
+
+	am, err := experiments.AblationMeterBits(*trials)
+	die(err)
+	fmt.Println(am)
+	ae, err := experiments.AblationEpochCount(*trials)
+	die(err)
+	fmt.Println(ae)
+	ad, err := experiments.AblationDedup(*trials)
+	die(err)
+	fmt.Println(ad)
+
+	tb, err := experiments.TestbedTable(*trials)
+	die(err)
+	fmt.Println(tb)
+	pd, err := experiments.PartialDeployment(*trials)
+	die(err)
+	fmt.Println(pd)
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

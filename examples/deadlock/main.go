@@ -1,0 +1,48 @@
+// Deadlock example (paper Fig. 1c/1d): routing misconfiguration forms a
+// cyclic buffer dependency across two pods' aggregation and core
+// switches; the diagnosis finds the loop in the provenance graph and
+// classifies the initiator (in-loop contention vs out-of-loop injection).
+//
+//	go run ./examples/deadlock [-injection]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/workload"
+)
+
+func main() {
+	injection := flag.Bool("injection", false, "out-of-loop host-injection variant (Fig 1d); default in-loop contention (Fig 1c)")
+	seed := flag.Uint64("seed", 1, "trace seed")
+	flag.Parse()
+
+	scenario := workload.NameInLoop
+	if *injection {
+		scenario = workload.NameOutLoopInject
+	}
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(scenario, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario: %s\n", scenario)
+	fmt.Printf("cyclic buffer dependency across: agg0-0 -> core0 -> agg1-0 -> core1 -> agg0-0\n")
+	fmt.Printf("anomaly injected at %v; %d detection events\n\n", tr.GT.AnomalyAt, len(tr.Sys.Triggers()))
+
+	if tr.Score.Result == nil {
+		fmt.Println("no victim complaint scored")
+		return
+	}
+	r := tr.Score.Result
+	fmt.Printf("scored complaint: %v at %v (%s)\n", r.Trigger.Victim, r.Trigger.At, r.Trigger.Reason)
+	fmt.Print(r.Diagnosis.String())
+	if len(r.Diagnosis.Loop) > 0 {
+		fmt.Printf("\ncircular buffer dependency confirmed over %d ports — resolve by\n", len(r.Diagnosis.Loop))
+		fmt.Println("fixing the routing entries that send traffic up after going down.")
+	}
+	fmt.Printf("\nground truth matched: %v (%s)\n", tr.Score.Correct, tr.Score.Reason)
+}

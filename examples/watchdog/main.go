@@ -1,0 +1,92 @@
+// Watchdog example: mitigation versus diagnosis (§2.2). The same
+// forced-clockwise ring deadlock runs twice — once bare (it never
+// resolves) and once with a SONiC-style PFC watchdog on every switch.
+// The watchdog restores service by dropping lossless traffic, but the
+// storm keeps recurring because the root cause (the routing loop) is
+// untouched; that diagnosis is Hawkeye's half, shown by the deadlock
+// example and the in-loop-deadlock scenario.
+//
+//	go run ./examples/watchdog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hawkeye/internal/cluster"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/pfcwd"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+func run(withWatchdog bool) {
+	ring, err := topo.NewRing(4, 2, topo.DefaultBandwidth, topo.DefaultDelay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := topo.ComputeRouting(ring.Topology)
+	ring.ForceClockwise(r, nil)
+	cl := cluster.New(ring.Topology, r, cluster.DefaultConfig(ring.Topology))
+
+	var dogs []*pfcwd.Watchdog
+	if withWatchdog {
+		for _, id := range ring.Switches {
+			w, err := pfcwd.Attach(cl.Eng, cl.Switches[id], pfcwd.DefaultConfig())
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.OnStorm = func(port int, now sim.Time) {
+				fmt.Printf("  %8v  watchdog: storm on a ring port, flushing + discarding\n", now)
+			}
+			dogs = append(dogs, w)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for h := 0; h < 2; h++ {
+			cl.StartFlow(ring.HostsAt[i][h], ring.HostsAt[(i+2)%4][h], 2_000_000, 0)
+		}
+	}
+	cl.Run(25 * sim.Millisecond)
+
+	stuck, acked := 0, uint32(0)
+	var wdDrops uint64
+	for _, id := range ring.Switches {
+		sw := cl.Switches[id]
+		wdDrops += sw.WatchdogDrops
+		for p := 0; p < sw.NumPorts(); p++ {
+			if !ring.Topology.IsHostFacing(id, p) && sw.PauseAsserted(p, packet.ClassLossless) {
+				stuck++
+			}
+		}
+	}
+	for _, hs := range ring.HostsAt {
+		for _, h := range hs {
+			for _, f := range cl.Hosts[h].Flows() {
+				acked += f.AckedPackets()
+			}
+		}
+	}
+	storms, restores := 0, 0
+	for _, w := range dogs {
+		storms += w.Stats().Storms
+		restores += w.Stats().Restores
+	}
+	fmt.Printf("  after 25ms: paused ring ingresses=%d, delivered packets=%d", stuck, acked)
+	if withWatchdog {
+		fmt.Printf(", storms=%d restores=%d lossless drops=%d", storms, restores, wdDrops)
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("ring deadlock WITHOUT mitigation (cyclic buffer dependency, permanent):")
+	run(false)
+	fmt.Println()
+	fmt.Println("same deadlock WITH a PFC watchdog on every switch:")
+	run(true)
+	fmt.Println()
+	fmt.Println("the watchdog restores delivery by sacrificing losslessness — and the")
+	fmt.Println("storm recurs, because the routing loop is still there. Finding THAT")
+	fmt.Println("is the diagnosis problem Hawkeye solves (see examples/deadlock).")
+}

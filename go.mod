@@ -1,0 +1,3 @@
+module hawkeye
+
+go 1.22

@@ -1,0 +1,296 @@
+package analyzd
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
+	"hawkeye/internal/workload"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestEndToEndDiagnosis replays a simulated incast's traced telemetry
+// through the TCP service and checks the remote verdict matches the
+// in-process one.
+func TestEndToEndDiagnosis(t *testing.T) {
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Score.Result == nil {
+		t.Fatal("trial produced no diagnosis")
+	}
+	local := tr.Score.Result.Diagnosis
+
+	s := newServer(t)
+	c, err := Dial(s.Addr(), tr.Cl.Topo, int64(tr.Sys.Cfg.Telemetry.EpochSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, rep := range tr.View.Traced {
+		if err := c.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remote, err := c.Diagnose(tr.Score.Result.Trigger.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Type != local.Type.String() {
+		t.Fatalf("remote type %q, local %q", remote.Type, local.Type)
+	}
+	lc := local.PrimaryCause()
+	if remote.InitialNode != int(lc.Port.Node) || remote.InitialPort != lc.Port.Port {
+		t.Fatalf("remote initial point N%d.P%d, local %v", remote.InitialNode, remote.InitialPort, lc.Port)
+	}
+	if len(remote.Culprits) != len(lc.Flows) {
+		t.Fatalf("remote culprits %d, local %d", len(remote.Culprits), len(lc.Flows))
+	}
+	if remote.Switches != len(tr.View.Traced) {
+		t.Fatalf("remote used %d reports, sent %d", remote.Switches, len(tr.View.Traced))
+	}
+	if !strings.Contains(remote.Rendered, remote.Type) {
+		t.Fatal("rendered report missing the verdict")
+	}
+	st := s.Stats()
+	if st.Sessions != 1 || st.Reports != len(tr.View.Traced) || st.Diagnoses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func helloFor(t *testing.T, tp *topo.Topology) wire.Hello {
+	t.Helper()
+	spec, err := json.Marshal(tp.ToSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.Hello{Version: wire.ProtocolVersion, Topo: spec, EpochNS: 131072}
+}
+
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func smallTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	d, err := topo.NewChain(2, 1, topo.DefaultBandwidth, topo.DefaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Topology
+}
+
+func TestHandshakeRejectsBadVersion(t *testing.T) {
+	s := newServer(t)
+	conn := rawDial(t, s.Addr())
+	h := helloFor(t, smallTopo(t))
+	h.Version = 99
+	if err := wire.WriteJSON(conn, wire.MsgHello, h); err != nil {
+		t.Fatal(err)
+	}
+	mt, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError || !strings.Contains(string(payload), "version") {
+		t.Fatalf("reply %d %q", mt, payload)
+	}
+}
+
+func TestHandshakeRejectsNonHello(t *testing.T) {
+	s := newServer(t)
+	conn := rawDial(t, s.Addr())
+	if err := wire.WriteFrame(conn, wire.MsgReport, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError {
+		t.Fatalf("reply type %d, want error", mt)
+	}
+}
+
+func TestHandshakeRejectsBadTopology(t *testing.T) {
+	s := newServer(t)
+	conn := rawDial(t, s.Addr())
+	h := helloFor(t, smallTopo(t))
+	h.Topo = json.RawMessage(`{"bandwidthBps":0}`)
+	if err := wire.WriteJSON(conn, wire.MsgHello, h); err != nil {
+		t.Fatal(err)
+	}
+	mt, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError || !strings.Contains(string(payload), "topology") {
+		t.Fatalf("reply %d %q", mt, payload)
+	}
+}
+
+func TestReportForUnknownSwitchRejected(t *testing.T) {
+	s := newServer(t)
+	tp := smallTopo(t)
+	c, err := Dial(s.Addr(), tp, 131072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A report claiming a switch ID beyond the handshaken topology.
+	if err := wire.WriteFrame(c.conn, wire.MsgReport, garbageReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != wire.MsgError {
+		t.Fatalf("reply type %d, want error", mt)
+	}
+}
+
+// garbageReport builds a syntactically valid report for switch 200.
+func garbageReport(t *testing.T) []byte {
+	t.Helper()
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range tr.View.Traced {
+		cp := *rep
+		cp.Switch = 200
+		data, err := cp.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	t.Fatal("no traced reports")
+	return nil
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	s := newServer(t)
+	tp := smallTopo(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), tp, 131072)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if _, err := c.Diagnose(packetFiveTuple{SrcIP: 1, DstIP: 2, Proto: 17}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := s.Stats(); st.Sessions != n || st.Diagnoses != n {
+		t.Fatalf("stats = %+v, want %d sessions/diagnoses", s.Stats(), n)
+	}
+}
+
+func TestCloseUnblocksSessions(t *testing.T) {
+	s := newServer(t)
+	c, err := Dial(s.Addr(), smallTopo(t), 131072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The session socket is closed server-side; the next request fails
+	// rather than hanging.
+	if _, err := c.Diagnose(packetFiveTuple{SrcIP: 1, DstIP: 2, Proto: 17}); err == nil {
+		t.Fatal("diagnose succeeded on a closed server")
+	}
+}
+
+// TestIncidentsOverTheWire drives several diagnoses through one session
+// and asks the server to group them.
+func TestIncidentsOverTheWire(t *testing.T) {
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Score.Result == nil {
+		t.Fatal("no scored diagnosis")
+	}
+	s := newServer(t)
+	c, err := Dial(s.Addr(), tr.Cl.Topo, int64(tr.Sys.Cfg.Telemetry.EpochSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, rep := range tr.View.Traced {
+		if err := c.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay the trial's ground-truth-victim complaints against the same
+	// telemetry: same anchor, close together -> one incident.
+	n := 0
+	for _, r := range tr.Results {
+		if !tr.GT.Victims[r.Trigger.Victim] || r.Trigger.At < tr.GT.AnomalyAt {
+			continue
+		}
+		if r.Trigger.At > tr.GT.AnomalyAt+time2ms {
+			break
+		}
+		if _, err := c.DiagnoseAt(r.Trigger.Victim, int64(r.Trigger.At)); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n < 2 {
+		t.Skipf("only %d live-window complaints; nothing to group", n)
+	}
+	incs, err := c.Incidents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1 (same anchor, same window)", len(incs))
+	}
+	if incs[0].Complaints != n {
+		t.Fatalf("incident has %d complaints, sent %d", incs[0].Complaints, n)
+	}
+	if incs[0].Type != tr.Score.Result.Diagnosis.Type.String() {
+		t.Fatalf("incident type %q", incs[0].Type)
+	}
+}
+
+const time2ms = 2_000_000 // 2 ms in sim.Time ns

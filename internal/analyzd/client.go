@@ -1,0 +1,124 @@
+package analyzd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
+)
+
+// packetFiveTuple keeps the server file free of a direct packet import
+// cycle concern; it is just the packet type.
+type packetFiveTuple = packet.FiveTuple
+
+// sortReports orders reports by switch ID for deterministic graphs.
+func sortReports(reports []*telemetry.Report) {
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Switch < reports[j].Switch })
+}
+
+// Client is one analyzer session.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects and performs the handshake: the fabric topology and the
+// telemetry epoch are session state on the server.
+func Dial(addr string, t *topo.Topology, epochNS int64) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: dial: %w", err)
+	}
+	c := &Client{conn: conn}
+	spec, err := json.Marshal(t.ToSpec())
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("analyzd: topology: %w", err)
+	}
+	hello := wire.Hello{Version: wire.ProtocolVersion, Topo: spec, EpochNS: epochNS}
+	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	mt, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("analyzd: handshake: %w", err)
+	}
+	if mt == wire.MsgError {
+		conn.Close()
+		return nil, fmt.Errorf("analyzd: server rejected hello: %s", payload)
+	}
+	if mt != wire.MsgHelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("analyzd: unexpected handshake reply type %d", mt)
+	}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SendReport pushes one switch telemetry report.
+func (c *Client) SendReport(rep *telemetry.Report) error {
+	data, err := rep.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("analyzd: encode report: %w", err)
+	}
+	return wire.WriteFrame(c.conn, wire.MsgReport, data)
+}
+
+// Diagnose asks the analyzer for the verdict on a victim flow.
+func (c *Client) Diagnose(victim packet.FiveTuple) (*wire.Diagnosis, error) {
+	return c.DiagnoseAt(victim, 0)
+}
+
+// DiagnoseAt is Diagnose with the complaint's trigger time attached, so
+// the server can group diagnoses into incidents.
+func (c *Client) DiagnoseAt(victim packet.FiveTuple, atNS int64) (*wire.Diagnosis, error) {
+	if err := wire.WriteFrame(c.conn, wire.MsgDiagnose, wire.EncodeDiagnoseRequest(victim, atNS)); err != nil {
+		return nil, err
+	}
+	mt, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: diagnose: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgDiagnosis {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var d wire.Diagnosis
+	if err := json.Unmarshal(payload, &d); err != nil {
+		return nil, fmt.Errorf("analyzd: decode diagnosis: %w", err)
+	}
+	return &d, nil
+}
+
+// Incidents asks the analyzer to group this session's diagnoses into
+// incidents.
+func (c *Client) Incidents() ([]wire.IncidentSummary, error) {
+	if err := wire.WriteFrame(c.conn, wire.MsgIncidents, nil); err != nil {
+		return nil, err
+	}
+	mt, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: incidents: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgIncidentList {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var out []wire.IncidentSummary
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("analyzd: decode incidents: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+// Package analyzd is the Hawkeye analyzer as a network service: switches'
+// CPU pollers (or, here, the simulation harness standing in for them)
+// push binary telemetry reports over TCP; operators ask for a diagnosis
+// of a victim flow and get the provenance verdict back. The simulator
+// runs the same provenance/diagnosis code in-process for the evaluation;
+// this service is the deployment face of the analyzer — one process per
+// fabric, sessions carry the topology in the handshake.
+package analyzd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/host"
+	"hawkeye/internal/provenance"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
+)
+
+// Server accepts analyzer sessions.
+type Server struct {
+	lis net.Listener
+
+	// DiagnosisConfig tunes signature matching (defaults if zero).
+	DiagnosisConfig diagnosis.Config
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Stats (updated under mu).
+	sessions  int
+	reports   int
+	diagnoses int
+}
+
+// Stats is a snapshot of server activity.
+type Stats struct {
+	Sessions  int
+	Reports   int
+	Diagnoses int
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: listen: %w", err)
+	}
+	s := &Server{
+		lis:             lis,
+		DiagnosisConfig: diagnosis.DefaultConfig(),
+		conns:           make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Stats returns activity counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Sessions: s.sessions, Reports: s.reports, Diagnoses: s.diagnoses}
+}
+
+// Close stops accepting, closes every live session and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.sessions++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// session is one connection's analyzer state.
+type session struct {
+	topo    *topo.Topology
+	epochNS int64
+	// reports keeps the freshest report per switch.
+	reports map[topo.NodeID]*telemetry.Report
+	// history records completed diagnoses for incident grouping (trigger
+	// order, the order requests arrive).
+	history []*core.Result
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sendErr := func(msg string) { _ = wire.WriteFrame(conn, wire.MsgError, []byte(msg)) }
+
+	// Handshake first: nothing else is meaningful without a topology.
+	t, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if t != wire.MsgHello {
+		sendErr("expected hello")
+		return
+	}
+	var hello wire.Hello
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		sendErr(fmt.Sprintf("bad hello: %v", err))
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		sendErr(fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.ProtocolVersion))
+		return
+	}
+	if hello.EpochNS <= 0 {
+		sendErr("non-positive telemetry epoch")
+		return
+	}
+	tp, err := topo.ParseSpecJSON(hello.Topo)
+	if err != nil {
+		sendErr(fmt.Sprintf("bad topology: %v", err))
+		return
+	}
+	if err := wire.WriteFrame(conn, wire.MsgHelloOK, nil); err != nil {
+		return
+	}
+	sess := &session{
+		topo:    tp,
+		epochNS: hello.EpochNS,
+		reports: make(map[topo.NodeID]*telemetry.Report),
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				sendErr(err.Error())
+			}
+			return
+		}
+		switch t {
+		case wire.MsgReport:
+			rep := &telemetry.Report{}
+			if err := rep.UnmarshalBinary(payload); err != nil {
+				sendErr(fmt.Sprintf("bad report: %v", err))
+				return
+			}
+			if int(rep.Switch) >= len(sess.topo.Nodes) {
+				sendErr(fmt.Sprintf("report for unknown switch %d", rep.Switch))
+				return
+			}
+			sess.reports[rep.Switch] = rep
+			s.mu.Lock()
+			s.reports++
+			s.mu.Unlock()
+		case wire.MsgDiagnose:
+			victim, atNS, err := wire.DecodeDiagnoseRequest(payload)
+			if err != nil {
+				sendErr(fmt.Sprintf("bad diagnose request: %v", err))
+				return
+			}
+			reply := s.diagnose(sess, victim, atNS)
+			if err := wire.WriteJSON(conn, wire.MsgDiagnosis, reply); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.diagnoses++
+			s.mu.Unlock()
+		case wire.MsgIncidents:
+			incs := core.GroupIncidents(sess.history, incidentWindow)
+			out := make([]wire.IncidentSummary, 0, len(incs))
+			for _, inc := range incs {
+				out = append(out, wire.IncidentSummary{
+					Type:       inc.Type.String(),
+					Complaints: len(inc.Results),
+					Victims:    inc.Victims(),
+					FirstNS:    int64(inc.First),
+					LastNS:     int64(inc.Last),
+					Rendered:   inc.Primary().Diagnosis.String(),
+				})
+			}
+			if err := wire.WriteJSON(conn, wire.MsgIncidentList, out); err != nil {
+				return
+			}
+		default:
+			sendErr(fmt.Sprintf("unexpected message type %d", t))
+			return
+		}
+	}
+}
+
+// incidentWindow groups diagnoses whose triggers fall within this span
+// of each other (matches the trial default correlation horizon).
+const incidentWindow = 2 * sim.Millisecond
+
+func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wire.Diagnosis {
+	reports := make([]*telemetry.Report, 0, len(sess.reports))
+	for _, rep := range sess.reports {
+		reports = append(reports, rep)
+	}
+	sortReports(reports)
+	cfg := provenance.DefaultConfig(sess.topo.LinkBandwidth, sess.epochNS)
+	g := provenance.Build(cfg, reports, sess.topo)
+	d := diagnosis.Diagnose(s.DiagnosisConfig, g, sess.topo, victim)
+	sess.history = append(sess.history, &core.Result{
+		Trigger:   host.Trigger{Victim: victim, At: sim.Time(atNS)},
+		Diagnosis: d,
+	})
+	cause := d.PrimaryCause()
+	reply := wire.Diagnosis{
+		Type:        d.Type.String(),
+		CauseKind:   cause.Kind.String(),
+		InitialNode: int(cause.Port.Node),
+		InitialPort: cause.Port.Port,
+		Rendered:    d.String() + g.String(),
+		Switches:    len(reports),
+	}
+	for _, f := range cause.Flows {
+		reply.Culprits = append(reply.Culprits, f.String())
+	}
+	return reply
+}

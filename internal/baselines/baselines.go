@@ -1,0 +1,184 @@
+// Package baselines implements the comparison systems of §4: SpiderMon
+// and NetSight from traditional networks, the full-polling and
+// victim-only variants derived from Hawkeye (§4.2), and the port-only /
+// flow-only telemetry ablations (§4.3, Fig. 10).
+//
+// Methodology: accuracy differences between these systems stem from what
+// information each one collects — which switches, and which telemetry
+// fields. A trial therefore runs once with full instrumentation, and each
+// baseline diagnoses from a view of the collected reports restricted to
+// exactly what that system would have: its collection scope (all
+// switches / victim path / PFC-traced set) and its visibility (with or
+// without PFC counters, port-level causality, or flow tables). Overheads
+// come from each system's published cost model applied to the same trace.
+package baselines
+
+import (
+	"fmt"
+
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// Kind enumerates the compared systems.
+type Kind int
+
+const (
+	// KindHawkeye is the full system (reference point).
+	KindHawkeye Kind = iota
+	// KindFullPolling collects complete telemetry from every switch.
+	KindFullPolling
+	// KindVictimOnly collects only the victim flow path's switches.
+	KindVictimOnly
+	// KindSpiderMon: victim-path flow telemetry, in-band cumulative
+	// delay, no PFC visibility.
+	KindSpiderMon
+	// KindNetSight: per-packet postcards from every switch, no PFC
+	// visibility.
+	KindNetSight
+	// KindPortOnly is the port-level-only telemetry ablation.
+	KindPortOnly
+	// KindFlowOnly is the flow-level-only telemetry ablation.
+	KindFlowOnly
+)
+
+// All returns the Fig. 8 comparison set.
+func All() []Kind {
+	return []Kind{KindHawkeye, KindFullPolling, KindVictimOnly, KindSpiderMon, KindNetSight}
+}
+
+// Granularities returns the Fig. 10 ablation set.
+func Granularities() []Kind {
+	return []Kind{KindHawkeye, KindPortOnly, KindFlowOnly}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KindHawkeye:
+		return "hawkeye"
+	case KindFullPolling:
+		return "full-polling"
+	case KindVictimOnly:
+		return "victim-only"
+	case KindSpiderMon:
+		return "spidermon"
+	case KindNetSight:
+		return "netsight"
+	case KindPortOnly:
+		return "port-only"
+	case KindFlowOnly:
+		return "flow-only"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// View is the per-trial material a baseline can draw from.
+type View struct {
+	// Traced are the reports Hawkeye's polling actually collected.
+	Traced map[topo.NodeID]*telemetry.Report
+	// AllSwitches are trigger-time snapshots of every switch.
+	AllSwitches map[topo.NodeID]*telemetry.Report
+	// VictimPath lists the switches on the triggering victim's path.
+	VictimPath []topo.NodeID
+}
+
+// Reports returns the report set kind k diagnoses from, with its
+// visibility filter applied. The returned reports are deep-filtered
+// copies; the originals are never mutated.
+func (k Kind) Reports(v View) []*telemetry.Report {
+	var scope []*telemetry.Report
+	switch k {
+	case KindHawkeye, KindPortOnly:
+		// Port-only still supports in-network PFC causality analysis
+		// (§4.3), so it shares Hawkeye's traced scope.
+		for _, r := range v.Traced {
+			scope = append(scope, r)
+		}
+	case KindFullPolling, KindNetSight:
+		for _, r := range v.AllSwitches {
+			scope = append(scope, r)
+		}
+	case KindVictimOnly, KindSpiderMon, KindFlowOnly:
+		// No PFC tracing: collection cannot leave the victim path.
+		for _, id := range v.VictimPath {
+			if r, ok := v.AllSwitches[id]; ok {
+				scope = append(scope, r)
+			}
+		}
+	}
+	out := make([]*telemetry.Report, 0, len(scope))
+	for _, r := range scope {
+		out = append(out, k.filter(r))
+	}
+	return out
+}
+
+// filter strips the report down to the baseline's visibility.
+func (k Kind) filter(r *telemetry.Report) *telemetry.Report {
+	switch k {
+	case KindHawkeye, KindFullPolling, KindVictimOnly:
+		return r // full Hawkeye telemetry
+	case KindSpiderMon, KindNetSight:
+		return stripPFC(r)
+	case KindPortOnly:
+		return stripFlows(r)
+	case KindFlowOnly:
+		return stripPortLevel(r)
+	default:
+		return r
+	}
+}
+
+// stripPFC removes everything PFC-related: paused counts, pause status,
+// and the causality meter. What remains is what a traditional flow
+// monitor records.
+func stripPFC(r *telemetry.Report) *telemetry.Report {
+	out := *r
+	out.Meter = nil
+	out.Status = nil
+	out.Epochs = make([]telemetry.EpochData, len(r.Epochs))
+	for i, ep := range r.Epochs {
+		ne := ep
+		ne.Flows = make([]telemetry.FlowRecord, len(ep.Flows))
+		for j, f := range ep.Flows {
+			f.PausedCount = 0
+			ne.Flows[j] = f
+		}
+		ne.Ports = make([]telemetry.PortRecord, len(ep.Ports))
+		for j, p := range ep.Ports {
+			p.PausedCount = 0
+			ne.Ports[j] = p
+		}
+		out.Epochs[i] = ne
+	}
+	return &out
+}
+
+// stripFlows removes the flow tables (port-only ablation).
+func stripFlows(r *telemetry.Report) *telemetry.Report {
+	out := *r
+	out.Epochs = make([]telemetry.EpochData, len(r.Epochs))
+	for i, ep := range r.Epochs {
+		ne := ep
+		ne.Flows = nil
+		out.Epochs[i] = ne
+	}
+	return &out
+}
+
+// stripPortLevel removes port records, the causality meter and the PFC
+// status registers (flow-only ablation): flow-level paused counts remain,
+// but nothing that would let the analyzer trace spreading between ports.
+func stripPortLevel(r *telemetry.Report) *telemetry.Report {
+	out := *r
+	out.Meter = nil
+	out.Status = nil
+	out.Epochs = make([]telemetry.EpochData, len(r.Epochs))
+	for i, ep := range r.Epochs {
+		ne := ep
+		ne.Ports = nil
+		out.Epochs[i] = ne
+	}
+	return &out
+}

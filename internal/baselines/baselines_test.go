@@ -1,0 +1,145 @@
+package baselines
+
+import (
+	"testing"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+func sampleReport(sw topo.NodeID) *telemetry.Report {
+	ft := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}
+	return &telemetry.Report{
+		Switch: sw, NumPorts: 4, NumEpochs: 4, FlowSlots: 64,
+		Epochs: []telemetry.EpochData{{
+			Flows: []telemetry.FlowRecord{{Tuple: ft, OutPort: 1, PktCount: 10, PausedCount: 4, DeepCount: 6, QdepthSum: 60000, Bytes: 10000}},
+			Ports: []telemetry.PortRecord{{Port: 1, PktCount: 10, PausedCount: 4, QdepthSum: 60000, Bytes: 10000}},
+		}},
+		Meter:  []telemetry.MeterRecord{{InPort: 0, OutPort: 1, Bytes: 10000}},
+		Status: []telemetry.PortStatus{{Port: 1, PausedUntil: 500, RxPause: 3}},
+	}
+}
+
+func sampleView() View {
+	return View{
+		Traced:      map[topo.NodeID]*telemetry.Report{1: sampleReport(1), 2: sampleReport(2)},
+		AllSwitches: map[topo.NodeID]*telemetry.Report{1: sampleReport(1), 2: sampleReport(2), 3: sampleReport(3)},
+		VictimPath:  []topo.NodeID{1},
+	}
+}
+
+func TestScopes(t *testing.T) {
+	v := sampleView()
+	if got := len(KindHawkeye.Reports(v)); got != 2 {
+		t.Fatalf("hawkeye scope = %d", got)
+	}
+	if got := len(KindFullPolling.Reports(v)); got != 3 {
+		t.Fatalf("full scope = %d", got)
+	}
+	if got := len(KindVictimOnly.Reports(v)); got != 1 {
+		t.Fatalf("victim scope = %d", got)
+	}
+	if got := len(KindSpiderMon.Reports(v)); got != 1 {
+		t.Fatalf("spidermon scope = %d", got)
+	}
+}
+
+func TestStripPFCRemovesAllPFCSignals(t *testing.T) {
+	v := sampleView()
+	for _, rep := range KindSpiderMon.Reports(v) {
+		if len(rep.Meter) != 0 || len(rep.Status) != 0 {
+			t.Fatal("meter/status survived PFC strip")
+		}
+		for _, ep := range rep.Epochs {
+			for _, f := range ep.Flows {
+				if f.PausedCount != 0 {
+					t.Fatal("flow paused counts survived")
+				}
+			}
+			for _, p := range ep.Ports {
+				if p.PausedCount != 0 {
+					t.Fatal("port paused counts survived")
+				}
+			}
+		}
+	}
+	// Original untouched.
+	if v.Traced[1].Epochs[0].Flows[0].PausedCount != 4 {
+		t.Fatal("strip mutated the original report")
+	}
+}
+
+func TestGranularityStrips(t *testing.T) {
+	v := sampleView()
+	for _, rep := range KindPortOnly.Reports(v) {
+		for _, ep := range rep.Epochs {
+			if len(ep.Flows) != 0 {
+				t.Fatal("flows survived port-only strip")
+			}
+			if len(ep.Ports) == 0 {
+				t.Fatal("ports stripped from port-only")
+			}
+		}
+		if len(rep.Meter) == 0 {
+			t.Fatal("meter stripped from port-only")
+		}
+	}
+	for _, rep := range KindFlowOnly.Reports(v) {
+		if len(rep.Meter) != 0 || len(rep.Status) != 0 {
+			t.Fatal("port-level causality survived flow-only strip")
+		}
+		for _, ep := range rep.Epochs {
+			if len(ep.Ports) != 0 {
+				t.Fatal("ports survived flow-only strip")
+			}
+			if len(ep.Flows) == 0 {
+				t.Fatal("flows stripped from flow-only")
+			}
+		}
+	}
+}
+
+func TestOverheadModels(t *testing.T) {
+	v := sampleView()
+	ts := TraceStats{
+		DataPackets:   100_000,
+		AvgHops:       4,
+		Flows:         50,
+		PollingBytes:  5_000,
+		VictimPathLen: 3,
+	}
+	hk := KindHawkeye.Assess(v, ts)
+	full := KindFullPolling.Assess(v, ts)
+	sm := KindSpiderMon.Assess(v, ts)
+	ns := KindNetSight.Assess(v, ts)
+
+	if hk.CollectedBytes == 0 || hk.CollectedBytes >= full.CollectedBytes {
+		t.Fatalf("hawkeye %d vs full %d", hk.CollectedBytes, full.CollectedBytes)
+	}
+	if full.MonitorWireBytes != 0 {
+		t.Fatal("full polling should add no monitoring traffic")
+	}
+	if sm.CollectedBytes != 50*SpiderMonFlowRecordBytes*3 {
+		t.Fatalf("spidermon bytes = %d", sm.CollectedBytes)
+	}
+	if sm.MonitorWireBytes != 100_000*SpiderMonHeaderBytes*4 {
+		t.Fatalf("spidermon wire = %d", sm.MonitorWireBytes)
+	}
+	if ns.CollectedBytes != 400_000*NetSightPostcardBytes {
+		t.Fatalf("netsight bytes = %d", ns.CollectedBytes)
+	}
+	if ns.CollectedBytes < 100*hk.CollectedBytes {
+		t.Fatalf("netsight not orders of magnitude above hawkeye: %d vs %d",
+			ns.CollectedBytes, hk.CollectedBytes)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range append(All(), Granularities()...) {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Fatalf("Kind string: %q", s)
+		}
+	}
+	_ = Kind(99).String()
+}

@@ -1,0 +1,93 @@
+package baselines
+
+// Cost-model constants from the papers being compared (§4.3).
+const (
+	// SpiderMonFlowRecordBytes: "SpiderMon collects the flow telemetry
+	// along the victim flow path with 36 bytes per flow".
+	SpiderMonFlowRecordBytes = 36
+	// SpiderMonHeaderBytes: "an extra 16-bit header field in every
+	// packet to record the cumulative delay".
+	SpiderMonHeaderBytes = 2
+	// NetSightPostcardBytes: "about 15 bytes per packet and per average
+	// hop count due to the postcard".
+	NetSightPostcardBytes = 15
+)
+
+// TraceStats summarizes one trial's traffic, the input to the overhead
+// models.
+type TraceStats struct {
+	DataPackets   uint64 // end-to-end data packets sent by hosts
+	AvgHops       float64
+	Flows         int    // distinct flows observed
+	PollingBytes  uint64 // Hawkeye polling traffic over the whole trace
+	Diagnoses     int    // detection events in the trace
+	VictimPathLen int    // switches on the triggering victim's path
+}
+
+// Overhead is the per-diagnosis cost of a system.
+type Overhead struct {
+	// CollectedBytes is the telemetry volume the analyzer must ingest
+	// (processing overhead, Fig. 9a).
+	CollectedBytes uint64
+	// MonitorWireBytes is the extra traffic the monitoring itself adds
+	// to the network (bandwidth overhead, Fig. 9b).
+	MonitorWireBytes uint64
+	// SwitchesTouched counts switches whose state is collected (Fig. 11).
+	SwitchesTouched int
+}
+
+// Assess computes the overhead of kind k for one trial.
+func (k Kind) Assess(v View, ts TraceStats) Overhead {
+	var o Overhead
+	switch k {
+	case KindHawkeye, KindPortOnly:
+		for _, r := range v.Traced {
+			o.CollectedBytes += uint64(k.filter(r).WireSize())
+		}
+		// Polling is on-demand: the per-diagnosis wire cost is the trace's
+		// polling traffic amortized over its detection events, unlike the
+		// always-on per-packet overhead of SpiderMon/NetSight.
+		o.MonitorWireBytes = ts.PollingBytes / uint64(maxInt(ts.Diagnoses, 1))
+		o.SwitchesTouched = len(v.Traced)
+	case KindFullPolling:
+		for _, r := range v.AllSwitches {
+			o.CollectedBytes += uint64(r.WireSize())
+		}
+		// Full polling needs no polling packets: collection is global.
+		o.MonitorWireBytes = 0
+		o.SwitchesTouched = len(v.AllSwitches)
+	case KindVictimOnly, KindFlowOnly:
+		for _, id := range v.VictimPath {
+			if r, ok := v.AllSwitches[id]; ok {
+				o.CollectedBytes += uint64(k.filter(r).WireSize())
+			}
+		}
+		// Polling packets only traverse the victim path; scale the
+		// measured Hawkeye polling traffic by the path-length share.
+		if n := len(v.Traced); n > 0 {
+			o.MonitorWireBytes = ts.PollingBytes * uint64(ts.VictimPathLen) /
+				uint64(maxInt(n, ts.VictimPathLen)) / uint64(maxInt(ts.Diagnoses, 1))
+		}
+		o.SwitchesTouched = len(v.VictimPath)
+	case KindSpiderMon:
+		// 36 B per flow per victim-path switch.
+		o.CollectedBytes = uint64(ts.Flows) * SpiderMonFlowRecordBytes * uint64(ts.VictimPathLen)
+		// 2 B in-band header on every data packet at every hop.
+		o.MonitorWireBytes = ts.DataPackets * SpiderMonHeaderBytes * uint64(ts.AvgHops)
+		o.SwitchesTouched = ts.VictimPathLen
+	case KindNetSight:
+		// A postcard per packet per hop, both collected and on the wire.
+		postcards := uint64(float64(ts.DataPackets) * ts.AvgHops)
+		o.CollectedBytes = postcards * NetSightPostcardBytes
+		o.MonitorWireBytes = postcards * NetSightPostcardBytes
+		o.SwitchesTouched = len(v.AllSwitches)
+	}
+	return o
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+// Package cc implements DCQCN, the de-facto RDMA congestion control
+// (Zhu et al., SIGCOMM'15), in its timer-driven reaction-point form.
+// The paper's evaluation runs RoCEv2 with congestion control enabled and
+// still observes PFC (§2); DCQCN here plays exactly that role: it shapes
+// steady-state traffic but cannot react fast enough to line-rate bursts.
+package cc
+
+import "hawkeye/internal/sim"
+
+// Config holds the DCQCN reaction-point parameters.
+type Config struct {
+	LineRate float64  // bps; flows start at line rate (§2.2)
+	MinRate  float64  // bps floor
+	Rai      float64  // additive increase step, bps
+	Rhai     float64  // hyper increase step, bps
+	G        float64  // alpha EWMA gain
+	AlphaT   sim.Time // alpha update timer
+	RateT    sim.Time // rate increase timer
+	F        int      // fast-recovery stages before additive increase
+}
+
+// DefaultConfig mirrors common 100 Gbps DCQCN deployments.
+func DefaultConfig(lineRate float64) Config {
+	return Config{
+		LineRate: lineRate,
+		MinRate:  100e6,
+		Rai:      400e6,
+		Rhai:     4e9,
+		G:        1.0 / 16.0,
+		AlphaT:   55 * sim.Microsecond,
+		RateT:    55 * sim.Microsecond,
+		F:        5,
+	}
+}
+
+// State is the per-flow reaction point. The owner (host NIC) drives the
+// two timers by calling OnAlphaTimer/OnRateTimer at the configured
+// periods while the flow is active, and OnCNP whenever a congestion
+// notification arrives.
+type State struct {
+	cfg Config
+
+	rc    float64 // current rate
+	rt    float64 // target rate
+	alpha float64
+
+	// timer bookkeeping
+	stage        int  // rate increase iterations since last cut
+	cnpSinceLast bool // CNP seen since the last alpha timer tick
+}
+
+// NewState returns a flow starting at line rate, per RDMA NIC behaviour.
+func NewState(cfg Config) *State {
+	return &State{cfg: cfg, rc: cfg.LineRate, rt: cfg.LineRate, alpha: 1}
+}
+
+// Rate returns the current sending rate in bps.
+func (s *State) Rate() float64 { return s.rc }
+
+// TargetRate returns the current target rate in bps (tests/ablations).
+func (s *State) TargetRate() float64 { return s.rt }
+
+// Alpha returns the congestion estimate (tests/ablations).
+func (s *State) Alpha() float64 { return s.alpha }
+
+// OnCNP applies the multiplicative decrease rule.
+func (s *State) OnCNP() {
+	s.rt = s.rc
+	s.rc *= 1 - s.alpha/2
+	if s.rc < s.cfg.MinRate {
+		s.rc = s.cfg.MinRate
+	}
+	s.alpha = (1-s.cfg.G)*s.alpha + s.cfg.G
+	s.stage = 0
+	s.cnpSinceLast = true
+}
+
+// OnAlphaTimer decays alpha when no CNP arrived during the last period.
+func (s *State) OnAlphaTimer() {
+	if s.cnpSinceLast {
+		s.cnpSinceLast = false
+		return
+	}
+	s.alpha *= 1 - s.cfg.G
+}
+
+// OnRateTimer runs one increase iteration: F stages of fast recovery
+// toward the target, then additive increase, then hyper increase.
+func (s *State) OnRateTimer() {
+	s.stage++
+	switch {
+	case s.stage <= s.cfg.F:
+		// fast recovery: close half the gap to the target
+	case s.stage <= 2*s.cfg.F:
+		s.rt += s.cfg.Rai
+	default:
+		s.rt += s.cfg.Rhai
+	}
+	if s.rt > s.cfg.LineRate {
+		s.rt = s.cfg.LineRate
+	}
+	s.rc = (s.rt + s.rc) / 2
+	if s.rc > s.cfg.LineRate {
+		s.rc = s.cfg.LineRate
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+
+	"hawkeye/internal/device"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+)
+
+type gapCounter struct {
+	port            int
+	paused, unpause int
+}
+
+func (g *gapCounter) OnEnqueue(ev device.EnqueueEvent) {
+	if ev.OutPort != g.port || ev.Pkt.Type != packet.TypeData {
+		return
+	}
+	if ev.Paused {
+		g.paused++
+	} else {
+		g.unpause++
+	}
+}
+func (g *gapCounter) OnDequeue(device.DequeueEvent)         {}
+func (g *gapCounter) OnPFC(int, *packet.PFCFrame, sim.Time) {}
+
+func TestPauseGapUnderInjection(t *testing.T) {
+	c, d := chainCluster(t, 2, 2)
+	rogue := d.HostsAt[1][0]
+	src1, src2 := d.HostsAt[0][0], d.HostsAt[0][1]
+	tor := c.Switches[d.Switches[1]]
+	// rogue port on tor:
+	roguePort := -1
+	for pi := range c.Topo.Node(tor.ID).Ports {
+		peer, _ := c.Topo.PeerOf(tor.ID, pi)
+		if peer == rogue {
+			roguePort = pi
+		}
+	}
+	g := &gapCounter{port: roguePort}
+	tor.AddInstrument(g)
+	c.Hosts[rogue].InjectPFC(300*sim.Microsecond, 10*sim.Millisecond, packet.MaxPauseQuanta)
+	c.StartFlowRate(src1, rogue, 40_000_000, 0, 25e9)
+	c.StartFlowRate(src2, rogue, 40_000_000, 0, 25e9)
+	c.Run(302 * sim.Microsecond)
+	g.paused, g.unpause = 0, 0
+	c.Run(2 * sim.Millisecond)
+	t.Logf("after onset: paused=%d unpaused=%d; egress paused now=%v until=%v buffer=%d",
+		g.paused, g.unpause, tor.EgressAt(roguePort).Paused(packet.ClassLossless),
+		tor.EgressAt(roguePort).PausedUntil(packet.ClassLossless), tor.BufferUsed())
+	if g.unpause > g.paused/10 {
+		t.Fatalf("pause has gaps: %d unpaused vs %d paused", g.unpause, g.paused)
+	}
+}

@@ -1,0 +1,160 @@
+package collect
+
+import (
+	"testing"
+
+	"hawkeye/internal/device"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+)
+
+func newTel(t *testing.T, eng *sim.Engine) *telemetry.State {
+	t.Helper()
+	cfg := telemetry.Config{EpochBits: 14, NumEpochs: 4, FlowSlots: 64, Lookback: 2, FlowTelemetry: true}
+	tel, err := telemetry.New(cfg, 1, "sw1", 8, 100e9, eng.Now, func(int) int { return 4321 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+func feed(tel *telemetry.State, n int, now sim.Time) {
+	for i := 0; i < n; i++ {
+		ft := packet.FiveTuple{SrcIP: uint32(i + 1), DstIP: 0xFF, SrcPort: 1, DstPort: 2, Proto: 17}
+		tel.OnEnqueue(device.EnqueueEvent{
+			Pkt:        &packet.Packet{Type: packet.TypeData, Flow: ft, Class: packet.ClassLossless, Size: 1000},
+			InPort:     0,
+			OutPort:    1,
+			QueueBytes: 1000,
+			Now:        now,
+		})
+	}
+}
+
+func hdr(diag uint32) packet.PollingHeader {
+	return packet.PollingHeader{Flag: packet.FlagVictimPath, DiagID: diag}
+}
+
+func TestCollectionLatencyModel(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := newTel(t, eng)
+	feed(tel, 5, 0)
+	cfg := DefaultConfig()
+	c := NewCollector(eng, cfg)
+	var got []Delivery
+	c.OnDelivery = func(d Delivery) { got = append(got, d) }
+	c.MirrorPolling(1, tel, hdr(7), 0)
+	eng.RunAll()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	d := got[0]
+	// Only 1 valid epoch exists at t=0, so latency = base + 1*perEpoch.
+	wantLatency := cfg.BaseLatency + cfg.PerEpochLatency
+	if lat := d.Arrived - d.Started; lat != wantLatency {
+		t.Fatalf("latency = %v, want %v", lat, wantLatency)
+	}
+	if d.Report.Switch != 1 || len(d.DiagIDs) != 1 || d.DiagIDs[0] != 7 {
+		t.Fatalf("delivery meta: %+v", d)
+	}
+	// Paper §4.5: 2 epochs ≈ 80 ms, 4 epochs ≈ 120 ms with defaults.
+	if cfg.BaseLatency+2*cfg.PerEpochLatency != 80*sim.Millisecond {
+		t.Fatalf("2-epoch latency model mismatch")
+	}
+	if cfg.BaseLatency+4*cfg.PerEpochLatency != 120*sim.Millisecond {
+		t.Fatalf("4-epoch latency model mismatch")
+	}
+}
+
+func TestSnapshotTakenAtSyncStart(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := newTel(t, eng)
+	feed(tel, 3, 0)
+	c := NewCollector(eng, DefaultConfig())
+	var rep *telemetry.Report
+	c.OnDelivery = func(d Delivery) { rep = d.Report }
+	c.MirrorPolling(1, tel, hdr(1), 0)
+	// Data arriving after the sync started must not appear in the report.
+	eng.After(sim.Millisecond, func() { feed(tel, 40, eng.Now()) })
+	eng.RunAll()
+	if rep == nil {
+		t.Fatal("no delivery")
+	}
+	if got := rep.FlowCount(); got != 3 {
+		t.Fatalf("report has %d flows, want the 3 present at sync start", got)
+	}
+}
+
+func TestDedupInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := newTel(t, eng)
+	feed(tel, 2, 0)
+	c := NewCollector(eng, DefaultConfig())
+	var got []Delivery
+	c.OnDelivery = func(d Delivery) { got = append(got, d) }
+	c.MirrorPolling(1, tel, hdr(1), 0)
+	// Second mirror within the interval: no new collection, but the
+	// pending delivery picks up the diag ID.
+	eng.After(100*sim.Microsecond, func() { c.MirrorPolling(1, tel, hdr(2), 0) })
+	eng.RunAll()
+	if len(got) != 1 {
+		t.Fatalf("collections = %d, want 1 (dedup)", len(got))
+	}
+	if len(got[0].DiagIDs) != 2 {
+		t.Fatalf("diag IDs = %v, want both sessions attached", got[0].DiagIDs)
+	}
+	st := c.Stats()
+	if st.Collections != 1 || st.DedupHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// After the interval, a new collection happens.
+	eng.After(2*sim.Millisecond, func() { c.MirrorPolling(1, tel, hdr(3), 0) })
+	eng.RunAll()
+	if c.Stats().Collections != 2 {
+		t.Fatalf("collections = %d after interval, want 2", c.Stats().Collections)
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := newTel(t, eng)
+	feed(tel, 10, 0)
+	cfg := DefaultConfig()
+	c := NewCollector(eng, cfg)
+	c.OnDelivery = func(Delivery) {}
+	c.MirrorPolling(1, tel, hdr(1), 0)
+	eng.RunAll()
+	st := c.Stats()
+	if st.ReportBytes == 0 || st.FullDumpBytes <= st.ReportBytes {
+		t.Fatalf("zero-filtering not reflected: report=%d full=%d", st.ReportBytes, st.FullDumpBytes)
+	}
+	// Fig 14a: with 10 of 64 slots used the reduction exceeds 80%.
+	if ratio := float64(st.ReportBytes) / float64(st.FullDumpBytes); ratio > 0.2 {
+		t.Fatalf("reduction ratio %.2f, want < 0.2", ratio)
+	}
+	// Fig 14b: MTU batching versus PHV-limited packet generation.
+	if st.ReportPackets >= st.FullDumpPackets {
+		t.Fatalf("packet reduction not reflected: %d vs %d", st.ReportPackets, st.FullDumpPackets)
+	}
+	if !st.SwitchesTouched[1] {
+		t.Fatal("switch not recorded")
+	}
+	if st.FlowRecords != 10 {
+		t.Fatalf("flow records = %d", st.FlowRecords)
+	}
+}
+
+func TestReportCarriesLiveRegisters(t *testing.T) {
+	eng := sim.NewEngine()
+	tel := newTel(t, eng)
+	feed(tel, 1, 0)
+	c := NewCollector(eng, DefaultConfig())
+	var rep *telemetry.Report
+	c.OnDelivery = func(d Delivery) { rep = d.Report }
+	c.MirrorPolling(1, tel, hdr(1), 0)
+	eng.RunAll()
+	if rep.Status[0].QdepthBytes != 4321 {
+		t.Fatalf("live queue register not sampled: %+v", rep.Status[0])
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// Incident is the operator-facing unit: one anomaly event, however many
+// victim complaints it produced. The polling dedup (§3.4) bounds the
+// in-fabric cost of complaint storms; this grouping is its analyzer-side
+// counterpart — a long-lived incast generates dozens of complaints that
+// all point at the same root cause, and an operator wants one ticket.
+type Incident struct {
+	// Results are the member diagnoses in trigger order.
+	Results []*Result
+	// Type is the member diagnoses' anomaly type.
+	Type diagnosis.AnomalyType
+	// First/Last bound the member triggers in time.
+	First, Last sim.Time
+}
+
+// Primary returns the earliest member — its diagnosis carries the
+// incident's root cause with the freshest telemetry.
+func (inc *Incident) Primary() *Result { return inc.Results[0] }
+
+// Victims lists the distinct complaining flows.
+func (inc *Incident) Victims() int {
+	seen := make(map[string]bool)
+	for _, r := range inc.Results {
+		seen[r.Trigger.Victim.String()] = true
+	}
+	return len(seen)
+}
+
+func (inc *Incident) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incident: %v, %d complaints from %d victims, %v .. %v\n",
+		inc.Type, len(inc.Results), inc.Victims(), inc.First, inc.Last)
+	b.WriteString(inc.Primary().Diagnosis.String())
+	return b.String()
+}
+
+// sameEvent decides whether a new diagnosis belongs to an open incident:
+// same anomaly type, and an overlapping anchor — the same initial
+// congestion point (node granularity: the funnel can move the port), or,
+// for deadlocks, a shared loop port.
+func sameEvent(inc *Incident, r *Result) bool {
+	d := r.Diagnosis
+	if d.Type != inc.Type {
+		return false
+	}
+	p := inc.Primary().Diagnosis
+	if pc, nc := p.PrimaryCause(), d.PrimaryCause(); pc.Port.Node == nc.Port.Node {
+		return true
+	}
+	return loopsOverlap(p.Loop, d.Loop)
+}
+
+func loopsOverlap(a, b []topo.PortRef) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[topo.PortRef]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	for _, p := range b {
+		if set[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Incidents diagnoses every session and groups the results (the
+// operator-facing view of DiagnoseAll).
+func (sys *System) Incidents(window sim.Time) []*Incident {
+	return GroupIncidents(sys.DiagnoseAll(), window)
+}
+
+// GroupIncidents clusters diagnoses into incidents: a result joins an
+// open incident when it describes the same event (sameEvent) and its
+// trigger falls within window of the incident's last member; otherwise
+// it opens a new incident. Results must be in trigger order (the order
+// DiagnoseAll returns).
+func GroupIncidents(results []*Result, window sim.Time) []*Incident {
+	var out []*Incident
+	for _, r := range results {
+		if r.Diagnosis == nil {
+			continue
+		}
+		var joined *Incident
+		for _, inc := range out {
+			if r.Trigger.At-inc.Last <= window && sameEvent(inc, r) {
+				joined = inc
+				break
+			}
+		}
+		if joined == nil {
+			out = append(out, &Incident{
+				Results: []*Result{r},
+				Type:    r.Diagnosis.Type,
+				First:   r.Trigger.At,
+				Last:    r.Trigger.At,
+			})
+			continue
+		}
+		joined.Results = append(joined.Results, r)
+		if r.Trigger.At > joined.Last {
+			joined.Last = r.Trigger.At
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/host"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+func mkResult(at sim.Time, victim uint16, typ diagnosis.AnomalyType, node topo.NodeID, loop []topo.PortRef) *Result {
+	return &Result{
+		Trigger: host.Trigger{
+			Victim: packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: victim, DstPort: 4791, Proto: 17},
+			At:     at,
+		},
+		Diagnosis: &diagnosis.Report{
+			Type:   typ,
+			Causes: []diagnosis.RootCause{{Port: topo.PortRef{Node: node, Port: 1}}},
+			Loop:   loop,
+		},
+	}
+}
+
+func TestGroupIncidentsMergesSameEvent(t *testing.T) {
+	rs := []*Result{
+		mkResult(100, 1, diagnosis.TypePFCContention, 5, nil),
+		mkResult(200, 2, diagnosis.TypePFCContention, 5, nil), // same node, in window
+		mkResult(300, 1, diagnosis.TypePFCContention, 5, nil), // repeat victim
+	}
+	incs := GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	inc := incs[0]
+	if len(inc.Results) != 3 || inc.Victims() != 2 {
+		t.Fatalf("members=%d victims=%d, want 3/2", len(inc.Results), inc.Victims())
+	}
+	if inc.First != 100 || inc.Last != 300 {
+		t.Fatalf("span %v..%v", inc.First, inc.Last)
+	}
+	if inc.Primary().Trigger.At != 100 {
+		t.Fatal("primary is not the earliest complaint")
+	}
+}
+
+func TestGroupIncidentsSplitsByTypeAndAnchor(t *testing.T) {
+	rs := []*Result{
+		mkResult(100, 1, diagnosis.TypePFCContention, 5, nil),
+		mkResult(150, 2, diagnosis.TypePFCStorm, 5, nil),      // same node, different type
+		mkResult(200, 3, diagnosis.TypePFCContention, 9, nil), // same type, different node
+	}
+	incs := GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 3 {
+		t.Fatalf("incidents = %d, want 3 (type and anchor split)", len(incs))
+	}
+}
+
+func TestGroupIncidentsWindowExpires(t *testing.T) {
+	rs := []*Result{
+		mkResult(100, 1, diagnosis.TypePFCContention, 5, nil),
+		mkResult(100+2*sim.Millisecond, 2, diagnosis.TypePFCContention, 5, nil),
+	}
+	incs := GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2 (window expired)", len(incs))
+	}
+}
+
+func TestGroupIncidentsLoopOverlapMerges(t *testing.T) {
+	// Deadlock complaints anchored at different loop ports still belong
+	// to one incident when their loops share a port.
+	loopA := []topo.PortRef{{Node: 4, Port: 2}, {Node: 0, Port: 1}}
+	loopB := []topo.PortRef{{Node: 0, Port: 1}, {Node: 6, Port: 2}}
+	rs := []*Result{
+		mkResult(100, 1, diagnosis.TypeInLoopDeadlock, 4, loopA),
+		mkResult(200, 2, diagnosis.TypeInLoopDeadlock, 6, loopB),
+	}
+	incs := GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1 (loops overlap)", len(incs))
+	}
+	// Disjoint loops split.
+	loopC := []topo.PortRef{{Node: 8, Port: 0}, {Node: 9, Port: 0}}
+	rs[1] = mkResult(200, 2, diagnosis.TypeInLoopDeadlock, 6, loopC)
+	if incs := GroupIncidents(rs, sim.Millisecond); len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2 (disjoint loops)", len(incs))
+	}
+}
+
+func TestGroupIncidentsSkipsNilDiagnosis(t *testing.T) {
+	rs := []*Result{{Trigger: host.Trigger{At: 1}}}
+	if incs := GroupIncidents(rs, sim.Millisecond); len(incs) != 0 {
+		t.Fatalf("incidents = %d for nil diagnosis", len(incs))
+	}
+}

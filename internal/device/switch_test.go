@@ -1,0 +1,292 @@
+package device
+
+import (
+	"testing"
+
+	"hawkeye/internal/fabric"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// rig builds host -- sw -- host with a real switch model and stub hosts.
+type stubHost struct{ got []*packet.Packet }
+
+func (s *stubHost) Receive(p *packet.Packet, port int) { s.got = append(s.got, p) }
+
+type rig struct {
+	eng  *sim.Engine
+	net  *fabric.Network
+	tp   *topo.Topology
+	sw   *Switch
+	h1   topo.NodeID
+	h2   topo.NodeID
+	rx1  *stubHost
+	rx2  *stubHost
+	swID topo.NodeID
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	tp := topo.New(100e9, sim.Microsecond)
+	h1 := tp.AddHost("h1")
+	h2 := tp.AddHost("h2")
+	sw := tp.AddSwitch("sw")
+	tp.Connect(h1, sw) // sw port 0
+	tp.Connect(h2, sw) // sw port 1
+	eng := sim.NewEngine()
+	net := fabric.NewNetwork(eng, tp)
+	r := &rig{eng: eng, net: net, tp: tp, h1: h1, h2: h2, swID: sw}
+	r.rx1, r.rx2 = &stubHost{}, &stubHost{}
+	net.Register(h1, r.rx1)
+	net.Register(h2, r.rx2)
+	r.sw = NewSwitch(net, topo.ComputeRouting(tp), sw, cfg, sim.NewRand(1))
+	return r
+}
+
+func (r *rig) dataTo(dstIP uint32, size int) *packet.Packet {
+	return &packet.Packet{
+		Type:  packet.TypeData,
+		Flow:  packet.FiveTuple{SrcIP: r.tp.Node(r.h1).IP, DstIP: dstIP, SrcPort: 9, DstPort: 4791, Proto: 17},
+		Class: packet.ClassLossless,
+		Size:  size,
+	}
+}
+
+func TestForwardingByDestination(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	pkt := r.dataTo(r.tp.Node(r.h2).IP, 1000)
+	r.sw.Receive(pkt, 0)
+	r.eng.RunAll()
+	if len(r.rx2.got) != 1 || len(r.rx1.got) != 0 {
+		t.Fatalf("misrouted: h1=%d h2=%d", len(r.rx1.got), len(r.rx2.got))
+	}
+}
+
+func TestUnroutableDropsAndCounts(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	r.sw.Receive(r.dataTo(0xDEAD, 1000), 0)
+	r.eng.RunAll()
+	if r.sw.Drops != 1 {
+		t.Fatalf("drops = %d", r.sw.Drops)
+	}
+}
+
+func TestXoffPauseAndXonResume(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.XoffBytes = 4000
+	cfg.XonBytes = 2000
+	r := newRig(t, cfg)
+	// Pause the egress toward h2 so the queue builds, then feed packets
+	// from port 0 until ingress accounting crosses Xoff.
+	r.sw.EgressAt(1).Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	for i := 0; i < 5; i++ {
+		r.sw.Receive(r.dataTo(r.tp.Node(r.h2).IP, 1000), 0)
+	}
+	if !r.sw.PauseAsserted(0, packet.ClassLossless) {
+		t.Fatalf("Xoff crossing did not assert pause (ingress=%d)", r.sw.IngressBytes(0, packet.ClassLossless))
+	}
+	// The PAUSE frame must reach h1.
+	r.eng.Run(10 * sim.Microsecond)
+	foundPause := false
+	for _, p := range r.rx1.got {
+		if p.Type == packet.TypePFC && p.PFC.Paused(packet.ClassLossless) {
+			foundPause = true
+		}
+	}
+	if !foundPause {
+		t.Fatal("no PAUSE frame delivered upstream")
+	}
+	// Resume the egress: the queue drains, ingress drops below Xon, and
+	// a RESUME goes upstream.
+	r.sw.EgressAt(1).Resume(packet.ClassLossless)
+	r.eng.RunAll()
+	if r.sw.PauseAsserted(0, packet.ClassLossless) {
+		t.Fatal("pause never deasserted after drain")
+	}
+	foundResume := false
+	for _, p := range r.rx1.got {
+		if p.Type == packet.TypePFC && p.PFC.Resumes(packet.ClassLossless) {
+			foundResume = true
+		}
+	}
+	if !foundResume {
+		t.Fatal("no RESUME frame delivered upstream")
+	}
+}
+
+func TestReceivedPFCControlsEgress(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	pfc := &packet.Packet{Type: packet.TypePFC, Size: packet.PFCFrameSize, PFC: packet.NewPause(packet.ClassLossless, 1000)}
+	r.sw.Receive(pfc, 1)
+	if !r.sw.EgressAt(1).Paused(packet.ClassLossless) {
+		t.Fatal("received PAUSE did not pause the egress")
+	}
+	res := &packet.Packet{Type: packet.TypePFC, Size: packet.PFCFrameSize, PFC: packet.NewResume(packet.ClassLossless)}
+	r.sw.Receive(res, 1)
+	if r.sw.EgressAt(1).Paused(packet.ClassLossless) {
+		t.Fatal("received RESUME did not lift the pause")
+	}
+	if r.sw.RxPFCFrames != 2 {
+		t.Fatalf("RxPFCFrames = %d", r.sw.RxPFCFrames)
+	}
+}
+
+func TestECNMarkingAboveKmax(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KminBytes = 1000
+	cfg.KmaxBytes = 3000
+	r := newRig(t, cfg)
+	r.sw.EgressAt(1).Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	marked := 0
+	for i := 0; i < 8; i++ {
+		p := r.dataTo(r.tp.Node(r.h2).IP, 1000)
+		r.sw.Receive(p, 0)
+		if p.ECN {
+			marked++
+		}
+	}
+	// Everything enqueued past 3 KB backlog must be marked.
+	if marked < 5 {
+		t.Fatalf("marked %d of 8, want >= 5 (deterministic above Kmax)", marked)
+	}
+}
+
+func TestBufferLimitDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TotalBufferBytes = 2500
+	r := newRig(t, cfg)
+	r.sw.EgressAt(1).Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	for i := 0; i < 5; i++ {
+		r.sw.Receive(r.dataTo(r.tp.Node(r.h2).IP, 1000), 0)
+	}
+	if r.sw.Drops != 3 {
+		t.Fatalf("drops = %d, want 3 with a 2.5 KB buffer", r.sw.Drops)
+	}
+	if r.sw.MaxBufferUse > 2500 {
+		t.Fatalf("buffer exceeded limit: %d", r.sw.MaxBufferUse)
+	}
+}
+
+// instrSpy records instrumentation callbacks.
+type instrSpy struct {
+	enq []EnqueueEvent
+	deq []DequeueEvent
+	pfc int
+}
+
+func (s *instrSpy) OnEnqueue(ev EnqueueEvent)             { s.enq = append(s.enq, ev) }
+func (s *instrSpy) OnDequeue(ev DequeueEvent)             { s.deq = append(s.deq, ev) }
+func (s *instrSpy) OnPFC(int, *packet.PFCFrame, sim.Time) { s.pfc++ }
+
+func TestInstrumentationEvents(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	spy := &instrSpy{}
+	r.sw.AddInstrument(spy)
+	r.sw.EgressAt(1).Pause(packet.ClassLossless, 1000)
+	r.sw.Receive(r.dataTo(r.tp.Node(r.h2).IP, 1000), 0)
+	if len(spy.enq) != 1 || !spy.enq[0].Paused {
+		t.Fatalf("enqueue events: %+v", spy.enq)
+	}
+	if spy.enq[0].QueueBytes != 1000 || spy.enq[0].InPort != 0 || spy.enq[0].OutPort != 1 {
+		t.Fatalf("enqueue metadata: %+v", spy.enq[0])
+	}
+	r.eng.RunAll()
+	if len(spy.deq) != 1 {
+		t.Fatalf("dequeue events: %d", len(spy.deq))
+	}
+	pfc := &packet.Packet{Type: packet.TypePFC, Size: packet.PFCFrameSize, PFC: packet.NewPause(packet.ClassLossless, 10)}
+	r.sw.Receive(pfc, 1)
+	if spy.pfc != 1 {
+		t.Fatalf("pfc events: %d", spy.pfc)
+	}
+}
+
+func TestRouteForMatchesDataPath(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	ft := packet.FiveTuple{SrcIP: r.tp.Node(r.h1).IP, DstIP: r.tp.Node(r.h2).IP, SrcPort: 1, DstPort: 2, Proto: 17}
+	out, ok := r.sw.RouteFor(ft)
+	if !ok || out != 1 {
+		t.Fatalf("RouteFor = %d,%v", out, ok)
+	}
+	if _, ok := r.sw.RouteFor(packet.FiveTuple{DstIP: 0xBAD}); ok {
+		t.Fatal("bogus destination routed")
+	}
+}
+
+func TestPollingDefaultFollowsVictimRoute(t *testing.T) {
+	// Without a PollHandler (baseline switches), polling packets follow
+	// the victim's route.
+	r := newRig(t, DefaultConfig())
+	victim := packet.FiveTuple{SrcIP: r.tp.Node(r.h1).IP, DstIP: r.tp.Node(r.h2).IP, SrcPort: 1, DstPort: 2, Proto: 17}
+	poll := &packet.Packet{
+		Type: packet.TypePolling, Class: packet.ClassControl, Size: packet.PollingPacketSize,
+		Poll: &packet.PollingHeader{Flag: packet.FlagVictimPath, Victim: victim, HopsLow: 4},
+	}
+	r.sw.Receive(poll, 0)
+	r.eng.RunAll()
+	if len(r.rx2.got) != 1 || r.rx2.got[0].Type != packet.TypePolling {
+		t.Fatalf("polling not forwarded: %d", len(r.rx2.got))
+	}
+}
+
+func TestDropQueuedReleasesAccountingAndResumes(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// Pause the egress toward h2, then pump enough ingress from h1 (port 0)
+	// to cross Xoff so the switch pauses the upstream.
+	r.sw.EgressAt(1).Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	dst := r.tp.Node(r.h2).IP
+	pkts := r.sw.Cfg.XoffBytes/1000 + 2
+	for i := 0; i < pkts; i++ {
+		r.sw.EnqueueAt(r.dataTo(dst, 1000), 0, 1)
+	}
+	r.eng.Run(50 * sim.Microsecond)
+	if !r.sw.PauseAsserted(0, packet.ClassLossless) {
+		t.Fatal("setup: upstream pause not asserted")
+	}
+	before := r.sw.BufferUsed()
+	if before == 0 {
+		t.Fatal("setup: nothing buffered")
+	}
+
+	dropped := r.sw.DropQueued(1, packet.ClassLossless)
+	if dropped != pkts {
+		t.Fatalf("dropped %d, want %d", dropped, pkts)
+	}
+	if r.sw.BufferUsed() != 0 {
+		t.Fatalf("shared buffer not released: %d bytes", r.sw.BufferUsed())
+	}
+	if r.sw.IngressBytes(0, packet.ClassLossless) != 0 {
+		t.Fatal("ingress accounting not released")
+	}
+	if r.sw.PauseAsserted(0, packet.ClassLossless) {
+		t.Fatal("upstream still paused after the flush emptied its ingress")
+	}
+	if r.sw.WatchdogDrops != uint64(pkts) {
+		t.Fatalf("WatchdogDrops = %d, want %d", r.sw.WatchdogDrops, pkts)
+	}
+	if r.sw.EgressAt(1).QueuePackets(packet.ClassLossless) != 0 {
+		t.Fatal("queue not emptied")
+	}
+}
+
+func TestWatchdogDropFilterDiscardsArrivals(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	dst := r.tp.Node(r.h2).IP
+	r.sw.SetWatchdogDrop(1, packet.ClassLossless, true)
+	r.sw.EnqueueAt(r.dataTo(dst, 1000), 0, 1)
+	if r.sw.WatchdogDrops != 1 {
+		t.Fatalf("WatchdogDrops = %d, want 1", r.sw.WatchdogDrops)
+	}
+	if r.sw.BufferUsed() != 0 || r.sw.IngressBytes(0, packet.ClassLossless) != 0 {
+		t.Fatal("discarded arrival leaked into accounting")
+	}
+	// Other (port, class) pairs unaffected; lifting the filter restores
+	// normal forwarding.
+	r.sw.SetWatchdogDrop(1, packet.ClassLossless, false)
+	r.sw.EnqueueAt(r.dataTo(dst, 1000), 0, 1)
+	r.eng.RunAll()
+	if len(r.rx2.got) != 1 {
+		t.Fatalf("post-restore delivery count %d, want 1", len(r.rx2.got))
+	}
+}

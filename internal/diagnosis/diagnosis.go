@@ -1,0 +1,427 @@
+// Package diagnosis implements Hawkeye's provenance analysis (§3.5.2,
+// Algorithm 2): walk the port-level wait-for graph from the victim flow's
+// paused hops, detect PFC spreading paths and loops, classify terminal
+// ports as flow contention vs. host PFC injection, and match the anomaly
+// signatures of Table 2.
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/provenance"
+	"hawkeye/internal/topo"
+)
+
+// AnomalyType enumerates the Table 2 anomaly cases.
+type AnomalyType int
+
+const (
+	// TypeNone: nothing anomalous found in the provenance.
+	TypeNone AnomalyType = iota
+	// TypeNormalContention: no PFC spreading; plain queue contention.
+	TypeNormalContention
+	// TypePFCContention: PFC backpressure whose initial congestion is
+	// flow contention (micro-burst incast and relatives).
+	TypePFCContention
+	// TypePFCStorm: cascading PFC caused by host PFC injection.
+	TypePFCStorm
+	// TypeInLoopDeadlock: deadlock whose initiator is inside the CBD loop.
+	TypeInLoopDeadlock
+	// TypeOutLoopDeadlockContention: deadlock triggered by flow
+	// contention outside the loop.
+	TypeOutLoopDeadlockContention
+	// TypeOutLoopDeadlockInjection: deadlock triggered by host PFC
+	// injection outside the loop.
+	TypeOutLoopDeadlockInjection
+)
+
+func (t AnomalyType) String() string {
+	switch t {
+	case TypeNone:
+		return "none"
+	case TypeNormalContention:
+		return "normal-flow-contention"
+	case TypePFCContention:
+		return "pfc-backpressure-contention"
+	case TypePFCStorm:
+		return "pfc-storm"
+	case TypeInLoopDeadlock:
+		return "in-loop-deadlock"
+	case TypeOutLoopDeadlockContention:
+		return "out-of-loop-deadlock-contention"
+	case TypeOutLoopDeadlockInjection:
+		return "out-of-loop-deadlock-injection"
+	default:
+		return fmt.Sprintf("AnomalyType(%d)", int(t))
+	}
+}
+
+// IsDeadlock reports whether the type is one of the deadlock cases.
+func (t AnomalyType) IsDeadlock() bool {
+	return t == TypeInLoopDeadlock || t == TypeOutLoopDeadlockContention || t == TypeOutLoopDeadlockInjection
+}
+
+// CauseKind distinguishes Table 2 root-cause columns.
+type CauseKind int
+
+const (
+	// CauseFlowContention: flows overfilling a queue.
+	CauseFlowContention CauseKind = iota
+	// CauseHostInjection: a host emitting PFC frames.
+	CauseHostInjection
+)
+
+func (k CauseKind) String() string {
+	if k == CauseHostInjection {
+		return "host-pfc-injection"
+	}
+	return "flow-contention"
+}
+
+// RootCause pins one initial congestion point.
+type RootCause struct {
+	Kind CauseKind
+	// Port is the initial congestion point (terminal of the PFC walk).
+	Port topo.PortRef
+	// Flows are the contention contributors, descending by weight.
+	Flows []packet.FiveTuple
+	// BurstFlows marks which contributors are burst-classified.
+	BurstFlows []packet.FiveTuple
+	// InjectorHostFacing is true when Port faces the injecting host.
+	InjectorHostFacing bool
+}
+
+// Config tunes signature matching.
+type Config struct {
+	// MinContribution: a flow is a contention contributor only if its
+	// net port-flow weight exceeds this (packets kept waiting on
+	// average). Filters the symmetric near-zero noise of flows that
+	// merely share a paused queue.
+	MinContribution float64
+	// ContributorFrac additionally requires a contributor to reach this
+	// fraction of the top contributor's weight.
+	ContributorFrac float64
+}
+
+// DefaultConfig returns the evaluation defaults.
+func DefaultConfig() Config {
+	return Config{MinContribution: 2.0, ContributorFrac: 0.1}
+}
+
+// Report is the diagnosis outcome for one victim.
+type Report struct {
+	Victim packet.FiveTuple
+	Type   AnomalyType
+	Causes []RootCause
+	// PFCPaths are the port chains walked from the victim to each
+	// terminal (the "how" of the anomaly).
+	PFCPaths [][]topo.PortRef
+	// Loop holds the deadlock cycle when one was found.
+	Loop []topo.PortRef
+	// Spreaders are flows paused at two or more ports: the carriers of
+	// the PFC spreading (e.g. F2 in Fig. 12a).
+	Spreaders []packet.FiveTuple
+	// VictimPausedAt lists the ports where the victim itself was paused.
+	VictimPausedAt []topo.PortRef
+}
+
+// PrimaryCause returns the first root cause (the analysis orders causes
+// by walk origin weight), or a zero RootCause if none.
+func (r *Report) PrimaryCause() RootCause {
+	if len(r.Causes) == 0 {
+		return RootCause{}
+	}
+	return r.Causes[0]
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diagnosis for %v: %v\n", r.Victim, r.Type)
+	for _, c := range r.Causes {
+		fmt.Fprintf(&b, "  cause: %v at %v", c.Kind, c.Port)
+		if len(c.Flows) > 0 {
+			fmt.Fprintf(&b, " flows=%v", c.Flows)
+		}
+		b.WriteString("\n")
+	}
+	if len(r.Loop) > 0 {
+		fmt.Fprintf(&b, "  loop: %v\n", r.Loop)
+	}
+	for _, p := range r.PFCPaths {
+		fmt.Fprintf(&b, "  pfc-path: %v\n", p)
+	}
+	if len(r.Spreaders) > 0 {
+		fmt.Fprintf(&b, "  spreading flows: %v\n", r.Spreaders)
+	}
+	return b.String()
+}
+
+// analyzer carries the walk state.
+type analyzer struct {
+	g    *provenance.Graph
+	t    *topo.Topology
+	cfg  Config
+	rep  *Report
+	seen map[topo.PortRef]bool
+}
+
+// Diagnose runs Algorithm 2 for one victim flow.
+func Diagnose(cfg Config, g *provenance.Graph, t *topo.Topology, victim packet.FiveTuple) *Report {
+	a := &analyzer{
+		g:    g,
+		t:    t,
+		cfg:  cfg,
+		rep:  &Report{Victim: victim},
+		seen: make(map[topo.PortRef]bool),
+	}
+	a.rep.VictimPausedAt = g.VictimPorts(victim)
+
+	// Walk PFC causality from every hop where the victim is paused.
+	roots := a.rep.VictimPausedAt
+	if len(roots) == 0 {
+		// Deadlock freezes per-packet telemetry: the victim may have no
+		// paused-count evidence at all. Fall back to the live pause
+		// registers of the collected (hence causally relevant) switches.
+		roots = g.PausedPorts()
+	}
+	for _, p := range roots {
+		a.checkPortNode(p, nil)
+	}
+
+	a.rep.Spreaders = a.spreaders()
+	a.classify()
+	return a.rep
+}
+
+// checkPortNode is the DFS of Algorithm 2 (CheckPortNode): follow
+// port-level wait-for edges, record loops, and analyze terminals.
+func (a *analyzer) checkPortNode(p topo.PortRef, stack []topo.PortRef) {
+	for i, q := range stack {
+		if q == p {
+			// Cycle: record the loop once. A single-port self-edge is
+			// measurement noise, not a CBD — a circular wait needs at
+			// least two buffers.
+			if len(a.rep.Loop) == 0 && len(stack)-i >= 2 {
+				a.rep.Loop = append([]topo.PortRef(nil), stack[i:]...)
+			}
+			return
+		}
+	}
+	stack = append(stack, p)
+	if a.seen[p] {
+		return
+	}
+	a.seen[p] = true
+
+	next := a.g.PortNeighbors(p)
+	if len(next) == 0 {
+		// Initial node of the PFC spreading: analyze local contention.
+		a.rep.PFCPaths = append(a.rep.PFCPaths, append([]topo.PortRef(nil), stack...))
+		a.rep.Causes = append(a.rep.Causes, a.analyzeFlowContention(p))
+		return
+	}
+	for _, q := range next {
+		a.checkPortNode(q, stack)
+	}
+}
+
+// analyzeFlowContention implements AnalyzeFlowContention: positive
+// port-flow edges mean contention; none means the PFC was injected by
+// the port's peer device.
+func (a *analyzer) analyzeFlowContention(p topo.PortRef) RootCause {
+	flows := a.contributors(p)
+	if len(flows) == 0 {
+		return RootCause{
+			Kind:               CauseHostInjection,
+			Port:               p,
+			InjectorHostFacing: a.t.IsHostFacing(p.Node, p.Port),
+		}
+	}
+	rc := RootCause{Kind: CauseFlowContention, Port: p, Flows: flows}
+	for _, f := range flows {
+		if a.g.IsBurstFlow(f, p) {
+			rc.BurstFlows = append(rc.BurstFlows, f)
+		}
+	}
+	return rc
+}
+
+// contributors filters the port-flow edges by the significance rules.
+func (a *analyzer) contributors(p topo.PortRef) []packet.FiveTuple {
+	all := a.g.Contributors(p)
+	var out []packet.FiveTuple
+	var top float64
+	for i, f := range all {
+		w := a.g.PortFlow[p][f]
+		if i == 0 {
+			top = w
+		}
+		if w >= a.cfg.MinContribution && w >= a.cfg.ContributorFrac*top {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// spreaders finds flows paused at two or more ports.
+func (a *analyzer) spreaders() []packet.FiveTuple {
+	var out []packet.FiveTuple
+	for f, ports := range a.g.FlowPort {
+		if f == a.rep.Victim {
+			continue
+		}
+		n := 0
+		for _, w := range ports {
+			if w > 0 {
+				n++
+			}
+		}
+		if n >= 2 {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// classify matches the Table 2 signatures against the walk results.
+func (a *analyzer) classify() {
+	r := a.rep
+	switch {
+	case len(r.Loop) > 0:
+		a.classifyDeadlock()
+	case len(r.PFCPaths) > 0 && a.pathBeyondVictim():
+		// PFC spreading exists: contention or storm by terminal analysis.
+		if cause, ok := a.firstCause(CauseFlowContention); ok {
+			r.Type = TypePFCContention
+			a.promoteCause(cause)
+		} else {
+			r.Type = TypePFCStorm
+		}
+	case len(r.VictimPausedAt) > 0:
+		// Victim paused but no spreading beyond its own hop: the paused
+		// port itself is the initial congestion point.
+		p := r.VictimPausedAt[0]
+		if len(r.Causes) == 0 {
+			r.Causes = append(r.Causes, a.analyzeFlowContention(p))
+		}
+		if r.Causes[0].Kind == CauseFlowContention {
+			r.Type = TypePFCContention
+		} else {
+			r.Type = TypePFCStorm
+		}
+	default:
+		a.classifyNoPFC()
+	}
+}
+
+// pathBeyondVictim reports whether any walk left the victim's own hop.
+func (a *analyzer) pathBeyondVictim() bool {
+	for _, path := range a.rep.PFCPaths {
+		if len(path) > 1 {
+			return true
+		}
+	}
+	return len(a.rep.PFCPaths) > 0
+}
+
+// classifyDeadlock splits in-loop vs out-of-loop by the loop nodes'
+// out-degrees (Table 2) and analyzes the initiator.
+func (a *analyzer) classifyDeadlock() {
+	r := a.rep
+	inLoop := make(map[topo.PortRef]bool, len(r.Loop))
+	for _, p := range r.Loop {
+		inLoop[p] = true
+	}
+	// A loop node with edges leaving the loop marks an out-of-loop
+	// initiator reachable along that branch.
+	outOfLoop := false
+	for _, p := range r.Loop {
+		for _, q := range a.g.PortNeighbors(p) {
+			if !inLoop[q] {
+				outOfLoop = true
+			}
+		}
+	}
+	if outOfLoop {
+		// The DFS already followed those branches; its terminals are in
+		// r.Causes. Prefer a terminal outside the loop.
+		for _, c := range r.Causes {
+			if !inLoop[c.Port] {
+				a.promoteCause(c)
+				if c.Kind == CauseHostInjection {
+					r.Type = TypeOutLoopDeadlockInjection
+				} else {
+					r.Type = TypeOutLoopDeadlockContention
+				}
+				return
+			}
+		}
+		// Fallback: branch existed but was not collected; treat as
+		// injection from outside the collected region.
+		r.Type = TypeOutLoopDeadlockInjection
+		return
+	}
+	// Initiator inside the loop: the loop port with the strongest flow
+	// contention is the initial congestion point.
+	r.Type = TypeInLoopDeadlock
+	best := r.Loop[0]
+	bestW := 0.0
+	for _, p := range r.Loop {
+		if w := a.g.MaxPortFlowWeight(p); w > bestW {
+			bestW, best = w, p
+		}
+	}
+	// Even when the initiating contention has aged out of the flow
+	// telemetry, the cause stays anchored inside the loop rather than at
+	// some unrelated walk terminal.
+	a.promoteCause(a.analyzeFlowContention(best))
+}
+
+// classifyNoPFC handles the degenerate traditional case: no port-level
+// edges at all; contention on the victim path (Table 2 last row).
+func (a *analyzer) classifyNoPFC() {
+	r := a.rep
+	var best topo.PortRef
+	bestW := 0.0
+	for _, p := range a.g.FlowPathPorts(r.Victim) {
+		if w := a.g.MaxPortFlowWeight(p); w > bestW {
+			bestW, best = w, p
+		}
+	}
+	if bestW < a.cfg.MinContribution {
+		r.Type = TypeNone
+		return
+	}
+	cause := a.analyzeFlowContention(best)
+	if cause.Kind != CauseFlowContention {
+		r.Type = TypeNone
+		return
+	}
+	r.Type = TypeNormalContention
+	r.Causes = []RootCause{cause}
+}
+
+// firstCause returns the first recorded cause of the given kind.
+func (a *analyzer) firstCause(kind CauseKind) (RootCause, bool) {
+	for _, c := range a.rep.Causes {
+		if c.Kind == kind {
+			return c, true
+		}
+	}
+	return RootCause{}, false
+}
+
+// promoteCause moves (or inserts) the cause to the front of the list.
+func (a *analyzer) promoteCause(c RootCause) {
+	out := []RootCause{c}
+	for _, o := range a.rep.Causes {
+		if o.Port != c.Port {
+			out = append(out, o)
+		}
+	}
+	a.rep.Causes = out
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hawkeye/internal/collect"
+	"hawkeye/internal/metrics"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/workload"
+)
+
+// Fig12 runs each scenario once and renders the diagnosis plus the
+// provenance graph — the paper's case studies.
+func Fig12() (string, error) {
+	var b strings.Builder
+	b.WriteString("== Fig 12: case-study provenance graphs ==\n")
+	for _, scen := range EvalScenarios() {
+		tr, err := RunTrial(DefaultTrialConfig(scen, 1))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n--- %s ---\n", scen)
+		if tr.Score.Result == nil {
+			b.WriteString("no diagnosis triggered\n")
+			continue
+		}
+		fmt.Fprintf(&b, "trigger: %v at %v (%s)\n",
+			tr.Score.Result.Trigger.Victim, tr.Score.Result.Trigger.At, tr.Score.Result.Trigger.Reason)
+		b.WriteString(tr.Score.Result.Diagnosis.String())
+		b.WriteString(tr.Score.Result.Graph.String())
+	}
+	return b.String(), nil
+}
+
+// PollerLatency renders the §4.5 CPU-poller timing model.
+func PollerLatency() *metrics.Table {
+	cfg := collect.DefaultConfig()
+	t := &metrics.Table{
+		Title:   "CPU poller latency model (paper 4.5: ~80ms/2 epochs, ~120ms/4)",
+		Headers: []string{"epochs", "latency"},
+	}
+	for _, n := range []int{1, 2, 4} {
+		lat := cfg.BaseLatency + sim.Time(n)*cfg.PerEpochLatency
+		t.AddRow(fmt.Sprintf("%d", n), lat.String())
+	}
+	return t
+}
+
+// AblationMeterBits compares Hawkeye's byte-count causality meter against
+// an ITSY-style 1-bit presence meter (§3.3 argues the byte counts are
+// what rank causal relevance).
+func AblationMeterBits(trials int) (*metrics.Table, error) {
+	table := &metrics.Table{
+		Title:   "Ablation: byte-count vs 1-bit causality meter",
+		Headers: []string{"scenario", "meter", "precision", "recall"},
+	}
+	for _, scen := range AnomalyScenarios() {
+		var full, onebit metrics.PR
+		for seed := uint64(1); seed <= uint64(trials); seed++ {
+			tr, err := RunTrial(DefaultTrialConfig(scen, seed))
+			if err != nil {
+				return nil, err
+			}
+			full.Add(tr.Score)
+			onebit.Add(tr.ScoreWithBinaryMeter())
+		}
+		table.AddRow(scen, "bytes", fmt.Sprintf("%.2f", full.Precision()), fmt.Sprintf("%.2f", full.Recall()))
+		table.AddRow(scen, "1-bit", fmt.Sprintf("%.2f", onebit.Precision()), fmt.Sprintf("%.2f", onebit.Recall()))
+	}
+	return table, nil
+}
+
+// AblationEpochCount sweeps the telemetry ring depth: shallow rings lose
+// anomaly evidence before the complaint arrives.
+func AblationEpochCount(trials int) (*metrics.Table, error) {
+	table := &metrics.Table{
+		Title:   "Ablation: telemetry ring depth",
+		Headers: []string{"scenario", "epochs", "precision", "recall"},
+	}
+	for _, scen := range AnomalyScenarios() {
+		for _, n := range []int{2, 4, 8} {
+			var pr metrics.PR
+			for seed := uint64(1); seed <= uint64(trials); seed++ {
+				tc := DefaultTrialConfig(scen, seed)
+				tc.NumEpochs = n
+				tr, err := RunTrial(tc)
+				if err != nil {
+					return nil, err
+				}
+				pr.Add(tr.Score)
+			}
+			table.AddRow(scen, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.2f", pr.Precision()), fmt.Sprintf("%.2f", pr.Recall()))
+		}
+	}
+	return table, nil
+}
+
+// AblationDedup compares polling dedup on/off by polls handled and
+// collections performed (the dedup exists purely to bound overhead).
+func AblationDedup(trials int) (*metrics.Table, error) {
+	table := &metrics.Table{
+		Title:   "Ablation: polling dedup window",
+		Headers: []string{"dedup", "polls-handled", "collections"},
+	}
+	for _, dedup := range []sim.Time{0, sim.Millisecond} {
+		var polls, colls []float64
+		for seed := uint64(1); seed <= uint64(trials); seed++ {
+			tc := DefaultTrialConfig(workload.NameIncast, seed)
+			tr, err := runTrialWithDedup(tc, dedup)
+			if err != nil {
+				return nil, err
+			}
+			var handled uint64
+			for _, h := range tr.Sys.Handlers {
+				handled += h.Handled
+			}
+			polls = append(polls, float64(handled))
+			colls = append(colls, float64(tr.Sys.Collector.Stats().Collections))
+		}
+		table.AddRow(dedup.String(),
+			fmt.Sprintf("%.0f", metrics.Mean(polls)),
+			fmt.Sprintf("%.0f", metrics.Mean(colls)))
+	}
+	return table, nil
+}
+
+// PartialDeployment evaluates §5's deployment option: PFC causality
+// analysis fabric-wide, flow telemetry only on edge (ToR) switches.
+// Root causes at edge ports stay diagnosable; those on aggregation/core
+// ports lose their contributing-flow evidence.
+func PartialDeployment(trials int) (*metrics.Table, error) {
+	table := &metrics.Table{
+		Title:   "Discussion 5: partial deployment (flow telemetry on edges only)",
+		Headers: []string{"scenario", "deployment", "precision", "recall"},
+	}
+	for _, scen := range EvalScenarios() {
+		for _, partial := range []bool{false, true} {
+			var pr metrics.PR
+			for seed := uint64(1); seed <= uint64(trials); seed++ {
+				tc := DefaultTrialConfig(scen, seed)
+				tc.EdgeFlowTelemetryOnly = partial
+				tr, err := RunTrial(tc)
+				if err != nil {
+					return nil, err
+				}
+				pr.Add(tr.Score)
+			}
+			name := "full"
+			if partial {
+				name = "edges-only"
+			}
+			table.AddRow(scen, name,
+				fmt.Sprintf("%.2f", pr.Precision()), fmt.Sprintf("%.2f", pr.Recall()))
+		}
+	}
+	return table, nil
+}

@@ -1,0 +1,104 @@
+// Package fabric is the glue between the event engine and the node models:
+// it owns the wire (serialization + propagation of packets between node
+// ports) and the shared egress-port machinery (per-class FIFO queues,
+// strict-priority scheduling, PFC pause state) that both switches and host
+// NICs build on.
+package fabric
+
+import (
+	"fmt"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// Receiver is anything attached to the network that can accept a packet
+// arriving on one of its ports.
+type Receiver interface {
+	Receive(pkt *packet.Packet, port int)
+}
+
+// Network delivers packets between node ports with serialization and
+// propagation delay. It also keeps fabric-wide counters used by the
+// overhead experiments.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Topology
+
+	nodes map[topo.NodeID]Receiver
+
+	// Counters (bytes on the wire, by broad category). These feed the
+	// monitoring-bandwidth overhead comparison (paper Fig. 9b).
+	DataBytes    uint64
+	ControlBytes uint64
+	PFCBytes     uint64
+	PollingBytes uint64
+	ReportBytes  uint64
+	Delivered    uint64
+
+	// OnWire, if set, observes every packet as it is put on a link —
+	// a passive tap (pcap capture, debugging). It must not mutate pkt.
+	OnWire func(from topo.NodeID, port int, pkt *packet.Packet, now sim.Time)
+}
+
+// NewNetwork creates a network over the topology.
+func NewNetwork(eng *sim.Engine, t *topo.Topology) *Network {
+	return &Network{Eng: eng, Topo: t, nodes: make(map[topo.NodeID]Receiver)}
+}
+
+// Register attaches a node model to a topology node.
+func (n *Network) Register(id topo.NodeID, r Receiver) { n.nodes[id] = r }
+
+// NodeModel returns the model registered for id, or nil.
+func (n *Network) NodeModel(id topo.NodeID) Receiver { return n.nodes[id] }
+
+// Deliver puts pkt on the wire from (from, port) with the given extra
+// sender-side delay already elapsed (0 for out-of-band control frames).
+// The peer's Receive fires after serialization + propagation.
+func (n *Network) Deliver(from topo.NodeID, port int, pkt *packet.Packet) {
+	peer, peerPort := n.Topo.PeerOf(from, port)
+	rx, ok := n.nodes[peer]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no model registered for node %d", peer))
+	}
+	n.account(pkt)
+	if n.OnWire != nil {
+		n.OnWire(from, port, pkt, n.Eng.Now())
+	}
+	tx := n.Topo.TransmitTime(pkt.Size)
+	n.Eng.After(tx+n.Topo.LinkDelay, func() {
+		n.Delivered++
+		rx.Receive(pkt, peerPort)
+	})
+}
+
+func (n *Network) account(pkt *packet.Packet) {
+	sz := uint64(pkt.Size)
+	switch pkt.Type {
+	case packet.TypeData:
+		n.DataBytes += sz
+	case packet.TypePFC:
+		n.PFCBytes += sz
+	case packet.TypePolling:
+		n.PollingBytes += sz
+	case packet.TypeReport:
+		n.ReportBytes += sz
+	default:
+		n.ControlBytes += sz
+	}
+}
+
+// SendPFC transmits a PFC frame out of (from, port) out-of-band: real MACs
+// inject pause frames at the next frame boundary without queuing behind
+// data. The worst-case extra latency this ignores is one MTU
+// serialization (~80 ns at 100 Gbps), far below the 2 µs link delay.
+func (n *Network) SendPFC(from topo.NodeID, port int, frame *packet.PFCFrame) {
+	pkt := &packet.Packet{
+		Type:  packet.TypePFC,
+		Class: packet.ClassControl,
+		Size:  packet.PFCFrameSize,
+		PFC:   frame,
+	}
+	n.Deliver(from, port, pkt)
+}

@@ -1,0 +1,211 @@
+package fabric
+
+import (
+	"testing"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// collector is a Receiver that records arrivals.
+type collector struct {
+	got []arrival
+}
+
+type arrival struct {
+	pkt  *packet.Packet
+	port int
+	at   sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, port int) {
+	c.got = append(c.got, arrival{p, port, 0})
+}
+
+func twoNodeNet(t *testing.T) (*Network, topo.NodeID, topo.NodeID, *collector) {
+	t.Helper()
+	tp := topo.New(100e9, 2*sim.Microsecond)
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	tp.Connect(a, b)
+	eng := sim.NewEngine()
+	net := NewNetwork(eng, tp)
+	rx := &collector{}
+	net.Register(b, rx)
+	net.Register(a, &collector{})
+	return net, a, b, rx
+}
+
+func dataPkt(size int) *packet.Packet {
+	return &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: size}
+}
+
+func TestDeliverTiming(t *testing.T) {
+	net, a, _, rx := twoNodeNet(t)
+	net.Deliver(a, 0, dataPkt(1250)) // 100 ns serialization
+	net.Eng.RunAll()
+	if len(rx.got) != 1 {
+		t.Fatalf("arrivals = %d", len(rx.got))
+	}
+	// tx (100ns) + propagation (2us).
+	if now := net.Eng.Now(); now != 2100 {
+		t.Fatalf("delivery at %v, want 2.1us", now)
+	}
+	if net.DataBytes != 1250 || net.Delivered != 1 {
+		t.Fatalf("accounting: %d bytes, %d delivered", net.DataBytes, net.Delivered)
+	}
+}
+
+func TestAccountingByType(t *testing.T) {
+	net, a, _, _ := twoNodeNet(t)
+	net.Deliver(a, 0, dataPkt(1000))
+	net.Deliver(a, 0, &packet.Packet{Type: packet.TypePolling, Size: 97, Class: packet.ClassControl})
+	net.SendPFC(a, 0, packet.NewPause(3, 5))
+	net.Deliver(a, 0, &packet.Packet{Type: packet.TypeACK, Size: 84, Class: packet.ClassControl})
+	net.Eng.RunAll()
+	if net.DataBytes != 1000 || net.PollingBytes != 97 ||
+		net.PFCBytes != packet.PFCFrameSize || net.ControlBytes != 84 {
+		t.Fatalf("accounting: %+v", *net)
+	}
+}
+
+func TestEgressFIFOAndSerialization(t *testing.T) {
+	net, a, _, rx := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	for i := 0; i < 3; i++ {
+		p := dataPkt(1250)
+		p.Seq = uint32(i)
+		eg.Enqueue(Queued{Pkt: p, InPort: -1})
+	}
+	net.Eng.RunAll()
+	if len(rx.got) != 3 {
+		t.Fatalf("arrivals = %d", len(rx.got))
+	}
+	for i, ar := range rx.got {
+		if ar.pkt.Seq != uint32(i) {
+			t.Fatalf("reordered: %d at position %d", ar.pkt.Seq, i)
+		}
+	}
+	// Three back-to-back packets: last arrives at 3*tx + prop.
+	if now := net.Eng.Now(); now != 3*100+2000 {
+		t.Fatalf("last delivery at %v, want 2.3us", now)
+	}
+	if eg.TxPackets != 3 || eg.TxBytes != 3750 {
+		t.Fatalf("tx counters: %d pkts %d bytes", eg.TxPackets, eg.TxBytes)
+	}
+}
+
+func TestStrictPriorityControlFirst(t *testing.T) {
+	net, a, _, rx := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	// Fill lossless first, then a control packet; control must overtake
+	// everything that hasn't started transmitting.
+	for i := 0; i < 3; i++ {
+		p := dataPkt(1250)
+		p.Seq = uint32(i)
+		eg.Enqueue(Queued{Pkt: p, InPort: -1})
+	}
+	ctrl := &packet.Packet{Type: packet.TypeACK, Class: packet.ClassControl, Size: 84, Seq: 99}
+	eg.Enqueue(Queued{Pkt: ctrl, InPort: -1})
+	net.Eng.RunAll()
+	if rx.got[0].pkt.Seq != 0 {
+		t.Fatalf("in-flight packet preempted")
+	}
+	if rx.got[1].pkt.Seq != 99 {
+		t.Fatalf("control packet did not overtake: order %v, %v", rx.got[1].pkt.Seq, rx.got[2].pkt.Seq)
+	}
+}
+
+func TestPauseBlocksOnlyItsClass(t *testing.T) {
+	net, a, _, rx := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	eg.Pause(packet.ClassLossless, 1000) // 5.12 us
+	eg.Enqueue(Queued{Pkt: dataPkt(1000), InPort: -1})
+	eg.Enqueue(Queued{Pkt: &packet.Packet{Type: packet.TypeACK, Class: packet.ClassControl, Size: 84}, InPort: -1})
+	net.Eng.Run(3 * sim.Microsecond)
+	if len(rx.got) != 1 || rx.got[0].pkt.Type != packet.TypeACK {
+		t.Fatalf("control class blocked by lossless pause: %d arrivals", len(rx.got))
+	}
+	if !eg.Paused(packet.ClassLossless) {
+		t.Fatal("pause not active")
+	}
+	net.Eng.RunAll()
+	if len(rx.got) != 2 {
+		t.Fatal("paused packet never released after quanta expiry")
+	}
+}
+
+func TestResumeReleasesImmediately(t *testing.T) {
+	net, a, _, rx := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	eg.Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	eg.Enqueue(Queued{Pkt: dataPkt(1000), InPort: -1})
+	net.Eng.Run(sim.Microsecond)
+	if len(rx.got) != 0 {
+		t.Fatal("packet escaped pause")
+	}
+	eg.Resume(packet.ClassLossless)
+	net.Eng.RunAll()
+	if len(rx.got) != 1 {
+		t.Fatal("resume did not release the queue")
+	}
+	if net.Eng.Now() > 5*sim.Microsecond {
+		t.Fatalf("release too late: %v", net.Eng.Now())
+	}
+}
+
+func TestOnDequeueAndDrainCallbacks(t *testing.T) {
+	net, a, _, _ := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	var deq, drain int
+	eg.OnDequeue = func(q Queued) { deq++ }
+	eg.OnDrain = func() { drain++ }
+	eg.Enqueue(Queued{Pkt: dataPkt(1000), InPort: 5})
+	eg.Enqueue(Queued{Pkt: dataPkt(1000), InPort: 5})
+	net.Eng.RunAll()
+	if deq != 2 || drain != 2 {
+		t.Fatalf("callbacks: dequeue=%d drain=%d", deq, drain)
+	}
+}
+
+func TestQueueAccounting(t *testing.T) {
+	net, a, _, _ := twoNodeNet(t)
+	eg := NewEgress(net, a, 0)
+	eg.Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	eg.Enqueue(Queued{Pkt: dataPkt(1000), InPort: -1})
+	eg.Enqueue(Queued{Pkt: dataPkt(500), InPort: -1})
+	if eg.QueueBytes(packet.ClassLossless) != 1500 || eg.QueuePackets(packet.ClassLossless) != 2 {
+		t.Fatalf("backlog: %dB %dpkts", eg.QueueBytes(packet.ClassLossless), eg.QueuePackets(packet.ClassLossless))
+	}
+	if eg.TotalBytes() != 1500 {
+		t.Fatalf("total: %d", eg.TotalBytes())
+	}
+}
+
+func TestDropClassEmptiesOneClassOnly(t *testing.T) {
+	net, a, _, _ := twoNodeNet(t)
+	e := NewEgress(net, a, 0)
+	// Pause both classes so nothing transmits, then queue two packets per
+	// class.
+	e.Pause(packet.ClassLossless, packet.MaxPauseQuanta)
+	e.Pause(packet.ClassControl, packet.MaxPauseQuanta)
+	for i := 0; i < 2; i++ {
+		e.Enqueue(Queued{Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1000}})
+		e.Enqueue(Queued{Pkt: &packet.Packet{Type: packet.TypeACK, Class: packet.ClassControl, Size: 84}})
+	}
+	dropped := e.DropClass(packet.ClassLossless)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d, want 2", len(dropped))
+	}
+	if e.QueueBytes(packet.ClassLossless) != 0 || e.QueuePackets(packet.ClassLossless) != 0 {
+		t.Fatal("lossless accounting not zeroed")
+	}
+	if e.QueuePackets(packet.ClassControl) != 2 {
+		t.Fatalf("control class disturbed: %d packets", e.QueuePackets(packet.ClassControl))
+	}
+	// Idempotent on an empty class.
+	if again := e.DropClass(packet.ClassLossless); len(again) != 0 {
+		t.Fatalf("second drop returned %d packets", len(again))
+	}
+}

@@ -1,0 +1,217 @@
+// Package metrics scores diagnosis results against scenario ground truth
+// (precision/recall, the paper's §4.2 definitions) and renders the
+// experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/workload"
+)
+
+// ScoreConfig sets the strictness of root-cause matching.
+type ScoreConfig struct {
+	// CulpritRecall: minimum fraction of true culprit flows that must be
+	// reported for a contention diagnosis to count as correct.
+	CulpritRecall float64
+	// CulpritPrecision: minimum fraction of reported flows that must be
+	// true culprits.
+	CulpritPrecision float64
+	// CheckInitial requires the initial congestion point to land on one
+	// of the ground truth's admissible switches.
+	CheckInitial bool
+}
+
+// DefaultScoreConfig mirrors the paper's true-positive definition: "it
+// identifies both the exact anomaly case and the corresponding root
+// causes".
+func DefaultScoreConfig() ScoreConfig {
+	return ScoreConfig{CulpritRecall: 0.3, CulpritPrecision: 0.5, CheckInitial: true}
+}
+
+// TrialScore is the outcome of one trace.
+type TrialScore struct {
+	Detected bool // a diagnosis was produced for a legitimate victim
+	Correct  bool // ... and it matched the ground truth
+	Reason   string
+	Result   *core.Result // the scored diagnosis (nil if none)
+}
+
+// PR accumulates precision/recall counts across trials.
+type PR struct {
+	TP, FP, FN int
+}
+
+// Add folds a trial into the counters: undetected anomalies are false
+// negatives; detected-but-wrong diagnoses are false positives.
+func (p *PR) Add(t TrialScore) {
+	switch {
+	case !t.Detected:
+		p.FN++
+	case t.Correct:
+		p.TP++
+	default:
+		p.FP++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was reported.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when no anomalies existed.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+func (p PR) String() string {
+	return fmt.Sprintf("precision=%.2f recall=%.2f (tp=%d fp=%d fn=%d)",
+		p.Precision(), p.Recall(), p.TP, p.FP, p.FN)
+}
+
+// ScoreResults scores a trial: it picks the first (freshest) diagnosis
+// whose trigger victim belongs to the ground truth's victim set and
+// checks it. Later re-triggers of a long-lived anomaly see aged
+// telemetry; the operator acts on the first report (§3.4 dedup exists for
+// exactly this reason).
+func ScoreResults(cfg ScoreConfig, results []*core.Result, gt *workload.GroundTruth, t *topo.Topology) TrialScore {
+	after := gt.AnomalyAt
+	if gt.ScoreAfter > after {
+		after = gt.ScoreAfter
+	}
+	var res *core.Result
+	for _, r := range results {
+		// Pre-anomaly triggers belong to unrelated (background) congestion,
+		// and triggers before the anomaly matured see its transitional
+		// form; the scored complaint is the first one after both.
+		if gt.Victims[r.Trigger.Victim] && r.Trigger.At >= after {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		return TrialScore{Reason: "no diagnosis for any victim flow"}
+	}
+	score := TrialScore{Detected: true, Result: res}
+	d := res.Diagnosis
+	typeOK := d.Type == gt.Type
+	for _, alt := range gt.AltTypes {
+		typeOK = typeOK || d.Type == alt
+	}
+	if !typeOK {
+		score.Reason = fmt.Sprintf("type %v, want %v", d.Type, gt.Type)
+		return score
+	}
+	cause := d.PrimaryCause()
+	if cfg.CheckInitial && len(gt.InitialSwitches) > 0 && !gt.InitialSwitches[cause.Port.Node] {
+		score.Reason = fmt.Sprintf("initial point %v not in admissible set", cause.Port)
+		return score
+	}
+	switch cause.Kind {
+	case diagnosis.CauseHostInjection:
+		peer, _ := t.PeerOf(cause.Port.Node, cause.Port.Port)
+		if peer != gt.Injector {
+			score.Reason = fmt.Sprintf("injector %v, want %v", peer, gt.Injector)
+			return score
+		}
+	case diagnosis.CauseFlowContention:
+		if len(gt.Culprits) == 0 {
+			score.Reason = "contention reported for an injection anomaly"
+			return score
+		}
+		hit := 0
+		for _, f := range cause.Flows {
+			if gt.Culprits[f] {
+				hit++
+			}
+		}
+		if len(cause.Flows) == 0 ||
+			float64(hit)/float64(len(gt.Culprits)) < cfg.CulpritRecall ||
+			float64(hit)/float64(len(cause.Flows)) < cfg.CulpritPrecision {
+			score.Reason = fmt.Sprintf("culprits %d/%d hit among %d reported",
+				hit, len(gt.Culprits), len(cause.Flows))
+			return score
+		}
+	}
+	score.Correct = true
+	score.Reason = "ok"
+	return score
+}
+
+// Table renders experiment rows with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Ratio formats a/b defensively.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/host"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/provenance"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/workload"
+)
+
+func tup(n uint32) packet.FiveTuple {
+	return packet.FiveTuple{SrcIP: n, DstIP: 100 + n, SrcPort: 1, DstPort: 2, Proto: 17}
+}
+
+// scaffolding: a 2-node topology (switch + hosts) for PeerOf resolution.
+func miniTopo() (*topo.Topology, topo.NodeID, topo.NodeID) {
+	tp := topo.New(100e9, sim.Microsecond)
+	h := tp.AddHost("h")
+	sw := tp.AddSwitch("sw")
+	tp.Connect(h, sw)
+	return tp, sw, h
+}
+
+func result(victim packet.FiveTuple, at sim.Time, d *diagnosis.Report) *core.Result {
+	return &core.Result{
+		Trigger:   host.Trigger{Victim: victim, At: at},
+		Diagnosis: d,
+	}
+}
+
+func gtContention(victim, culprit packet.FiveTuple, sw topo.NodeID) *workload.GroundTruth {
+	return &workload.GroundTruth{
+		Type:            diagnosis.TypePFCContention,
+		Culprits:        map[packet.FiveTuple]bool{culprit: true},
+		InitialSwitches: map[topo.NodeID]bool{sw: true},
+		Victims:         map[packet.FiveTuple]bool{victim: true},
+		AnomalyAt:       100,
+	}
+}
+
+func diagContention(victim, culprit packet.FiveTuple, port topo.PortRef) *diagnosis.Report {
+	return &diagnosis.Report{
+		Victim: victim,
+		Type:   diagnosis.TypePFCContention,
+		Causes: []diagnosis.RootCause{{
+			Kind:  diagnosis.CauseFlowContention,
+			Port:  port,
+			Flows: []packet.FiveTuple{culprit},
+		}},
+	}
+}
+
+func TestScoreCorrectContention(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v, c := tup(1), tup(2)
+	gt := gtContention(v, c, sw)
+	res := result(v, 200, diagContention(v, c, topo.PortRef{Node: sw, Port: 0}))
+	s := ScoreResults(DefaultScoreConfig(), []*core.Result{res}, gt, tp)
+	if !s.Detected || !s.Correct {
+		t.Fatalf("score: %+v", s)
+	}
+}
+
+func TestScoreRejectsWrongType(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v, c := tup(1), tup(2)
+	gt := gtContention(v, c, sw)
+	d := diagContention(v, c, topo.PortRef{Node: sw, Port: 0})
+	d.Type = diagnosis.TypePFCStorm
+	s := ScoreResults(DefaultScoreConfig(), []*core.Result{result(v, 200, d)}, gt, tp)
+	if !s.Detected || s.Correct {
+		t.Fatalf("wrong type accepted: %+v", s)
+	}
+}
+
+func TestScoreAltTypesAccepted(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v, c := tup(1), tup(2)
+	gt := gtContention(v, c, sw)
+	gt.Type = diagnosis.TypeOutLoopDeadlockContention
+	gt.AltTypes = []diagnosis.AnomalyType{diagnosis.TypePFCContention}
+	d := diagContention(v, c, topo.PortRef{Node: sw, Port: 0})
+	s := ScoreResults(DefaultScoreConfig(), []*core.Result{result(v, 200, d)}, gt, tp)
+	if !s.Correct {
+		t.Fatalf("alt type rejected: %s", s.Reason)
+	}
+}
+
+func TestScoreSkipsPreAnomalyAndNonVictims(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v, c := tup(1), tup(2)
+	gt := gtContention(v, c, sw)
+	early := result(v, 50, diagContention(v, c, topo.PortRef{Node: sw, Port: 0}))       // pre-anomaly
+	other := result(tup(9), 200, diagContention(v, c, topo.PortRef{Node: sw, Port: 0})) // not a victim
+	good := result(v, 300, diagContention(v, c, topo.PortRef{Node: sw, Port: 0}))
+	s := ScoreResults(DefaultScoreConfig(), []*core.Result{early, other, good}, gt, tp)
+	if !s.Correct || s.Result != good {
+		t.Fatalf("wrong result scored: %+v", s)
+	}
+}
+
+func TestScoreRespectsScoreAfter(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v, c := tup(1), tup(2)
+	gt := gtContention(v, c, sw)
+	gt.ScoreAfter = 500
+	early := result(v, 300, diagContention(v, c, topo.PortRef{Node: sw, Port: 0}))
+	s := ScoreResults(DefaultScoreConfig(), []*core.Result{early}, gt, tp)
+	if s.Detected {
+		t.Fatalf("pre-maturity trigger scored: %+v", s)
+	}
+}
+
+func TestScoreCulpritThresholds(t *testing.T) {
+	tp, sw, _ := miniTopo()
+	v := tup(1)
+	gt := gtContention(v, tup(2), sw)
+	gt.Culprits[tup(3)] = true
+	gt.Culprits[tup(4)] = true // 3 culprits; recall 0.3 needs >= 1
+	// Report one culprit among one reported: recall 1/3, precision 1/1.
+	d := diagContention(v, tup(2), topo.PortRef{Node: sw, Port: 0})
+	if s := ScoreResults(DefaultScoreConfig(), []*core.Result{result(v, 200, d)}, gt, tp); !s.Correct {
+		t.Fatalf("threshold pass failed: %s", s.Reason)
+	}
+	// Report one culprit among three reported: precision 1/3 < 0.5.
+	d.Causes[0].Flows = []packet.FiveTuple{tup(2), tup(8), tup(9)}
+	if s := ScoreResults(DefaultScoreConfig(), []*core.Result{result(v, 200, d)}, gt, tp); s.Correct {
+		t.Fatal("low-precision culprit set accepted")
+	}
+}
+
+func TestScoreInjection(t *testing.T) {
+	tp, sw, h := miniTopo()
+	v := tup(1)
+	gt := &workload.GroundTruth{
+		Type:            diagnosis.TypePFCStorm,
+		Injector:        h,
+		InitialSwitches: map[topo.NodeID]bool{sw: true},
+		Victims:         map[packet.FiveTuple]bool{v: true},
+		AnomalyAt:       100,
+	}
+	d := &diagnosis.Report{
+		Victim: v,
+		Type:   diagnosis.TypePFCStorm,
+		Causes: []diagnosis.RootCause{{
+			Kind:               diagnosis.CauseHostInjection,
+			Port:               topo.PortRef{Node: sw, Port: 0}, // faces h
+			InjectorHostFacing: true,
+		}},
+	}
+	if s := ScoreResults(DefaultScoreConfig(), []*core.Result{result(v, 200, d)}, gt, tp); !s.Correct {
+		t.Fatalf("injection score: %s", s.Reason)
+	}
+}
+
+func TestPRMath(t *testing.T) {
+	var pr PR
+	pr.Add(TrialScore{Detected: true, Correct: true})
+	pr.Add(TrialScore{Detected: true, Correct: false})
+	pr.Add(TrialScore{Detected: false})
+	if pr.TP != 1 || pr.FP != 1 || pr.FN != 1 {
+		t.Fatalf("counters: %+v", pr)
+	}
+	if pr.Precision() != 0.5 || pr.Recall() != 0.5 {
+		t.Fatalf("P=%v R=%v", pr.Precision(), pr.Recall())
+	}
+	var empty PR
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("empty PR not vacuous-true")
+	}
+	if !strings.Contains(pr.String(), "precision=0.50") {
+		t.Fatalf("PR string: %s", pr.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("x", "y")
+	tab.AddRow("longer", "z")
+	s := tab.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "longer") {
+		t.Fatalf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestMeanAndRatio(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean broken")
+	}
+	if Ratio(1, 0) != 0 || Ratio(6, 3) != 2 {
+		t.Fatal("Ratio broken")
+	}
+}
+
+// Silence unused-import warnings for provenance (kept for Result.Graph type).
+var _ = provenance.NewGraph

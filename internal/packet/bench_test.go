@@ -1,0 +1,31 @@
+package packet
+
+import "testing"
+
+// FiveTuple.Hash runs once per packet per switch hop (ECMP + telemetry
+// slot indexing) — the single hottest function in the simulator.
+func BenchmarkFiveTupleHash(b *testing.B) {
+	ft := FiveTuple{SrcIP: 0x0A000001, DstIP: 0x0A000010, SrcPort: 1027, DstPort: 4791, Proto: 17}
+	b.ReportAllocs()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		ft.SrcPort = uint16(i)
+		sink += ft.Hash()
+	}
+	_ = sink
+}
+
+func BenchmarkPollingHeaderRoundTrip(b *testing.B) {
+	h := PollingHeader{Flag: FlagBoth, Victim: FiveTuple{SrcIP: 1, DstIP: 2}, DiagID: 7, HopsLow: 12}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := h.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out PollingHeader
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

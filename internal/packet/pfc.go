@@ -1,0 +1,108 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"hawkeye/internal/sim"
+)
+
+// PFC quanta semantics (IEEE 802.1Qbb): one pause quantum is the time to
+// transmit 512 bits at the port's speed. A PAUSE frame carries a per-class
+// 16-bit quanta count; 0 quanta means resume.
+const (
+	// PauseQuantumBits is the number of bit-times per pause quantum.
+	PauseQuantumBits = 512
+	// MaxPauseQuanta is the largest pause duration expressible in a frame.
+	MaxPauseQuanta = 0xFFFF
+)
+
+// QuantumDuration returns the wall duration of a single pause quantum on
+// a link of the given bandwidth (bits per second).
+func QuantumDuration(linkBps float64) sim.Time {
+	return sim.Time(float64(PauseQuantumBits) / linkBps * 1e9)
+}
+
+// PauseDuration converts a quanta count to virtual time on a link.
+func PauseDuration(quanta uint16, linkBps float64) sim.Time {
+	return sim.Time(float64(quanta) * float64(PauseQuantumBits) / linkBps * 1e9)
+}
+
+// PFCFrame is an 802.1Qbb priority-based flow control frame. The class
+// enable vector selects which priorities the quanta apply to.
+type PFCFrame struct {
+	ClassEnable uint8 // bit i set => Quanta[i] is meaningful
+	Quanta      [NumClasses]uint16
+}
+
+// Paused reports whether the frame pauses the given class (enabled with a
+// non-zero quanta count).
+func (f *PFCFrame) Paused(class uint8) bool {
+	return f.ClassEnable&(1<<class) != 0 && f.Quanta[class] > 0
+}
+
+// Resumes reports whether the frame explicitly resumes the given class
+// (enabled with zero quanta).
+func (f *PFCFrame) Resumes(class uint8) bool {
+	return f.ClassEnable&(1<<class) != 0 && f.Quanta[class] == 0
+}
+
+func (f *PFCFrame) String() string {
+	s := fmt.Sprintf("enable=%08b", f.ClassEnable)
+	for c := 0; c < NumClasses; c++ {
+		if f.ClassEnable&(1<<c) != 0 {
+			s += fmt.Sprintf(" c%d=%d", c, f.Quanta[c])
+		}
+	}
+	return s
+}
+
+// pfcWireLen is opcode(2) + class-enable vector(2) + 8 quanta fields(16).
+const pfcWireLen = 20
+
+// pfcOpcode is the 802.3x MAC control opcode for priority-based flow
+// control.
+const pfcOpcode = 0x0101
+
+// MarshalBinary encodes the frame in 802.1Qbb wire format.
+func (f *PFCFrame) MarshalBinary() ([]byte, error) {
+	b := make([]byte, pfcWireLen)
+	putU16(b[0:], pfcOpcode)
+	// The standard carries the enable vector in the low byte of the
+	// 16-bit priority-enable field.
+	putU16(b[2:], uint16(f.ClassEnable))
+	for c := 0; c < NumClasses; c++ {
+		putU16(b[4+2*c:], f.Quanta[c])
+	}
+	return b, nil
+}
+
+// ErrBadFrame reports a malformed control frame.
+var ErrBadFrame = errors.New("packet: malformed frame")
+
+// UnmarshalBinary decodes an 802.1Qbb frame.
+func (f *PFCFrame) UnmarshalBinary(b []byte) error {
+	if len(b) < pfcWireLen {
+		return fmt.Errorf("%w: PFC frame %d bytes, need %d", ErrBadFrame, len(b), pfcWireLen)
+	}
+	if getU16(b) != pfcOpcode {
+		return fmt.Errorf("%w: PFC opcode %#04x", ErrBadFrame, getU16(b))
+	}
+	f.ClassEnable = byte(getU16(b[2:]))
+	for c := 0; c < NumClasses; c++ {
+		f.Quanta[c] = getU16(b[4+2*c:])
+	}
+	return nil
+}
+
+// NewPause builds a PAUSE frame for a single class.
+func NewPause(class uint8, quanta uint16) *PFCFrame {
+	f := &PFCFrame{ClassEnable: 1 << class}
+	f.Quanta[class] = quanta
+	return f
+}
+
+// NewResume builds a RESUME (zero-quanta) frame for a single class.
+func NewResume(class uint8) *PFCFrame {
+	return &PFCFrame{ClassEnable: 1 << class}
+}

@@ -1,0 +1,91 @@
+package packet
+
+import "fmt"
+
+// PollingFlag is the 2-bit tracing directive in a Hawkeye polling packet
+// (paper Table 1).
+type PollingFlag uint8
+
+const (
+	// FlagUseless marks a polling packet that should be dropped.
+	FlagUseless PollingFlag = 0b00
+	// FlagVictimPath (default) traces along the victim flow path only.
+	FlagVictimPath PollingFlag = 0b01
+	// FlagPFCOnly traces along PFC causality only.
+	FlagPFCOnly PollingFlag = 0b10
+	// FlagBoth traces along both the victim path and PFC causality.
+	FlagBoth PollingFlag = 0b11
+)
+
+// TracePFC reports whether the high bit is set (flag 1*): the receiving
+// switch must analyze its PFC causality.
+func (f PollingFlag) TracePFC() bool { return f&0b10 != 0 }
+
+// TraceVictim reports whether the low bit is set: the packet follows the
+// victim flow path.
+func (f PollingFlag) TraceVictim() bool { return f&0b01 != 0 }
+
+func (f PollingFlag) String() string {
+	switch f {
+	case FlagUseless:
+		return "useless"
+	case FlagVictimPath:
+		return "victim-path"
+	case FlagPFCOnly:
+		return "pfc-only"
+	case FlagBoth:
+		return "victim+pfc"
+	default:
+		return fmt.Sprintf("PollingFlag(%02b)", uint8(f))
+	}
+}
+
+// PollingHeader is the Hawkeye polling packet payload (paper Fig. 5): the
+// tracing flag, the victim flow's 5-tuple, and a diagnosis identifier that
+// lets the analyzer correlate telemetry reports triggered by one event.
+type PollingHeader struct {
+	Flag    PollingFlag
+	Victim  FiveTuple
+	DiagID  uint32
+	HopsLow uint8 // TTL-style bound on PFC-trace depth (safety net)
+}
+
+// PollingHeaderLen is the encoded size: flag(1) + tuple(13) + id(4) + ttl(1).
+const PollingHeaderLen = 1 + FiveTupleLen + 4 + 1
+
+// DefaultPollTTL bounds how many PFC-causality hops a polling packet may
+// traverse. PFC spreading paths in practice are far shorter; the bound only
+// guards against pathological meter state.
+const DefaultPollTTL = 32
+
+// MarshalBinary encodes the polling header.
+func (h *PollingHeader) MarshalBinary() ([]byte, error) {
+	if h.Flag > FlagBoth {
+		return nil, fmt.Errorf("%w: polling flag %d", ErrBadFrame, h.Flag)
+	}
+	b := make([]byte, PollingHeaderLen)
+	b[0] = uint8(h.Flag)
+	h.Victim.encode(b[1:])
+	putU32(b[1+FiveTupleLen:], h.DiagID)
+	b[PollingHeaderLen-1] = h.HopsLow
+	return b, nil
+}
+
+// UnmarshalBinary decodes the polling header.
+func (h *PollingHeader) UnmarshalBinary(b []byte) error {
+	if len(b) < PollingHeaderLen {
+		return fmt.Errorf("%w: polling header %d bytes, need %d", ErrBadFrame, len(b), PollingHeaderLen)
+	}
+	if b[0] > uint8(FlagBoth) {
+		return fmt.Errorf("%w: polling flag %#02x", ErrBadFrame, b[0])
+	}
+	h.Flag = PollingFlag(b[0])
+	h.Victim = decodeFiveTuple(b[1:])
+	h.DiagID = getU32(b[1+FiveTupleLen:])
+	h.HopsLow = b[PollingHeaderLen-1]
+	return nil
+}
+
+func (h *PollingHeader) String() string {
+	return fmt.Sprintf("flag=%v victim=%v diag=%d ttl=%d", h.Flag, h.Victim, h.DiagID, h.HopsLow)
+}

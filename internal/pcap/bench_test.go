@@ -1,0 +1,47 @@
+package pcap
+
+import (
+	"io"
+	"testing"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	tp := topo.New(100e9, sim.Microsecond)
+	a := tp.AddHost("a")
+	sw := tp.AddSwitch("sw")
+	tp.Connect(a, sw)
+	pkt := &packet.Packet{
+		Type:  packet.TypeData,
+		Flow:  packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+		Class: packet.ClassLossless,
+		Size:  1078,
+		Seq:   9,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFrame(tp, a, 0, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, 1054)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(sim.Time(i), frame, len(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/topo"
+)
+
+// Ethernet framing constants.
+const (
+	etherTypeVLAN    = 0x8100
+	etherTypeIPv4    = 0x0800
+	etherTypeMACCtrl = 0x8808
+
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	ipv4HeaderLen = 20
+	udpHeaderLen  = 8
+	minFrameLen   = 60 // without FCS
+
+	// rocePort is the RoCEv2 UDP destination port.
+	rocePort = 4791
+)
+
+// pfcDstMAC is the 802.1Qbb destination: the 802.3x MAC-control multicast.
+var pfcDstMAC = [6]byte{0x01, 0x80, 0xC2, 0x00, 0x00, 0x01}
+
+// nodeMAC derives a stable locally-administered MAC for (node, port).
+func nodeMAC(node topo.NodeID, port int) [6]byte {
+	return [6]byte{0x02, 0x00, byte(node >> 8), byte(node), byte(port >> 8), byte(port)}
+}
+
+// bthLen is the payload prefix carrying the simulator's transport fields
+// in an InfiniBand BTH-like layout: opcode(1) flags(1) pkey(2) qp(4)
+// psn(4).
+const bthLen = 12
+
+// opcode values stamped into the BTH byte so decoded captures
+// distinguish our packet types.
+var bthOpcode = map[packet.Type]byte{
+	packet.TypeData:    0x2A, // UD SEND-only
+	packet.TypeACK:     0x11, // RDMA ACK
+	packet.TypeNACK:    0x12,
+	packet.TypeCNP:     0x81, // RoCEv2 CNP
+	packet.TypePolling: 0xF0, // vendor range: Hawkeye polling
+	packet.TypeReport:  0xF1, // vendor range: Hawkeye report
+}
+
+// EncodeFrame synthesizes the Ethernet frame for a simulated packet sent
+// from (from, port) to its link peer. The frame length equals the
+// packet's accounted wire size minus preamble/IPG/FCS (which pcap does
+// not carry), so byte counts in capture tools line up with the
+// simulator's own accounting.
+func EncodeFrame(t *topo.Topology, from topo.NodeID, port int, pkt *packet.Packet) ([]byte, error) {
+	peer, peerPort := t.PeerOf(from, port)
+	src := nodeMAC(from, port)
+	dst := nodeMAC(peer, peerPort)
+
+	if pkt.Type == packet.TypePFC {
+		return encodePFCFrame(src, pkt)
+	}
+
+	frameLen := pkt.Size - (packet.EthOverhead - ethHeaderLen)
+	if frameLen < minFrameLen {
+		frameLen = minFrameLen
+	}
+	b := make([]byte, frameLen)
+	copy(b[0:6], dst[:])
+	copy(b[6:12], src[:])
+	// 802.1Q tag carrying the packet's priority class (PCP bits) — the
+	// field PFC acts on.
+	binary.BigEndian.PutUint16(b[12:], etherTypeVLAN)
+	binary.BigEndian.PutUint16(b[14:], uint16(pkt.Class)<<13|1)
+	binary.BigEndian.PutUint16(b[16:], etherTypeIPv4)
+
+	ip := b[ethHeaderLen+vlanTagLen:]
+	ipLen := frameLen - ethHeaderLen - vlanTagLen
+	ip[0] = 0x45 // v4, 20-byte header
+	ecn := byte(0)
+	if pkt.ECN {
+		ecn = 0x03 // CE
+	}
+	ip[1] = ecn
+	binary.BigEndian.PutUint16(ip[2:], uint16(ipLen))
+	ip[8] = 64 // TTL
+	ip[9] = pkt.Flow.Proto
+	binary.BigEndian.PutUint32(ip[12:], pkt.Flow.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], pkt.Flow.DstIP)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:ipv4HeaderLen]))
+
+	udp := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:], pkt.Flow.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:], pkt.Flow.DstPort)
+	binary.BigEndian.PutUint16(udp[4:], uint16(ipLen-ipv4HeaderLen))
+
+	bth := udp[udpHeaderLen:]
+	if len(bth) >= bthLen {
+		bth[0] = bthOpcode[pkt.Type]
+		if pkt.Last {
+			bth[1] |= 0x01
+		}
+		binary.BigEndian.PutUint32(bth[4:], uint32(pkt.FlowID))
+		seq := pkt.Seq
+		if pkt.Type == packet.TypeACK || pkt.Type == packet.TypeNACK {
+			seq = pkt.AckedSeq
+		}
+		binary.BigEndian.PutUint32(bth[8:], seq)
+	}
+	if pkt.Type == packet.TypePolling && pkt.Poll != nil && len(bth) >= bthLen+packet.PollingHeaderLen {
+		ph, err := pkt.Poll.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("pcap: polling header: %w", err)
+		}
+		copy(bth[bthLen:], ph)
+	}
+	return b, nil
+}
+
+// encodePFCFrame builds the 802.1Qbb MAC-control frame.
+func encodePFCFrame(src [6]byte, pkt *packet.Packet) ([]byte, error) {
+	body, err := pkt.PFC.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("pcap: pfc frame: %w", err)
+	}
+	b := make([]byte, minFrameLen)
+	copy(b[0:6], pfcDstMAC[:])
+	copy(b[6:12], src[:])
+	binary.BigEndian.PutUint16(b[12:], etherTypeMACCtrl)
+	copy(b[ethHeaderLen:], body)
+	return b, nil
+}
+
+// ipChecksum is the RFC 1071 header checksum (checksum field zeroed).
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Decoded is the summary of a parsed capture frame.
+type Decoded struct {
+	SrcMAC, DstMAC [6]byte
+	Class          uint8
+	IsPFC          bool
+	PFC            *packet.PFCFrame
+	Flow           packet.FiveTuple
+	ECNCE          bool
+	Opcode         byte
+	Last           bool
+	FlowID         uint32
+	Seq            uint32
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame.
+func DecodeFrame(b []byte) (*Decoded, error) {
+	if len(b) < ethHeaderLen {
+		return nil, fmt.Errorf("pcap: frame too short (%d bytes)", len(b))
+	}
+	d := &Decoded{}
+	copy(d.DstMAC[:], b[0:6])
+	copy(d.SrcMAC[:], b[6:12])
+	et := binary.BigEndian.Uint16(b[12:])
+	if et == etherTypeMACCtrl {
+		d.IsPFC = true
+		f := &packet.PFCFrame{}
+		if err := f.UnmarshalBinary(b[ethHeaderLen:]); err != nil {
+			return nil, err
+		}
+		d.PFC = f
+		return d, nil
+	}
+	if et != etherTypeVLAN {
+		return nil, fmt.Errorf("pcap: unexpected ethertype %#x", et)
+	}
+	if len(b) < ethHeaderLen+vlanTagLen+ipv4HeaderLen+udpHeaderLen+bthLen {
+		return nil, fmt.Errorf("pcap: tagged frame too short (%d bytes)", len(b))
+	}
+	tci := binary.BigEndian.Uint16(b[14:])
+	d.Class = uint8(tci >> 13)
+	ip := b[ethHeaderLen+vlanTagLen:]
+	d.ECNCE = ip[1]&0x03 == 0x03
+	d.Flow.Proto = ip[9]
+	d.Flow.SrcIP = binary.BigEndian.Uint32(ip[12:])
+	d.Flow.DstIP = binary.BigEndian.Uint32(ip[16:])
+	udp := ip[ipv4HeaderLen:]
+	d.Flow.SrcPort = binary.BigEndian.Uint16(udp[0:])
+	d.Flow.DstPort = binary.BigEndian.Uint16(udp[2:])
+	bth := udp[udpHeaderLen:]
+	d.Opcode = bth[0]
+	d.Last = bth[1]&0x01 != 0
+	d.FlowID = binary.BigEndian.Uint32(bth[4:])
+	d.Seq = binary.BigEndian.Uint32(bth[8:])
+	return d, nil
+}

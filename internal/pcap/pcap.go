@@ -1,0 +1,138 @@
+// Package pcap writes and reads libpcap capture files (the format
+// tcpdump/Wireshark consume) and synthesizes standard Ethernet framing
+// for simulated packets: RoCEv2-style VLAN-tagged IPv4/UDP for data and
+// control, 802.1Qbb MAC-control frames for PFC. A Tap attaches to the
+// fabric and records every wire event, so a simulated anomaly can be
+// inspected with ordinary capture tooling.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hawkeye/internal/sim"
+)
+
+// File format constants (nanosecond-resolution libpcap).
+const (
+	magicNanos   = 0xa1b23c4d
+	versionMajor = 2
+	versionMinor = 4
+	// LinkTypeEthernet is DLT_EN10MB.
+	LinkTypeEthernet = 1
+	// DefaultSnapLen captures whole frames for our MTUs.
+	DefaultSnapLen = 65535
+)
+
+// Writer emits a libpcap stream. Not safe for concurrent use (the
+// simulator is single-threaded).
+type Writer struct {
+	w       *bufio.Writer
+	snaplen int
+	// Packets counts records written.
+	Packets uint64
+}
+
+// NewWriter writes the file header and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	pw := &Writer{w: bufio.NewWriter(w), snaplen: DefaultSnapLen}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone, sigfigs: 0.
+	binary.LittleEndian.PutUint32(hdr[16:], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: header: %w", err)
+	}
+	return pw, nil
+}
+
+// WritePacket writes one record. ts is the simulator timestamp (ns since
+// trace start); origLen is the untruncated wire length (data may be a
+// truncated snapshot of it).
+func (pw *Writer) WritePacket(ts sim.Time, data []byte, origLen int) error {
+	if len(data) > pw.snaplen {
+		data = data[:pw.snaplen]
+	}
+	if origLen < len(data) {
+		origLen = len(data)
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(ts/sim.Second))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(ts%sim.Second))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(origLen))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: record header: %w", err)
+	}
+	if _, err := pw.w.Write(data); err != nil {
+		return fmt.Errorf("pcap: record body: %w", err)
+	}
+	pw.Packets++
+	return nil
+}
+
+// Flush drains the buffered output. Call before closing the underlying
+// file.
+func (pw *Writer) Flush() error { return pw.w.Flush() }
+
+// Record is one captured packet.
+type Record struct {
+	TS      sim.Time
+	Data    []byte
+	OrigLen int
+}
+
+// Reader consumes a libpcap stream written by Writer (nanosecond magic,
+// little-endian only — this is a round-trip reader, not a general one).
+type Reader struct {
+	r        *bufio.Reader
+	LinkType uint32
+	snaplen  uint32
+}
+
+// NewReader validates the file header.
+func NewReader(r io.Reader) (*Reader, error) {
+	pr := &Reader{r: bufio.NewReader(r)}
+	var hdr [24]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: short header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != magicNanos {
+		return nil, fmt.Errorf("pcap: bad magic %#x", m)
+	}
+	pr.snaplen = binary.LittleEndian.Uint32(hdr[16:])
+	pr.LinkType = binary.LittleEndian.Uint32(hdr[20:])
+	return pr, nil
+}
+
+// Next returns the next record, or io.EOF at end of stream.
+func (pr *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	nsec := binary.LittleEndian.Uint32(hdr[4:])
+	capLen := binary.LittleEndian.Uint32(hdr[8:])
+	origLen := binary.LittleEndian.Uint32(hdr[12:])
+	if capLen > pr.snaplen {
+		return Record{}, fmt.Errorf("pcap: record capLen %d exceeds snaplen %d", capLen, pr.snaplen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: short record: %w", err)
+	}
+	return Record{
+		TS:      sim.Time(sec)*sim.Second + sim.Time(nsec),
+		Data:    data,
+		OrigLen: int(origLen),
+	}, nil
+}

@@ -1,0 +1,55 @@
+package pcap
+
+import (
+	"hawkeye/internal/fabric"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// Tap records fabric wire events into a pcap Writer.
+type Tap struct {
+	w    *Writer
+	topo *topo.Topology
+
+	// Filter, if set, limits capture to packets it approves.
+	Filter func(from topo.NodeID, port int, pkt *packet.Packet) bool
+	// Err holds the first write error (the tap goes quiet after one).
+	Err error
+
+	// Dropped counts packets skipped because of Err.
+	Dropped uint64
+}
+
+// AttachTap installs a capture tap on the network. It replaces any
+// existing OnWire hook; the returned Tap keeps capturing until the
+// simulation ends. Flush the Writer afterwards.
+func AttachTap(net *fabric.Network, w *Writer) *Tap {
+	tap := &Tap{w: w, topo: net.Topo}
+	net.OnWire = func(from topo.NodeID, port int, pkt *packet.Packet, now sim.Time) {
+		tap.capture(from, port, pkt, now)
+	}
+	return tap
+}
+
+func (tap *Tap) capture(from topo.NodeID, port int, pkt *packet.Packet, now sim.Time) {
+	if tap.Err != nil {
+		tap.Dropped++
+		return
+	}
+	if tap.Filter != nil && !tap.Filter(from, port, pkt) {
+		return
+	}
+	frame, err := EncodeFrame(tap.topo, from, port, pkt)
+	if err != nil {
+		tap.Err = err
+		return
+	}
+	origLen := pkt.Size - (packet.EthOverhead - ethHeaderLen)
+	if origLen < len(frame) {
+		origLen = len(frame)
+	}
+	if err := tap.w.WritePacket(now, frame, origLen); err != nil {
+		tap.Err = err
+	}
+}

@@ -1,0 +1,45 @@
+package provenance
+
+import (
+	"testing"
+
+	"hawkeye/internal/device"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// BenchmarkBuild measures graph construction from a realistic report set
+// (the per-diagnosis analyzer cost).
+func BenchmarkBuild(b *testing.B) {
+	ft, err := topo.NewFatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Synthesize busy telemetry on 8 switches.
+	var reports []*telemetry.Report
+	for s := 0; s < 8; s++ {
+		var now sim.Time
+		tel, err := telemetry.New(telemetry.DefaultConfig(), ft.Switches()[s], "sw", 4, 100e9,
+			func() sim.Time { return now }, func(int) int { return 10000 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 256; i++ {
+			now = sim.Time(i) * 500
+			tel.OnEnqueue(device.EnqueueEvent{
+				Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+					Flow: packet.FiveTuple{SrcIP: uint32(i % 16), DstIP: uint32(s), SrcPort: 1, DstPort: 2, Proto: 17}},
+				InPort: i % 4, OutPort: (i + 1) % 4, QueueBytes: 9000 + i, Now: now,
+			})
+		}
+		reports = append(reports, tel.Snapshot(4))
+	}
+	cfg := DefaultConfig(100e9, 131072)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(cfg, reports, ft.Topology)
+	}
+}

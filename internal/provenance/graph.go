@@ -1,0 +1,446 @@
+// Package provenance builds Hawkeye's heterogeneous wait-for provenance
+// graph (§3.5.1, Algorithm 1) from collected telemetry reports: port-level
+// edges encode PFC spreading causality, flow-port edges encode how badly
+// each flow is paused, and port-flow edges encode each flow's contribution
+// to local queue contention.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hawkeye/internal/packet"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// Config tunes graph construction.
+type Config struct {
+	// LinkBandwidth (bps) scales burst-rate classification.
+	LinkBandwidth float64
+	// EpochSize is the telemetry epoch duration in nanoseconds.
+	EpochSizeNS int64
+	// BurstRateFrac: a flow whose peak per-epoch arrival rate exceeds
+	// this fraction of the link rate is burst-classified.
+	BurstRateFrac float64
+	// BurstMaxEpochs: burst flows are short — present in at most this
+	// many epochs at the congested port.
+	BurstMaxEpochs int
+	// MaxReplay caps the queue-replay length per port-epoch; larger
+	// populations are proportionally subsampled.
+	MaxReplay int
+	// CongestedQdepthBytes: a port with no paused packets only counts as
+	// a congested wait-for target when its average queue depth reaches
+	// this bound. Filters trivially non-empty queues (e.g. host-facing
+	// ports draining normally) out of the port-level causality.
+	CongestedQdepthBytes float64
+}
+
+// DefaultConfig sizes burst classification for 100 Gbps links.
+func DefaultConfig(linkBps float64, epochNS int64) Config {
+	return Config{
+		LinkBandwidth:        linkBps,
+		EpochSizeNS:          epochNS,
+		BurstRateFrac:        0.15,
+		BurstMaxEpochs:       3,
+		MaxReplay:            20000,
+		CongestedQdepthBytes: 8192,
+	}
+}
+
+// PortInfo aggregates one egress port's telemetry across reported epochs
+// plus the live registers from the report's status block. The live
+// registers matter under deadlock, where per-packet counters freeze with
+// the traffic but pause state and stuck queues persist.
+type PortInfo struct {
+	Ref       topo.PortRef
+	PktCount  uint64
+	PausedNum uint64
+	QdepthSum uint64
+	Bytes     uint64
+	PausedNow bool
+	// StatusQdepth is the live egress backlog register at snapshot time.
+	StatusQdepth float64
+}
+
+// AvgQdepth is the mean backlog (bytes) packets saw at this port.
+func (p *PortInfo) AvgQdepth() float64 {
+	if p.PktCount == 0 {
+		return 0
+	}
+	return float64(p.QdepthSum) / float64(p.PktCount)
+}
+
+// Qdepth is the congestion magnitude used for edge weights: the larger
+// of the per-packet average and the live register.
+func (p *PortInfo) Qdepth() float64 {
+	if p.StatusQdepth > 0 && p.StatusQdepth > p.AvgQdepth() {
+		return p.StatusQdepth
+	}
+	return p.AvgQdepth()
+}
+
+// PausedSeverity quantifies how paused the port is for edge weighting:
+// the paused-packet count, or 1 when only the live status says paused.
+func (p *PortInfo) PausedSeverity() float64 {
+	if p.PausedNum > 0 {
+		return float64(p.PausedNum)
+	}
+	if p.PausedNow {
+		return 1
+	}
+	return 0
+}
+
+// FlowInfo aggregates one flow's telemetry at one switch port.
+type FlowInfo struct {
+	Tuple        packet.FiveTuple
+	Port         topo.PortRef
+	PktCount     uint64
+	PausedNum    uint64
+	QdepthSum    uint64
+	Bytes        uint64
+	ActiveEpochs int
+	PeakRateBps  float64
+}
+
+// flowAt identifies a flow at a specific port (flows appear at many
+// switches; contention analysis is per port).
+type flowAt struct {
+	tuple packet.FiveTuple
+	port  topo.PortRef
+}
+
+// Graph is the heterogeneous wait-for provenance graph.
+type Graph struct {
+	Cfg Config
+
+	Ports map[topo.PortRef]*PortInfo
+	// Flows indexes per-(flow, port) aggregates.
+	Flows map[packet.FiveTuple]map[topo.PortRef]*FlowInfo
+
+	// PortEdges: wait-for edges between congested egress ports
+	// (Pi waits for downstream Pj to drain).
+	PortEdges map[topo.PortRef]map[topo.PortRef]float64
+	// FlowPort: flow f waits for paused port P; weight = paused packets.
+	FlowPort map[packet.FiveTuple]map[topo.PortRef]float64
+	// PortFlow: port P waits for its contending flows; weight = net
+	// contention contribution (positive = contributor, negative = victim).
+	PortFlow map[topo.PortRef]map[packet.FiveTuple]float64
+
+	// contention holds the per-epoch flow populations per port, the raw
+	// material for queue replay (kept epoch-separated on purpose).
+	contention map[topo.PortRef][]epochFlows
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(cfg Config) *Graph {
+	return &Graph{
+		Cfg:       cfg,
+		Ports:     make(map[topo.PortRef]*PortInfo),
+		Flows:     make(map[packet.FiveTuple]map[topo.PortRef]*FlowInfo),
+		PortEdges: make(map[topo.PortRef]map[topo.PortRef]float64),
+		FlowPort:  make(map[packet.FiveTuple]map[topo.PortRef]float64),
+		PortFlow:  make(map[topo.PortRef]map[packet.FiveTuple]float64),
+	}
+}
+
+// OutDegreeP returns the port-level out-degree of p (Table 2 signatures).
+func (g *Graph) OutDegreeP(p topo.PortRef) int { return len(g.PortEdges[p]) }
+
+// PortNeighbors returns the downstream congested ports p waits for,
+// sorted for determinism.
+func (g *Graph) PortNeighbors(p topo.PortRef) []topo.PortRef {
+	out := make([]topo.PortRef, 0, len(g.PortEdges[p]))
+	for q := range g.PortEdges[p] {
+		out = append(out, q)
+	}
+	sortPortRefs(out)
+	return out
+}
+
+// VictimPorts returns the ports where flow f is recorded as PFC-paused,
+// sorted by descending weight.
+func (g *Graph) VictimPorts(f packet.FiveTuple) []topo.PortRef {
+	var out []topo.PortRef
+	for p, w := range g.FlowPort[f] {
+		if w > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := g.FlowPort[f][out[i]], g.FlowPort[f][out[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return lessPortRef(out[i], out[j])
+	})
+	return out
+}
+
+// PausedPorts returns every port that is paused (by packet counters or
+// live status), sorted. Diagnosis falls back to these walk roots when a
+// deadlock froze the victim's own telemetry.
+func (g *Graph) PausedPorts() []topo.PortRef {
+	var out []topo.PortRef
+	for p, info := range g.Ports {
+		if info.PausedSeverity() > 0 {
+			out = append(out, p)
+		}
+	}
+	sortPortRefs(out)
+	return out
+}
+
+// FlowPathPorts returns every port where flow f left telemetry (its
+// observed path), sorted for determinism.
+func (g *Graph) FlowPathPorts(f packet.FiveTuple) []topo.PortRef {
+	var out []topo.PortRef
+	for p := range g.Flows[f] {
+		out = append(out, p)
+	}
+	sortPortRefs(out)
+	return out
+}
+
+// Contributors returns the flows with positive port-flow weight at p,
+// descending.
+func (g *Graph) Contributors(p topo.PortRef) []packet.FiveTuple {
+	var out []packet.FiveTuple
+	for f, w := range g.PortFlow[p] {
+		if w > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := g.PortFlow[p][out[i]], g.PortFlow[p][out[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// MaxPortFlowWeight returns the largest port-flow weight at p (0 when the
+// port has no flow edges).
+func (g *Graph) MaxPortFlowWeight(p topo.PortRef) float64 {
+	max := 0.0
+	for _, w := range g.PortFlow[p] {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// IsBurstFlow applies the burst-flow(f) predicate from Table 2 at port p:
+// high peak arrival rate concentrated in few epochs.
+func (g *Graph) IsBurstFlow(f packet.FiveTuple, p topo.PortRef) bool {
+	fi := g.Flows[f][p]
+	if fi == nil {
+		return false
+	}
+	return fi.PeakRateBps >= g.Cfg.BurstRateFrac*g.Cfg.LinkBandwidth &&
+		fi.ActiveEpochs <= g.Cfg.BurstMaxEpochs
+}
+
+// String renders the graph in a compact human-readable form (case
+// studies, Fig. 12).
+func (g *Graph) String() string {
+	var b strings.Builder
+	b.WriteString("provenance graph:\n")
+	ports := make([]topo.PortRef, 0, len(g.Ports))
+	for p := range g.Ports {
+		ports = append(ports, p)
+	}
+	sortPortRefs(ports)
+	for _, p := range ports {
+		info := g.Ports[p]
+		fmt.Fprintf(&b, "  port %v paused=%d qdepth=%.0fB\n", p, info.PausedNum, info.AvgQdepth())
+		for _, q := range g.PortNeighbors(p) {
+			fmt.Fprintf(&b, "    waits-for port %v (w=%.1f)\n", q, g.PortEdges[p][q])
+		}
+		flows := make([]packet.FiveTuple, 0, len(g.PortFlow[p]))
+		for f := range g.PortFlow[p] {
+			flows = append(flows, f)
+		}
+		sort.Slice(flows, func(i, j int) bool { return flows[i].String() < flows[j].String() })
+		for _, f := range flows {
+			fmt.Fprintf(&b, "    waits-for flow %v (w=%+.2f)\n", f, g.PortFlow[p][f])
+		}
+	}
+	flows := make([]packet.FiveTuple, 0, len(g.FlowPort))
+	for f := range g.FlowPort {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].String() < flows[j].String() })
+	for _, f := range flows {
+		for _, p := range g.VictimPorts(f) {
+			fmt.Fprintf(&b, "  flow %v paused-at %v (w=%.0f)\n", f, p, g.FlowPort[f][p])
+		}
+	}
+	return b.String()
+}
+
+func sortPortRefs(ps []topo.PortRef) {
+	sort.Slice(ps, func(i, j int) bool { return lessPortRef(ps[i], ps[j]) })
+}
+
+func lessPortRef(a, b topo.PortRef) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Port < b.Port
+}
+
+// reportView pre-indexes a report for graph construction.
+type reportView struct {
+	rep *telemetry.Report
+	// meter aggregated across epochs: [in][out] -> bytes.
+	meter map[int]map[int]uint64
+}
+
+// Build runs Algorithm 1 over the collected reports.
+func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
+	g := NewGraph(cfg)
+	views := make(map[topo.NodeID]*reportView, len(reports))
+	for _, rep := range reports {
+		v := &reportView{rep: rep, meter: make(map[int]map[int]uint64)}
+		views[rep.Switch] = v
+		for _, m := range rep.Meter {
+			row, ok := v.meter[m.InPort]
+			if !ok {
+				row = make(map[int]uint64)
+				v.meter[m.InPort] = row
+			}
+			row[m.OutPort] += m.Bytes
+		}
+		for ei := range rep.Epochs {
+			ep := &rep.Epochs[ei]
+			for _, pr := range ep.Ports {
+				ref := topo.PortRef{Node: rep.Switch, Port: pr.Port}
+				info := g.Ports[ref]
+				if info == nil {
+					info = &PortInfo{Ref: ref}
+					g.Ports[ref] = info
+				}
+				info.PktCount += uint64(pr.PktCount)
+				info.PausedNum += uint64(pr.PausedCount)
+				info.QdepthSum += pr.QdepthSum
+				info.Bytes += pr.Bytes
+			}
+			for _, fr := range ep.Flows {
+				ref := topo.PortRef{Node: rep.Switch, Port: fr.OutPort}
+				byPort, ok := g.Flows[fr.Tuple]
+				if !ok {
+					byPort = make(map[topo.PortRef]*FlowInfo)
+					g.Flows[fr.Tuple] = byPort
+				}
+				fi := byPort[ref]
+				if fi == nil {
+					fi = &FlowInfo{Tuple: fr.Tuple, Port: ref}
+					byPort[ref] = fi
+				}
+				fi.PktCount += uint64(fr.PktCount)
+				fi.PausedNum += uint64(fr.PausedCount)
+				fi.QdepthSum += fr.QdepthSum
+				fi.Bytes += fr.Bytes
+				fi.ActiveEpochs++
+				if cfg.EpochSizeNS > 0 {
+					rate := float64(fr.Bytes) * 8 / (float64(cfg.EpochSizeNS) / 1e9)
+					if rate > fi.PeakRateBps {
+						fi.PeakRateBps = rate
+					}
+				}
+			}
+		}
+		for _, st := range rep.Status {
+			if st.PausedUntil <= rep.Taken && st.QdepthBytes == 0 {
+				continue
+			}
+			ref := topo.PortRef{Node: rep.Switch, Port: st.Port}
+			info := g.Ports[ref]
+			if info == nil {
+				info = &PortInfo{Ref: ref}
+				g.Ports[ref] = info
+			}
+			info.PausedNow = st.PausedUntil > rep.Taken
+			info.StatusQdepth = float64(st.QdepthBytes)
+		}
+	}
+
+	g.contention = collectContention(reports)
+	g.buildPortEdges(views, t)
+	g.buildFlowPortEdges()
+	g.buildPortFlowEdges()
+	return g
+}
+
+// buildPortEdges adds Pi -> Pj wait-for edges: Pi is a paused egress
+// port; Pj is an egress port on Pi's peer switch that carried traffic
+// arriving from Pi and is congested (Algorithm 1 lines 6-9).
+func (g *Graph) buildPortEdges(views map[topo.NodeID]*reportView, t *topo.Topology) {
+	for ref, info := range g.Ports {
+		if info.PausedSeverity() == 0 {
+			continue
+		}
+		peer, peerIn := t.PeerOf(ref.Node, ref.Port)
+		pv, ok := views[peer]
+		if !ok {
+			continue // peer is a host or was not collected
+		}
+		row := pv.meter[peerIn]
+		var sum uint64
+		for _, b := range row {
+			sum += b
+		}
+		if sum == 0 {
+			continue
+		}
+		for out, bytes := range row {
+			dst := topo.PortRef{Node: peer, Port: out}
+			dstInfo := g.Ports[dst]
+			if dstInfo == nil {
+				continue
+			}
+			// Only congested ports are wait-for targets: paused, or
+			// holding a substantial backlog.
+			if dstInfo.PausedSeverity() == 0 && dstInfo.Qdepth() < g.Cfg.CongestedQdepthBytes {
+				continue
+			}
+			// A paused destination can have an empty queue (host PFC
+			// injection at a port whose upstream feeders are already
+			// stuck): keep a floor so the wait-for edge survives.
+			q := dstInfo.Qdepth()
+			if q == 0 {
+				q = 1
+			}
+			weight := info.PausedSeverity() * (float64(bytes) / float64(sum)) * q
+			if weight <= 0 {
+				continue
+			}
+			if g.PortEdges[ref] == nil {
+				g.PortEdges[ref] = make(map[topo.PortRef]float64)
+			}
+			g.PortEdges[ref][dst] = weight
+		}
+	}
+}
+
+// buildFlowPortEdges adds f -> P edges weighted by paused packet counts
+// (Algorithm 1 lines 12-14).
+func (g *Graph) buildFlowPortEdges() {
+	for tuple, byPort := range g.Flows {
+		for ref, fi := range byPort {
+			if fi.PausedNum == 0 {
+				continue
+			}
+			if g.FlowPort[tuple] == nil {
+				g.FlowPort[tuple] = make(map[topo.PortRef]float64)
+			}
+			g.FlowPort[tuple][ref] = float64(fi.PausedNum)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package provenance
+
+import (
+	"hawkeye/internal/packet"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// epochFlows is the raw per-epoch flow population at one port, the input
+// to contention analysis. Keeping epochs separate is essential: it is
+// exactly what makes diagnosis sensitive to the epoch size (Fig. 7) —
+// telemetry from two unrelated events only blurs together when they
+// share an epoch.
+type epochFlows struct {
+	flows []telemetry.FlowRecord
+}
+
+// collectContention groups per-epoch flow records by egress port.
+func collectContention(reports []*telemetry.Report) map[topo.PortRef][]epochFlows {
+	byPort := make(map[topo.PortRef][]epochFlows)
+	for _, rep := range reports {
+		for ei := range rep.Epochs {
+			perPort := make(map[topo.PortRef][]telemetry.FlowRecord)
+			for _, fr := range rep.Epochs[ei].Flows {
+				ref := topo.PortRef{Node: rep.Switch, Port: fr.OutPort}
+				perPort[ref] = append(perPort[ref], fr)
+			}
+			for ref, flows := range perPort {
+				byPort[ref] = append(byPort[ref], epochFlows{flows: flows})
+			}
+		}
+	}
+	return byPort
+}
+
+// buildPortFlowEdges computes the port-flow wait-for weights (Algorithm 1,
+// ReplayQueue + Contribution) for every reported port.
+//
+// The telemetry holds, per flow and epoch, the deep-enqueue count n_i
+// (packets that entered the congested queue unpaused) and the average
+// backlog those packets saw, d_i (in packets). Under the uniform
+// enqueue-spreading that ReplayQueue line 24 applies, the expected queue
+// composition in front of any packet is the flows' deep-count shares, so
+// flow i's waiting (d_i per enqueue) is distributed over the other flows
+// by count share:
+//
+//	w(f_i, f_j) = d_i * n_j / Σ_k n_k
+//
+// — the share runs over ALL deep enqueues including f_i's own, because a
+// packet also queues behind its own flow's earlier packets; Algorithm 1
+// counts those in W[i][i] and then drops the self term in Contribution.
+// That dropped self-waiting is what separates an aggressor from a victim
+// at equal depths: a flow contributing most of the queue directs most of
+// its waiting at itself (discarded), while a low-rate victim directs
+// almost all of its waiting at others. The final weight is (§3.5.1)
+//
+//	Contrb[f] = Σ_{i≠f} w(f_i, f) − Σ_{k≠f} w(f, f_k),
+//
+// positive for contention contributors, negative for victims. Symmetric
+// sharers cancel to zero; paused and shallow enqueues carry no contention
+// evidence and are excluded at the telemetry level. Contributions are
+// computed within each epoch and summed: flows that never share an epoch
+// owe each other nothing.
+func (g *Graph) buildPortFlowEdges() {
+	for ref, epochs := range g.contention {
+		totals := make(map[packet.FiveTuple]float64)
+		present := make(map[packet.FiveTuple]bool)
+		for _, ef := range epochs {
+			epochContribution(totals, present, ef)
+		}
+		if len(present) == 0 {
+			continue
+		}
+		edges := make(map[packet.FiveTuple]float64, len(present))
+		for f := range present {
+			edges[f] = totals[f]
+		}
+		g.PortFlow[ref] = edges
+	}
+}
+
+// epochContribution folds one epoch's contention into totals.
+func epochContribution(totals map[packet.FiveTuple]float64, present map[packet.FiveTuple]bool, ef epochFlows) {
+	type pop struct {
+		tuple packet.FiveTuple
+		n     float64 // deep (contention) enqueues
+		d     float64 // avg backlog those enqueues saw, in packets
+	}
+	var pops []pop
+	var totalN float64
+	for _, fr := range ef.flows {
+		// Every observed flow is "present" (it gets a weight, possibly
+		// zero); only deep enqueues join the contention population.
+		present[fr.Tuple] = true
+		n := float64(fr.DeepCount)
+		if n <= 0 {
+			continue
+		}
+		avgPkt := float64(fr.Bytes) / float64(fr.PktCount)
+		d := 0.0
+		if avgPkt > 0 {
+			d = fr.AvgQdepth() / avgPkt
+		}
+		pops = append(pops, pop{tuple: fr.Tuple, n: n, d: d})
+		totalN += n
+	}
+	if len(pops) < 2 {
+		return // a lone flow contends with nobody
+	}
+	for i := range pops {
+		if pops[i].d == 0 {
+			continue
+		}
+		for j := range pops {
+			if j == i {
+				continue // W[i][i] is dropped (Algorithm 1 line 36)
+			}
+			w := pops[i].d * pops[j].n / totalN
+			totals[pops[j].tuple] += w
+			totals[pops[i].tuple] -= w
+		}
+	}
+}

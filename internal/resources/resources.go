@@ -1,0 +1,135 @@
+// Package resources models Hawkeye's Tofino hardware footprint (Fig. 13):
+// SRAM, stages, PHV and other pipeline resources as functions of the
+// telemetry configuration. The model follows the structure sizes of
+// internal/telemetry — each register array's width and depth — combined
+// with typical Tofino-1 capacity figures, so it reproduces both the
+// absolute-usage bars (Fig. 13a) and the memory-scaling curves (Fig. 13b).
+package resources
+
+import (
+	"fmt"
+
+	"hawkeye/internal/metrics"
+	"hawkeye/internal/telemetry"
+)
+
+// Tofino-1 per-pipeline capacities (public figures).
+const (
+	TofinoStages        = 12
+	TofinoSRAMKB        = 12 * 80 * 16 // 12 stages x 80 blocks x 16 KB
+	TofinoTCAMEntries   = 12 * 24 * 512
+	TofinoPHVBits       = 4096
+	TofinoHashBitsTotal = 12 * 5 * 52
+)
+
+// Config describes the deployed telemetry dimensioning.
+type Config struct {
+	Ports     int
+	NumEpochs int
+	FlowSlots int
+}
+
+// TestbedConfig is the paper's hardware evaluation point: 64 ports,
+// 4 epochs, 4096 flow slots.
+func TestbedConfig() Config {
+	return Config{Ports: 64, NumEpochs: 4, FlowSlots: 4096}
+}
+
+// Usage is the absolute resource footprint of one Hawkeye deployment.
+type Usage struct {
+	// SRAMBytes is the register memory across all structures.
+	SRAMBytes int
+	// Stages is the pipeline-stage estimate (one register access per
+	// stage; hashing, status update and meter update pack into shared
+	// stages where the access pattern allows).
+	Stages int
+	// PHVBits is the extra packet-header-vector space for the polling
+	// header and telemetry metadata.
+	PHVBits int
+	// HashBits used by the flow-table index.
+	HashBits int
+	// TCAMEntries for the polling flag/port match tables.
+	TCAMEntries int
+}
+
+// FlowSlotBytes mirrors the on-chip width of one flow-table slot:
+// 13 B tuple + 2 B port + three 4 B counters + 8 B depth accumulator,
+// padded to the 2x32-bit register lanes Tofino exposes.
+const FlowSlotBytes = 40
+
+// PortEntryBytes is the per-port per-epoch record width.
+const PortEntryBytes = 24
+
+// MeterEntryBytes is one causality-meter cell (byte counter).
+const MeterEntryBytes = 4
+
+// StatusEntryBytes is one port-status register block.
+const StatusEntryBytes = 16
+
+// Compute sizes the deployment.
+func Compute(c Config) Usage {
+	flowTable := c.NumEpochs * c.FlowSlots * FlowSlotBytes
+	portTable := c.NumEpochs * c.Ports * PortEntryBytes
+	// Two meter buckets (current + previous window).
+	meter := 2 * c.Ports * c.Ports * MeterEntryBytes
+	status := c.Ports * StatusEntryBytes
+	return Usage{
+		SRAMBytes: flowTable + portTable + meter + status,
+		// epoch index/ID derivation, flow hash + XOR match + update,
+		// port counters, meter update, status registers, polling logic.
+		Stages:      7,
+		PHVBits:     (telemetry.FlowRecordWire + 8) * 8,
+		HashBits:    32,
+		TCAMEntries: 2*c.Ports + 16,
+	}
+}
+
+// Fractions returns utilization relative to Tofino-1 capacity.
+func (u Usage) Fractions() map[string]float64 {
+	return map[string]float64{
+		"SRAM":   float64(u.SRAMBytes) / float64(TofinoSRAMKB*1024),
+		"Stages": float64(u.Stages) / float64(TofinoStages),
+		"PHV":    float64(u.PHVBits) / float64(TofinoPHVBits),
+		"Hash":   float64(u.HashBits) / float64(TofinoHashBitsTotal),
+		"TCAM":   float64(u.TCAMEntries) / float64(TofinoTCAMEntries),
+	}
+}
+
+// Fig13a renders the absolute usage table for the testbed configuration.
+func Fig13a() *metrics.Table {
+	u := Compute(TestbedConfig())
+	t := &metrics.Table{
+		Title:   "Fig 13a: Tofino resource usage (64 ports, 4 epochs, 4096 flows)",
+		Headers: []string{"resource", "used", "fraction"},
+	}
+	fr := u.Fractions()
+	t.AddRow("SRAM", fmt.Sprintf("%d KB", u.SRAMBytes/1024), fmt.Sprintf("%.1f%%", fr["SRAM"]*100))
+	t.AddRow("Stages", fmt.Sprintf("%d", u.Stages), fmt.Sprintf("%.1f%%", fr["Stages"]*100))
+	t.AddRow("PHV", fmt.Sprintf("%d bits", u.PHVBits), fmt.Sprintf("%.1f%%", fr["PHV"]*100))
+	t.AddRow("Hash", fmt.Sprintf("%d bits", u.HashBits), fmt.Sprintf("%.1f%%", fr["Hash"]*100))
+	t.AddRow("TCAM", fmt.Sprintf("%d entries", u.TCAMEntries), fmt.Sprintf("%.1f%%", fr["TCAM"]*100))
+	return t
+}
+
+// Fig13b renders the memory-scaling sweep: constant-size causality/port
+// state vs O(#flows) flow telemetry.
+func Fig13b() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Fig 13b: memory scaling (KB)",
+		Headers: []string{"epochs", "flow-slots", "flow-KB", "port+meter-KB", "total-KB"},
+	}
+	for _, epochs := range []int{2, 4, 8} {
+		for _, slots := range []int{1024, 4096, 16384} {
+			c := Config{Ports: 64, NumEpochs: epochs, FlowSlots: slots}
+			flow := epochs * slots * FlowSlotBytes
+			fixed := epochs*c.Ports*PortEntryBytes + 2*c.Ports*c.Ports*MeterEntryBytes + c.Ports*StatusEntryBytes
+			t.AddRow(
+				fmt.Sprintf("%d", epochs),
+				fmt.Sprintf("%d", slots),
+				fmt.Sprintf("%d", flow/1024),
+				fmt.Sprintf("%d", fixed/1024),
+				fmt.Sprintf("%d", (flow+fixed)/1024))
+		}
+	}
+	return t
+}

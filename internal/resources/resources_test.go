@@ -1,0 +1,58 @@
+package resources
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTestbedFitsTofino(t *testing.T) {
+	u := Compute(TestbedConfig())
+	for name, frac := range u.Fractions() {
+		if frac <= 0 || frac > 1 {
+			t.Errorf("%s utilization %.3f out of (0,1]", name, frac)
+		}
+	}
+	// The paper: "fits well on Tofino" — headline structures stay well
+	// under half the chip.
+	if f := u.Fractions()["SRAM"]; f > 0.5 {
+		t.Errorf("SRAM fraction %.2f, want < 0.5", f)
+	}
+}
+
+func TestMemoryScalingShape(t *testing.T) {
+	// Flow telemetry scales O(#flows); causality+port state is constant
+	// in the flow count (Fig 13b).
+	base := Compute(Config{Ports: 64, NumEpochs: 4, FlowSlots: 1024})
+	big := Compute(Config{Ports: 64, NumEpochs: 4, FlowSlots: 16384})
+	flowDelta := big.SRAMBytes - base.SRAMBytes
+	wantDelta := 4 * (16384 - 1024) * FlowSlotBytes
+	if flowDelta != wantDelta {
+		t.Fatalf("flow-table delta %d, want %d", flowDelta, wantDelta)
+	}
+	// Port/meter state identical across the two.
+	fixed1 := base.SRAMBytes - 4*1024*FlowSlotBytes
+	fixed2 := big.SRAMBytes - 4*16384*FlowSlotBytes
+	if fixed1 != fixed2 {
+		t.Fatalf("fixed state changed with flow count: %d vs %d", fixed1, fixed2)
+	}
+}
+
+func TestEpochCountScalesLinearly(t *testing.T) {
+	u2 := Compute(Config{Ports: 64, NumEpochs: 2, FlowSlots: 4096})
+	u4 := Compute(Config{Ports: 64, NumEpochs: 4, FlowSlots: 4096})
+	perEpoch := 4096*FlowSlotBytes + 64*PortEntryBytes
+	if u4.SRAMBytes-u2.SRAMBytes != 2*perEpoch {
+		t.Fatalf("epoch scaling: %d vs want %d", u4.SRAMBytes-u2.SRAMBytes, 2*perEpoch)
+	}
+}
+
+func TestFigureTablesRender(t *testing.T) {
+	a := Fig13a().String()
+	if !strings.Contains(a, "SRAM") || !strings.Contains(a, "%") {
+		t.Fatalf("Fig13a:\n%s", a)
+	}
+	b := Fig13b().String()
+	if !strings.Contains(b, "16384") {
+		t.Fatalf("Fig13b:\n%s", b)
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures raw event throughput: schedule +
+// dispatch of one event (the simulator's unit cost; a packet-level trace
+// is tens of millions of these).
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		eng.After(Microsecond, func() { n++ })
+		eng.RunAll()
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// BenchmarkEngineHeapDepth exercises the heap with many pending events.
+func BenchmarkEngineHeapDepth(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	for i := 0; i < 10_000; i++ {
+		eng.At(Time(i)*Microsecond, func() { n++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.At(Time(i%10_000)*Microsecond+Second, func() { n++ })
+	}
+	eng.RunAll()
+}
+
+func BenchmarkRand(b *testing.B) {
+	r := NewRand(1)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

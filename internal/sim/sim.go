@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other package runs on: switches, hosts
+// and telemetry all schedule callbacks at nanosecond-resolution virtual
+// times. Determinism is guaranteed by a (time, sequence) ordering on events
+// and by requiring all randomness to flow through a seeded *Rand.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Handler is a callback executed when an event fires.
+type Handler func()
+
+// event is a scheduled callback. Events with equal times fire in
+// scheduling order (seq), which keeps runs reproducible.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	cancled bool
+}
+
+// EventRef refers to a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Returns true if the event was pending.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.cancled || r.ev.index < 0 {
+		return false
+	}
+	r.ev.cancled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (r EventRef) Pending() bool {
+	return r.ev != nil && !r.ev.cancled && r.ev.index >= 0
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+
+	// Processed counts events executed so far (diagnostics and tests).
+	Processed uint64
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of pending (non-cancelled) events.
+// Cancelled events still occupy the heap until popped, so this is an
+// upper bound used mainly by tests.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it always indicates a model bug.
+func (e *Engine) At(t Time, fn Handler) EventRef {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn Handler) EventRef {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, until the horizon is
+// passed, or until Stop is called. It returns the final virtual time.
+// Events scheduled exactly at the horizon still execute.
+func (e *Engine) Run(horizon Time) Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.cancled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if e.now < horizon && horizon < MaxTime && len(e.queue) == 0 {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time { return e.Run(MaxTime) }

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.At(d, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(21, func() { fired++ })
+	end := e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fired %d events before horizon, want 2 (horizon-inclusive)", fired)
+	}
+	if end != 20 {
+		t.Fatalf("Run returned %v, want 20", end)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Len())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ref := e.At(10, func() { fired = true })
+	if !ref.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !ref.Cancel() {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if ref.Cancel() {
+		t.Fatal("second Cancel should return false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(5, func() {
+		order = append(order, "a")
+		e.After(5, func() { order = append(order, "c") })
+		e.After(0, func() { order = append(order, "b") })
+	})
+	e.RunAll()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("final time %v, want 10", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1 after Stop", fired)
+	}
+}
+
+func TestEngineHorizonAdvancesWhenIdle(t *testing.T) {
+	e := NewEngine()
+	if end := e.Run(500); end != 500 {
+		t.Fatalf("idle Run returned %v, want 500", end)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		5:                          "5ns",
+		3 * Microsecond:            "3.000us",
+		1500 * Microsecond:         "1.500ms",
+		2*Second + 500*Millisecond: "2.500s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 identical draws", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandIntnUniform(t *testing.T) {
+	r := NewRand(3)
+	counts := make([]int, 8)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(8)]++
+	}
+	for i, c := range counts {
+		if c < n/8-n/80 || c > n/8+n/80 {
+			t.Fatalf("bucket %d has %d draws, want ~%d", i, c, n/8)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		if n == 0 {
+			return true
+		}
+		p := NewRand(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelAfterRunIsNoop(t *testing.T) {
+	e := NewEngine()
+	ref := e.At(1, func() {})
+	e.RunAll()
+	if ref.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+	if ref.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"testing"
+
+	"hawkeye/internal/device"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+)
+
+// Hot-path microbenchmarks: OnEnqueue runs once per forwarded packet —
+// on a P4 target it is a pipeline stage; in the simulator it must stay
+// cheap enough that telemetry does not dominate the trace cost.
+
+func benchState(b *testing.B) *State {
+	b.Helper()
+	var now sim.Time
+	s, err := New(DefaultConfig(), 1, "sw", 8, 100e9,
+		func() sim.Time { return now }, func(int) int { return 0 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkTelemetryOnEnqueue(b *testing.B) {
+	s := benchState(b)
+	pkt := &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+		Flow: packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}}
+	ev := device.EnqueueEvent{Pkt: pkt, InPort: 0, OutPort: 1, QueueBytes: 20000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Now = sim.Time(i) * 100
+		ev.Pkt.Flow.SrcPort = uint16(i) // rotate slots
+		s.OnEnqueue(ev)
+	}
+}
+
+func BenchmarkTelemetrySnapshot(b *testing.B) {
+	s := benchState(b)
+	for i := 0; i < 512; i++ {
+		s.OnEnqueue(device.EnqueueEvent{
+			Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+				Flow: packet.FiveTuple{SrcIP: uint32(i), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}},
+			InPort: 0, OutPort: 1, QueueBytes: 20000, Now: sim.Time(i) * 100,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Snapshot(4)
+	}
+}
+
+func BenchmarkReportMarshal(b *testing.B) {
+	s := benchState(b)
+	for i := 0; i < 512; i++ {
+		s.OnEnqueue(device.EnqueueEvent{
+			Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+				Flow: packet.FiveTuple{SrcIP: uint32(i), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}},
+			InPort: 0, OutPort: 1, QueueBytes: 20000, Now: sim.Time(i) * 100,
+		})
+	}
+	rep := s.Snapshot(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// MeterRecord is one non-zero cell of the PFC-causality traffic meter.
+type MeterRecord struct {
+	InPort  int
+	OutPort int
+	Bytes   uint64
+}
+
+// EpochData is the collected content of one epoch, zero-filtered.
+type EpochData struct {
+	Ring  int      // ring index
+	ID    uint32   // epoch-ID bits
+	Start sim.Time // reconstructed epoch start
+	Flows []FlowRecord
+	Ports []PortRecord
+}
+
+// Report is the telemetry a switch CPU ships to the analyzer for one
+// diagnosis: zero-filtered epochs, the PFC causality meter, and the live
+// PFC status + queue-depth registers.
+type Report struct {
+	Switch    topo.NodeID
+	Name      string
+	Taken     sim.Time
+	NumPorts  int
+	NumEpochs int
+	FlowSlots int
+	Epochs    []EpochData // newest first
+	Meter     []MeterRecord
+	Status    []PortStatus
+}
+
+// Snapshot extracts up to epochsWanted recent epochs, filtering zero
+// slots exactly as the controller poller does (§3.4, Fig. 14).
+func (s *State) Snapshot(epochsWanted int) *Report {
+	if epochsWanted <= 0 || epochsWanted > s.Cfg.NumEpochs {
+		epochsWanted = s.Cfg.NumEpochs
+	}
+	r := &Report{
+		Switch:    s.Switch,
+		Name:      s.Name,
+		Taken:     s.now(),
+		NumPorts:  s.numPorts,
+		NumEpochs: s.Cfg.NumEpochs,
+		FlowSlots: s.Cfg.FlowSlots,
+	}
+	for _, ve := range s.validEpochs(epochsWanted) {
+		ep := &s.epochs[ve.idx]
+		data := EpochData{Ring: ve.idx, ID: ep.id, Start: ve.start}
+		for i := range ep.flows {
+			if ep.flows[i].PktCount > 0 {
+				data.Flows = append(data.Flows, ep.flows[i])
+			}
+		}
+		data.Flows = append(data.Flows, ep.evicted...)
+		for i := range ep.ports {
+			if ep.ports[i].PktCount > 0 {
+				data.Ports = append(data.Ports, ep.ports[i])
+			}
+		}
+		r.Epochs = append(r.Epochs, data)
+	}
+	for in := 0; in < s.numPorts; in++ {
+		for out := 0; out < s.numPorts; out++ {
+			i := in*s.numPorts + out
+			if b := s.meterCur[i] + s.meterPrev[i]; b > 0 {
+				r.Meter = append(r.Meter, MeterRecord{InPort: in, OutPort: out, Bytes: b})
+			}
+		}
+	}
+	r.Status = append(r.Status, s.status...)
+	if s.queueOf != nil {
+		for i := range r.Status {
+			r.Status[i].QdepthBytes = s.queueOf(r.Status[i].Port)
+		}
+	}
+	return r
+}
+
+// Wire sizes of each record kind (bytes), used both by the codec and by
+// the overhead accounting.
+const (
+	FlowRecordWire   = 13 + 2 + 4 + 4 + 4 + 8 + 8 // tuple, port, counts, qdepth, bytes
+	PortRecordWire   = 2 + 4 + 4 + 8 + 8
+	MeterRecordWire  = 2 + 2 + 8
+	StatusRecordWire = 2 + 8 + 8 + 8 + 4
+	epochHeaderWire  = 2 + 4 + 8 + 4 + 4
+	reportHeaderWire = 4 + 8 + 2 + 2 + 4 + 2 + 4 + 2
+)
+
+// WireSize returns the encoded size of the report in bytes.
+func (r *Report) WireSize() int {
+	n := reportHeaderWire + len(r.Status)*StatusRecordWire + len(r.Meter)*MeterRecordWire
+	for i := range r.Epochs {
+		ep := &r.Epochs[i]
+		n += epochHeaderWire + len(ep.Flows)*FlowRecordWire + len(ep.Ports)*PortRecordWire
+	}
+	return n
+}
+
+// FullDumpSize returns what a data-plane full dump of the same epochs
+// would cost: every slot, zero or not (the Fig. 14a comparison).
+func (r *Report) FullDumpSize() int {
+	perEpoch := r.FlowSlots*FlowRecordWire + r.NumPorts*PortRecordWire
+	return reportHeaderWire + len(r.Epochs)*(epochHeaderWire+perEpoch) +
+		r.NumPorts*r.NumPorts*MeterRecordWire +
+		len(r.Status)*StatusRecordWire
+}
+
+// FlowCount returns the total collected flow records across epochs.
+func (r *Report) FlowCount() int {
+	n := 0
+	for i := range r.Epochs {
+		n += len(r.Epochs[i].Flows)
+	}
+	return n
+}
+
+// ErrBadReport reports a malformed encoded report.
+var ErrBadReport = errors.New("telemetry: malformed report")
+
+// MarshalBinary encodes the report (fixed-width big-endian records).
+// The name is carried out-of-band: switch IDs resolve names topology-side.
+func (r *Report) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, r.WireSize())
+	var scratch [8]byte
+	putU := func(v uint64, n int) {
+		binary.BigEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[8-n:]...)
+	}
+	putU(uint64(uint32(r.Switch)), 4)
+	putU(uint64(r.Taken), 8)
+	putU(uint64(r.NumPorts), 2)
+	putU(uint64(r.NumEpochs), 2)
+	putU(uint64(r.FlowSlots), 4)
+	putU(uint64(len(r.Epochs)), 2)
+	putU(uint64(len(r.Meter)), 4)
+	putU(uint64(len(r.Status)), 2)
+	for i := range r.Epochs {
+		ep := &r.Epochs[i]
+		putU(uint64(ep.Ring), 2)
+		putU(uint64(ep.ID), 4)
+		putU(uint64(ep.Start), 8)
+		putU(uint64(len(ep.Flows)), 4)
+		putU(uint64(len(ep.Ports)), 4)
+		for _, f := range ep.Flows {
+			putU(uint64(f.Tuple.SrcIP), 4)
+			putU(uint64(f.Tuple.DstIP), 4)
+			putU(uint64(f.Tuple.SrcPort), 2)
+			putU(uint64(f.Tuple.DstPort), 2)
+			putU(uint64(f.Tuple.Proto), 1)
+			putU(uint64(f.OutPort), 2)
+			putU(uint64(f.PktCount), 4)
+			putU(uint64(f.PausedCount), 4)
+			putU(uint64(f.DeepCount), 4)
+			putU(f.QdepthSum, 8)
+			putU(f.Bytes, 8)
+		}
+		for _, p := range ep.Ports {
+			putU(uint64(p.Port), 2)
+			putU(uint64(p.PktCount), 4)
+			putU(uint64(p.PausedCount), 4)
+			putU(p.QdepthSum, 8)
+			putU(p.Bytes, 8)
+		}
+	}
+	for _, m := range r.Meter {
+		putU(uint64(m.InPort), 2)
+		putU(uint64(m.OutPort), 2)
+		putU(m.Bytes, 8)
+	}
+	for _, st := range r.Status {
+		putU(uint64(st.Port), 2)
+		putU(uint64(st.PausedUntil), 8)
+		putU(st.RxPause, 8)
+		putU(st.RxResume, 8)
+		putU(uint64(uint32(st.QdepthBytes)), 4)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a report produced by MarshalBinary.
+func (r *Report) UnmarshalBinary(b []byte) error {
+	off := 0
+	getU := func(n int) (uint64, error) {
+		if off+n > len(b) {
+			return 0, fmt.Errorf("%w: truncated at offset %d", ErrBadReport, off)
+		}
+		var v uint64
+		for i := 0; i < n; i++ {
+			v = v<<8 | uint64(b[off+i])
+		}
+		off += n
+		return v, nil
+	}
+	var err error
+	read := func(n int) uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = getU(n)
+		return v
+	}
+	r.Switch = topo.NodeID(int32(read(4)))
+	r.Taken = sim.Time(read(8))
+	r.NumPorts = int(read(2))
+	r.NumEpochs = int(read(2))
+	r.FlowSlots = int(read(4))
+	numEpochs := int(read(2))
+	numMeter := int(read(4))
+	numStatus := int(read(2))
+	if err != nil {
+		return err
+	}
+	const maxRecords = 1 << 24
+	if numEpochs > 1024 || numStatus > 65535 || numMeter > maxRecords {
+		return fmt.Errorf("%w: implausible counts", ErrBadReport)
+	}
+	r.Epochs = make([]EpochData, 0, numEpochs)
+	for e := 0; e < numEpochs; e++ {
+		var ep EpochData
+		ep.Ring = int(read(2))
+		ep.ID = uint32(read(4))
+		ep.Start = sim.Time(read(8))
+		nf := int(read(4))
+		np := int(read(4))
+		if err != nil {
+			return err
+		}
+		if nf > maxRecords || np > maxRecords {
+			return fmt.Errorf("%w: implausible record counts", ErrBadReport)
+		}
+		for i := 0; i < nf; i++ {
+			var f FlowRecord
+			f.Tuple.SrcIP = uint32(read(4))
+			f.Tuple.DstIP = uint32(read(4))
+			f.Tuple.SrcPort = uint16(read(2))
+			f.Tuple.DstPort = uint16(read(2))
+			f.Tuple.Proto = uint8(read(1))
+			f.OutPort = int(read(2))
+			f.PktCount = uint32(read(4))
+			f.PausedCount = uint32(read(4))
+			f.DeepCount = uint32(read(4))
+			f.QdepthSum = read(8)
+			f.Bytes = read(8)
+			ep.Flows = append(ep.Flows, f)
+		}
+		for i := 0; i < np; i++ {
+			var p PortRecord
+			p.Port = int(read(2))
+			p.PktCount = uint32(read(4))
+			p.PausedCount = uint32(read(4))
+			p.QdepthSum = read(8)
+			p.Bytes = read(8)
+			ep.Ports = append(ep.Ports, p)
+		}
+		if err != nil {
+			return err
+		}
+		r.Epochs = append(r.Epochs, ep)
+	}
+	for i := 0; i < numMeter; i++ {
+		var m MeterRecord
+		m.InPort = int(read(2))
+		m.OutPort = int(read(2))
+		m.Bytes = read(8)
+		r.Meter = append(r.Meter, m)
+	}
+	for i := 0; i < numStatus; i++ {
+		var st PortStatus
+		st.Port = int(read(2))
+		st.PausedUntil = sim.Time(read(8))
+		st.RxPause = read(8)
+		st.RxResume = read(8)
+		st.QdepthBytes = int(int32(read(4)))
+		r.Status = append(r.Status, st)
+	}
+	return err
+}

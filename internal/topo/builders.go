@@ -1,0 +1,229 @@
+package topo
+
+import (
+	"fmt"
+
+	"hawkeye/internal/sim"
+)
+
+// Evaluation defaults matching the paper's NS-3 setup (§4.1): 100 Gbps
+// links with 2 µs propagation delay.
+const (
+	DefaultBandwidth = 100e9
+	DefaultDelay     = 2 * sim.Microsecond
+)
+
+// FatTree describes a built K-ary fat-tree: node IDs grouped by role so
+// scenarios can pick injection points ("the second edge switch in pod 0").
+type FatTree struct {
+	*Topology
+	K        int
+	Core     []NodeID   // (K/2)^2 core switches
+	Agg      [][]NodeID // [pod][i] aggregation switches
+	Edge     [][]NodeID // [pod][i] edge (ToR) switches
+	PodHosts [][]NodeID // [pod][edge*K/2+i] hosts under each pod
+}
+
+// NewFatTree builds a K-ary fat-tree with default link properties.
+// K must be even and >= 2. K=4 yields the paper's 20-switch topology
+// (4 core, 8 aggregation, 8 edge) with 16 hosts.
+func NewFatTree(k int) (*FatTree, error) {
+	return NewFatTreeLinks(k, DefaultBandwidth, DefaultDelay)
+}
+
+// NewFatTreeLinks builds a K-ary fat-tree with explicit link properties.
+func NewFatTreeLinks(k int, bandwidthBps float64, delay sim.Time) (*FatTree, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree K must be even and >= 2, got %d", k)
+	}
+	t := New(bandwidthBps, delay)
+	half := k / 2
+	ft := &FatTree{Topology: t, K: k}
+
+	for i := 0; i < half*half; i++ {
+		ft.Core = append(ft.Core, t.AddSwitch(fmt.Sprintf("core%d", i)))
+	}
+	for pod := 0; pod < k; pod++ {
+		var aggs, edges, hosts []NodeID
+		for i := 0; i < half; i++ {
+			aggs = append(aggs, t.AddSwitch(fmt.Sprintf("agg%d-%d", pod, i)))
+		}
+		for i := 0; i < half; i++ {
+			edges = append(edges, t.AddSwitch(fmt.Sprintf("edge%d-%d", pod, i)))
+		}
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				host := t.AddHost(fmt.Sprintf("h%d-%d-%d", pod, e, h))
+				hosts = append(hosts, host)
+				t.Connect(host, edges[e])
+			}
+			for a := 0; a < half; a++ {
+				t.Connect(edges[e], aggs[a])
+			}
+		}
+		// Aggregation switch i connects to core switches [i*half, (i+1)*half).
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				t.Connect(aggs[a], ft.Core[a*half+c])
+			}
+		}
+		ft.Agg = append(ft.Agg, aggs)
+		ft.Edge = append(ft.Edge, edges)
+		ft.PodHosts = append(ft.PodHosts, hosts)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return ft, nil
+}
+
+// Dumbbell describes a linear chain of switches with fan hosts on each,
+// the shape of the paper's Fig. 1(a)/(b) examples and the Tofino testbed
+// (2 logical switches, 2 servers each).
+type Dumbbell struct {
+	*Topology
+	Switches []NodeID
+	// HostsAt[i] lists the hosts attached to switch i.
+	HostsAt [][]NodeID
+}
+
+// NewChain builds numSwitches switches in a line with hostsPerSwitch
+// hosts on each, using explicit link properties.
+func NewChain(numSwitches, hostsPerSwitch int, bandwidthBps float64, delay sim.Time) (*Dumbbell, error) {
+	if numSwitches < 1 || hostsPerSwitch < 0 {
+		return nil, fmt.Errorf("topo: bad chain shape %dx%d", numSwitches, hostsPerSwitch)
+	}
+	t := New(bandwidthBps, delay)
+	d := &Dumbbell{Topology: t}
+	for i := 0; i < numSwitches; i++ {
+		d.Switches = append(d.Switches, t.AddSwitch(fmt.Sprintf("sw%d", i)))
+	}
+	for i := 0; i+1 < numSwitches; i++ {
+		t.Connect(d.Switches[i], d.Switches[i+1])
+	}
+	for i := 0; i < numSwitches; i++ {
+		var hosts []NodeID
+		for h := 0; h < hostsPerSwitch; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d-%d", i, h))
+			t.Connect(host, d.Switches[i])
+			hosts = append(hosts, host)
+		}
+		d.HostsAt = append(d.HostsAt, hosts)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LeafSpine describes a two-tier Clos: every leaf (ToR) connects to every
+// spine, hosts hang off the leaves. This is the shape of the paper's
+// hardware testbed (§4.1) and of most production RDMA pods.
+type LeafSpine struct {
+	*Topology
+	Spines []NodeID
+	Leaves []NodeID
+	// LeafHosts[i] lists the hosts attached to leaf i.
+	LeafHosts [][]NodeID
+}
+
+// NewLeafSpine builds a leaf-spine with the given tier widths and
+// hosts per leaf, using explicit link properties.
+func NewLeafSpine(spines, leaves, hostsPerLeaf int, bandwidthBps float64, delay sim.Time) (*LeafSpine, error) {
+	if spines < 1 || leaves < 1 || hostsPerLeaf < 0 {
+		return nil, fmt.Errorf("topo: bad leaf-spine shape %d/%d/%d", spines, leaves, hostsPerLeaf)
+	}
+	t := New(bandwidthBps, delay)
+	ls := &LeafSpine{Topology: t}
+	for s := 0; s < spines; s++ {
+		ls.Spines = append(ls.Spines, t.AddSwitch(fmt.Sprintf("spine%d", s)))
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := t.AddSwitch(fmt.Sprintf("leaf%d", l))
+		ls.Leaves = append(ls.Leaves, leaf)
+		var hosts []NodeID
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d-%d", l, h))
+			t.Connect(host, leaf)
+			hosts = append(hosts, host)
+		}
+		ls.LeafHosts = append(ls.LeafHosts, hosts)
+		for _, spine := range ls.Spines {
+			t.Connect(leaf, spine)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return ls, nil
+}
+
+// Ring describes switches connected in a cycle, each with attached hosts.
+// With routes forced around the cycle this is the minimal substrate for
+// PFC deadlock (cyclic buffer dependency) scenarios.
+type Ring struct {
+	*Topology
+	Switches []NodeID
+	HostsAt  [][]NodeID
+	// RingPort[i] is the egress port on switch i toward switch (i+1)%N.
+	RingPort []int
+}
+
+// NewRing builds numSwitches switches in a cycle with hostsPerSwitch
+// hosts each.
+func NewRing(numSwitches, hostsPerSwitch int, bandwidthBps float64, delay sim.Time) (*Ring, error) {
+	if numSwitches < 3 {
+		return nil, fmt.Errorf("topo: ring needs >= 3 switches, got %d", numSwitches)
+	}
+	t := New(bandwidthBps, delay)
+	r := &Ring{Topology: t}
+	for i := 0; i < numSwitches; i++ {
+		r.Switches = append(r.Switches, t.AddSwitch(fmt.Sprintf("sw%d", i)))
+	}
+	r.RingPort = make([]int, numSwitches)
+	for i := 0; i < numSwitches; i++ {
+		j := (i + 1) % numSwitches
+		pa, _ := t.Connect(r.Switches[i], r.Switches[j])
+		r.RingPort[i] = pa
+	}
+	for i := 0; i < numSwitches; i++ {
+		var hosts []NodeID
+		for h := 0; h < hostsPerSwitch; h++ {
+			host := t.AddHost(fmt.Sprintf("h%d-%d", i, h))
+			t.Connect(host, r.Switches[i])
+			hosts = append(hosts, host)
+		}
+		r.HostsAt = append(r.HostsAt, hosts)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ForceClockwise overrides routing so traffic between ring switches always
+// travels clockwise (i -> i+1 -> ...), creating the cyclic buffer
+// dependency the deadlock scenarios need. dsts limits the override to the
+// given destination hosts (nil = all hosts).
+func (r *Ring) ForceClockwise(routing *Routing, dsts []NodeID) {
+	if dsts == nil {
+		dsts = r.Topology.Hosts()
+	}
+	for i, sw := range r.Switches {
+		for _, dst := range dsts {
+			// Keep direct host attachments local; everything else goes
+			// clockwise.
+			local := false
+			for _, h := range r.HostsAt[i] {
+				if h == dst {
+					local = true
+					break
+				}
+			}
+			if local {
+				continue
+			}
+			routing.Override(sw, dst, []int{r.RingPort[i]})
+		}
+	}
+}

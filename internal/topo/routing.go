@@ -1,0 +1,159 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Routing holds, for every node, the ECMP next-hop port set toward every
+// destination host. It is computed once per topology (BFS per destination)
+// and then optionally perturbed with static overrides to model the routing
+// misconfigurations that create cyclic buffer dependencies (§2.1).
+type Routing struct {
+	topo *Topology
+	// next[node][dstHost] = sorted egress port candidates on shortest paths.
+	next map[NodeID]map[NodeID][]int
+	// overrides[node][dstHost] = forced egress ports (misconfiguration).
+	overrides map[NodeID]map[NodeID][]int
+}
+
+// ComputeRouting builds shortest-path ECMP tables for all destinations.
+func ComputeRouting(t *Topology) *Routing {
+	r := &Routing{
+		topo:      t,
+		next:      make(map[NodeID]map[NodeID][]int, len(t.Nodes)),
+		overrides: make(map[NodeID]map[NodeID][]int),
+	}
+	for _, n := range t.Nodes {
+		r.next[n.ID] = make(map[NodeID][]int, len(t.hosts))
+	}
+	for _, dst := range t.hosts {
+		r.computeFor(dst)
+	}
+	return r
+}
+
+// computeFor runs a reverse BFS from dst and records, at each node, every
+// port whose peer is one hop closer to dst.
+func (r *Routing) computeFor(dst NodeID) {
+	t := r.topo
+	const unreached = -1
+	dist := make([]int, len(t.Nodes))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range t.Nodes[cur].Ports {
+			if dist[p.Peer] == unreached {
+				dist[p.Peer] = dist[cur] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	for _, n := range t.Nodes {
+		if n.ID == dst || dist[n.ID] == unreached {
+			continue
+		}
+		var ports []int
+		for pi, p := range n.Ports {
+			if d := dist[p.Peer]; d != unreached && d == dist[n.ID]-1 {
+				ports = append(ports, pi)
+			}
+		}
+		sort.Ints(ports)
+		r.next[n.ID][dst] = ports
+	}
+}
+
+// NextHops returns the candidate egress ports at node toward dstHost,
+// honouring overrides. An empty result means dst is unreachable.
+func (r *Routing) NextHops(node, dstHost NodeID) []int {
+	if o, ok := r.overrides[node][dstHost]; ok {
+		return o
+	}
+	return r.next[node][dstHost]
+}
+
+// SelectPort picks one next hop using an ECMP hash value. Hosts always
+// use their single port.
+func (r *Routing) SelectPort(node, dstHost NodeID, ecmpHash uint32) (int, bool) {
+	hops := r.NextHops(node, dstHost)
+	if len(hops) == 0 {
+		return 0, false
+	}
+	return hops[int(ecmpHash)%len(hops)], true
+}
+
+// Override forces the next-hop port set at node toward dstHost. Used to
+// inject routing misconfigurations (link-failure reroutes, loops) that
+// produce cyclic buffer dependencies.
+func (r *Routing) Override(node, dstHost NodeID, ports []int) {
+	m, ok := r.overrides[node]
+	if !ok {
+		m = make(map[NodeID][]int)
+		r.overrides[node] = m
+	}
+	cp := append([]int(nil), ports...)
+	sort.Ints(cp)
+	m[dstHost] = cp
+}
+
+// ClearOverrides removes all misconfigurations.
+func (r *Routing) ClearOverrides() {
+	r.overrides = make(map[NodeID]map[NodeID][]int)
+}
+
+// Path returns the node sequence a packet with the given ECMP hash takes
+// from srcHost to dstHost, or an error if routing loops or dead-ends.
+// The returned path includes both endpoints.
+func (r *Routing) Path(srcHost, dstHost NodeID, ecmpHash uint32) ([]NodeID, error) {
+	if srcHost == dstHost {
+		return []NodeID{srcHost}, nil
+	}
+	path := []NodeID{srcHost}
+	cur := srcHost
+	for steps := 0; steps < 4*len(r.topo.Nodes); steps++ {
+		port, ok := r.SelectPort(cur, dstHost, ecmpHash)
+		if !ok {
+			return nil, fmt.Errorf("topo: no route from %s toward %s at %s",
+				r.topo.Nodes[srcHost].Name, r.topo.Nodes[dstHost].Name, r.topo.Nodes[cur].Name)
+		}
+		nxt, _ := r.topo.PeerOf(cur, port)
+		path = append(path, nxt)
+		if nxt == dstHost {
+			return path, nil
+		}
+		cur = nxt
+	}
+	return nil, fmt.Errorf("topo: routing loop from %s to %s",
+		r.topo.Nodes[srcHost].Name, r.topo.Nodes[dstHost].Name)
+}
+
+// PortPath returns the sequence of (node, egress port) hops for the same
+// walk as Path, excluding the destination. This is the victim flow path
+// at port granularity, the unit Hawkeye polling traverses.
+func (r *Routing) PortPath(srcHost, dstHost NodeID, ecmpHash uint32) ([]PortRef, error) {
+	if srcHost == dstHost {
+		return nil, nil
+	}
+	var refs []PortRef
+	cur := srcHost
+	for steps := 0; steps < 4*len(r.topo.Nodes); steps++ {
+		port, ok := r.SelectPort(cur, dstHost, ecmpHash)
+		if !ok {
+			return nil, fmt.Errorf("topo: no route at %s", r.topo.Nodes[cur].Name)
+		}
+		refs = append(refs, PortRef{Node: cur, Port: port})
+		nxt, _ := r.topo.PeerOf(cur, port)
+		if nxt == dstHost {
+			return refs, nil
+		}
+		cur = nxt
+	}
+	return nil, fmt.Errorf("topo: routing loop from %s to %s",
+		r.topo.Nodes[srcHost].Name, r.topo.Nodes[dstHost].Name)
+}

@@ -1,0 +1,136 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hawkeye/internal/sim"
+)
+
+// NodeSpec is one node in a serialized topology.
+type NodeSpec struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "host" or "switch"
+}
+
+// LinkSpec pins one bidirectional link, including the port index on each
+// side — ports are identity in this system (routing tables, telemetry
+// registers and provenance all name them), so the wire format preserves
+// them exactly.
+type LinkSpec struct {
+	A     int `json:"a"`
+	APort int `json:"aPort"`
+	B     int `json:"b"`
+	BPort int `json:"bPort"`
+}
+
+// Spec is the serializable form of a Topology: JSON for config files and
+// the analyzer handshake.
+type Spec struct {
+	BandwidthBps float64    `json:"bandwidthBps"`
+	DelayNS      int64      `json:"delayNs"`
+	Nodes        []NodeSpec `json:"nodes"`
+	Links        []LinkSpec `json:"links"`
+}
+
+// ToSpec captures the topology. Nodes appear in ID order; every link
+// appears once, anchored at its lower (node, port) end.
+func (t *Topology) ToSpec() Spec {
+	s := Spec{
+		BandwidthBps: t.LinkBandwidth,
+		DelayNS:      int64(t.LinkDelay),
+	}
+	for _, n := range t.Nodes {
+		kind := "switch"
+		if n.Kind == KindHost {
+			kind = "host"
+		}
+		s.Nodes = append(s.Nodes, NodeSpec{Name: n.Name, Kind: kind})
+	}
+	for _, n := range t.Nodes {
+		for pi, p := range n.Ports {
+			if p.Peer < n.ID || (p.Peer == n.ID && p.PeerPort < pi) {
+				continue // emitted from the other side
+			}
+			s.Links = append(s.Links, LinkSpec{
+				A: int(n.ID), APort: pi, B: int(p.Peer), BPort: p.PeerPort,
+			})
+		}
+	}
+	return s
+}
+
+// FromSpec reconstructs a topology. Node IDs, host IPs and port indices
+// all match the original exactly.
+func FromSpec(s Spec) (*Topology, error) {
+	if s.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("topo: spec bandwidth %v", s.BandwidthBps)
+	}
+	if s.DelayNS < 0 {
+		return nil, fmt.Errorf("topo: negative spec delay %d", s.DelayNS)
+	}
+	t := New(s.BandwidthBps, sim.Time(s.DelayNS))
+	for i, ns := range s.Nodes {
+		switch ns.Kind {
+		case "host":
+			t.AddHost(ns.Name)
+		case "switch":
+			t.AddSwitch(ns.Name)
+		default:
+			return nil, fmt.Errorf("topo: node %d has unknown kind %q", i, ns.Kind)
+		}
+	}
+	for i, l := range s.Links {
+		if l.A < 0 || l.A >= len(t.Nodes) || l.B < 0 || l.B >= len(t.Nodes) {
+			return nil, fmt.Errorf("topo: link %d references missing node", i)
+		}
+		if l.APort < 0 || l.BPort < 0 {
+			return nil, fmt.Errorf("topo: link %d has negative port", i)
+		}
+	}
+	// Materialize port arrays at the pinned indices.
+	for i, l := range s.Links {
+		na, nb := t.Nodes[l.A], t.Nodes[l.B]
+		growPorts(na, l.APort)
+		growPorts(nb, l.BPort)
+		if na.Ports[l.APort].occupied() || nb.Ports[l.BPort].occupied() {
+			return nil, fmt.Errorf("topo: link %d reuses a port", i)
+		}
+		na.Ports[l.APort] = Port{Peer: NodeID(l.B), PeerPort: l.BPort}
+		nb.Ports[l.BPort] = Port{Peer: NodeID(l.A), PeerPort: l.APort}
+	}
+	for _, n := range t.Nodes {
+		for pi := range n.Ports {
+			if !n.Ports[pi].occupied() {
+				return nil, fmt.Errorf("topo: node %s port %d left unwired", n.Name, pi)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// occupied distinguishes a wired port from the zero value; Peer 0 port 0
+// is a legal wiring, so emptiness is marked with PeerPort = -1 during
+// reconstruction.
+func (p Port) occupied() bool { return p.PeerPort >= 0 }
+
+func growPorts(n *Node, idx int) {
+	for len(n.Ports) <= idx {
+		n.Ports = append(n.Ports, Port{PeerPort: -1})
+	}
+}
+
+// MarshalJSON encodes the topology via its Spec.
+func (t *Topology) MarshalJSON() ([]byte, error) { return json.Marshal(t.ToSpec()) }
+
+// ParseSpecJSON decodes a Spec from JSON and builds the topology.
+func ParseSpecJSON(data []byte) (*Topology, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("topo: spec json: %w", err)
+	}
+	return FromSpec(s)
+}

@@ -1,0 +1,169 @@
+// Package topo models the physical network: nodes (hosts and switches),
+// point-to-point links between node ports, routing tables with ECMP
+// next-hop sets, and builders for the evaluation topologies (fat-tree K=4
+// as in the paper's NS-3 setup, plus small line/ring fabrics for tests).
+//
+// The package is pure graph math — no simulation state — so routing,
+// path enumeration and misconfiguration injection are all unit-testable
+// in isolation.
+package topo
+
+import (
+	"fmt"
+
+	"hawkeye/internal/sim"
+)
+
+// NodeID identifies a node. IDs are dense indices into Topology.Nodes.
+type NodeID int
+
+// Kind distinguishes hosts from switches.
+type Kind uint8
+
+const (
+	// KindHost is an end host with a single NIC port.
+	KindHost Kind = iota
+	// KindSwitch is a multi-port switch.
+	KindSwitch
+)
+
+func (k Kind) String() string {
+	if k == KindHost {
+		return "host"
+	}
+	return "switch"
+}
+
+// Port is one end of a link.
+type Port struct {
+	Peer     NodeID // node on the other end
+	PeerPort int    // port index on the peer
+}
+
+// Node is a host or switch with a fixed set of ports.
+type Node struct {
+	ID    NodeID
+	Kind  Kind
+	Name  string
+	IP    uint32 // hosts only: the address data packets carry
+	Ports []Port
+}
+
+// PortRef names a specific egress port on a specific node, the unit the
+// provenance graph reasons about ("SW2.P3" in the paper).
+type PortRef struct {
+	Node NodeID
+	Port int
+}
+
+func (p PortRef) String() string { return fmt.Sprintf("N%d.P%d", p.Node, p.Port) }
+
+// Topology is an immutable network graph plus link properties. The
+// evaluation uses uniform link speeds (100 Gbps, 2 µs), so properties are
+// topology-wide; per-link overrides were not needed by any experiment.
+type Topology struct {
+	Nodes []*Node
+
+	// LinkBandwidth is the speed of every link in bits per second.
+	LinkBandwidth float64
+	// LinkDelay is the one-way propagation delay of every link.
+	LinkDelay sim.Time
+
+	hosts    []NodeID
+	switches []NodeID
+	byIP     map[uint32]NodeID
+}
+
+// New returns an empty topology with the given link properties.
+func New(bandwidthBps float64, delay sim.Time) *Topology {
+	return &Topology{
+		LinkBandwidth: bandwidthBps,
+		LinkDelay:     delay,
+		byIP:          make(map[uint32]NodeID),
+	}
+}
+
+// hostIPBase gives hosts addresses 10.0.0.1, 10.0.0.2, ...
+const hostIPBase = 0x0A000001
+
+// AddHost appends a host node and assigns it the next address.
+func (t *Topology) AddHost(name string) NodeID {
+	id := NodeID(len(t.Nodes))
+	ip := uint32(hostIPBase + len(t.hosts))
+	t.Nodes = append(t.Nodes, &Node{ID: id, Kind: KindHost, Name: name, IP: ip})
+	t.hosts = append(t.hosts, id)
+	t.byIP[ip] = id
+	return id
+}
+
+// AddSwitch appends a switch node.
+func (t *Topology) AddSwitch(name string) NodeID {
+	id := NodeID(len(t.Nodes))
+	t.Nodes = append(t.Nodes, &Node{ID: id, Kind: KindSwitch, Name: name})
+	t.switches = append(t.switches, id)
+	return id
+}
+
+// Connect wires a new bidirectional link between a and b and returns the
+// port index allocated on each side.
+func (t *Topology) Connect(a, b NodeID) (portA, portB int) {
+	na, nb := t.Nodes[a], t.Nodes[b]
+	portA, portB = len(na.Ports), len(nb.Ports)
+	na.Ports = append(na.Ports, Port{Peer: b, PeerPort: portB})
+	nb.Ports = append(nb.Ports, Port{Peer: a, PeerPort: portA})
+	return portA, portB
+}
+
+// Hosts returns the host node IDs in creation order.
+func (t *Topology) Hosts() []NodeID { return t.hosts }
+
+// Switches returns the switch node IDs in creation order.
+func (t *Topology) Switches() []NodeID { return t.switches }
+
+// HostByIP resolves an address to its host node.
+func (t *Topology) HostByIP(ip uint32) (NodeID, bool) {
+	id, ok := t.byIP[ip]
+	return id, ok
+}
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id NodeID) *Node { return t.Nodes[id] }
+
+// PeerOf returns the node and port on the far side of (node, port).
+func (t *Topology) PeerOf(node NodeID, port int) (NodeID, int) {
+	p := t.Nodes[node].Ports[port]
+	return p.Peer, p.PeerPort
+}
+
+// IsHostFacing reports whether the egress port of node faces a host.
+func (t *Topology) IsHostFacing(node NodeID, port int) bool {
+	peer, _ := t.PeerOf(node, port)
+	return t.Nodes[peer].Kind == KindHost
+}
+
+// TransmitTime returns the serialization delay of size bytes on a link.
+func (t *Topology) TransmitTime(sizeBytes int) sim.Time {
+	return sim.Time(float64(sizeBytes*8) / t.LinkBandwidth * 1e9)
+}
+
+// Validate checks structural invariants: port symmetry, hosts with exactly
+// one port, and IP uniqueness. Builders call it; tests call it on mutated
+// topologies.
+func (t *Topology) Validate() error {
+	for _, n := range t.Nodes {
+		if n.Kind == KindHost && len(n.Ports) != 1 {
+			return fmt.Errorf("topo: host %s has %d ports, want 1", n.Name, len(n.Ports))
+		}
+		for pi, p := range n.Ports {
+			peer := t.Nodes[p.Peer]
+			if p.PeerPort >= len(peer.Ports) {
+				return fmt.Errorf("topo: %s port %d points past peer %s ports", n.Name, pi, peer.Name)
+			}
+			back := peer.Ports[p.PeerPort]
+			if back.Peer != n.ID || back.PeerPort != pi {
+				return fmt.Errorf("topo: link %s.%d <-> %s.%d not symmetric", n.Name, pi, peer.Name, p.PeerPort)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hawkeye/internal/sim"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	ft, err := NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ft.Switches()); got != 20 {
+		t.Fatalf("K=4 fat-tree has %d switches, want 20 (paper §4.1)", got)
+	}
+	if got := len(ft.Hosts()); got != 16 {
+		t.Fatalf("K=4 fat-tree has %d hosts, want 16", got)
+	}
+	if len(ft.Core) != 4 {
+		t.Fatalf("core count %d, want 4", len(ft.Core))
+	}
+	for pod := 0; pod < 4; pod++ {
+		if len(ft.Agg[pod]) != 2 || len(ft.Edge[pod]) != 2 || len(ft.PodHosts[pod]) != 4 {
+			t.Fatalf("pod %d shape wrong: %d agg %d edge %d hosts",
+				pod, len(ft.Agg[pod]), len(ft.Edge[pod]), len(ft.PodHosts[pod]))
+		}
+	}
+	// Port counts: edge = K/2 hosts + K/2 aggs = K; agg = K/2 edges + K/2
+	// cores = K; core = K pods.
+	for pod := 0; pod < 4; pod++ {
+		for _, e := range ft.Edge[pod] {
+			if n := len(ft.Node(e).Ports); n != 4 {
+				t.Fatalf("edge switch has %d ports, want 4", n)
+			}
+		}
+		for _, a := range ft.Agg[pod] {
+			if n := len(ft.Node(a).Ports); n != 4 {
+				t.Fatalf("agg switch has %d ports, want 4", n)
+			}
+		}
+	}
+	for _, c := range ft.Core {
+		if n := len(ft.Node(c).Ports); n != 4 {
+			t.Fatalf("core switch has %d ports, want 4", n)
+		}
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	if _, err := NewFatTree(3); err == nil {
+		t.Fatal("odd K accepted")
+	}
+	if _, err := NewFatTree(0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestRoutingReachability(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	r := ComputeRouting(ft.Topology)
+	hosts := ft.Topology.Hosts()
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			path, err := r.Path(src, dst, 0)
+			if err != nil {
+				t.Fatalf("no path %v->%v: %v", src, dst, err)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+			// Fat-tree shortest paths: 3 nodes same ToR, 5 same pod, 7 cross-pod.
+			if n := len(path); n != 3 && n != 5 && n != 7 {
+				t.Fatalf("path length %d unexpected for fat-tree: %v", n, path)
+			}
+		}
+	}
+}
+
+func TestRoutingECMPSpreads(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	r := ComputeRouting(ft.Topology)
+	// Cross-pod pairs must have multiple equal-cost first hops at the edge.
+	src, dst := ft.PodHosts[0][0], ft.PodHosts[1][0]
+	edge := ft.Edge[0][0]
+	hops := r.NextHops(edge, dst)
+	if len(hops) < 2 {
+		t.Fatalf("edge switch has %d next hops cross-pod, want >= 2 (ECMP)", len(hops))
+	}
+	seen := map[int]bool{}
+	for h := uint32(0); h < 16; h++ {
+		p, ok := r.SelectPort(edge, dst, h)
+		if !ok {
+			t.Fatal("SelectPort failed")
+		}
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("ECMP hash never spread across next hops")
+	}
+	// Different hashes may take different core switches but must still reach dst.
+	for h := uint32(0); h < 8; h++ {
+		if _, err := r.Path(src, dst, h); err != nil {
+			t.Fatalf("hash %d: %v", h, err)
+		}
+	}
+}
+
+func TestPortPathMatchesPath(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	r := ComputeRouting(ft.Topology)
+	src, dst := ft.PodHosts[0][0], ft.PodHosts[2][1]
+	path, err := r.Path(src, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := r.PortPath(src, dst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != len(path)-1 {
+		t.Fatalf("PortPath len %d, Path len %d", len(refs), len(path))
+	}
+	for i, ref := range refs {
+		if ref.Node != path[i] {
+			t.Fatalf("hop %d node %v != path %v", i, ref.Node, path[i])
+		}
+		peer, _ := ft.Topology.PeerOf(ref.Node, ref.Port)
+		if peer != path[i+1] {
+			t.Fatalf("hop %d leads to %v, want %v", i, peer, path[i+1])
+		}
+	}
+}
+
+func TestOverrideAndClear(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	r := ComputeRouting(ft.Topology)
+	dst := ft.PodHosts[1][0]
+	edge := ft.Edge[0][0]
+	orig := append([]int(nil), r.NextHops(edge, dst)...)
+	r.Override(edge, dst, []int{orig[0]})
+	if got := r.NextHops(edge, dst); len(got) != 1 || got[0] != orig[0] {
+		t.Fatalf("override not honoured: %v", got)
+	}
+	r.ClearOverrides()
+	if got := r.NextHops(edge, dst); len(got) != len(orig) {
+		t.Fatalf("ClearOverrides did not restore: %v vs %v", got, orig)
+	}
+}
+
+func TestRingClockwiseCreatesCycle(t *testing.T) {
+	ring, err := NewRing(4, 1, DefaultBandwidth, DefaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ComputeRouting(ring.Topology)
+	ring.ForceClockwise(r, nil)
+	// A flow from host at sw0 to host at sw3 must now go 0->1->2->3 (3 switch
+	// hops) instead of the shortest counter-clockwise single hop.
+	src := ring.HostsAt[0][0]
+	dst := ring.HostsAt[3][0]
+	path, err := r.Path(src, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{src, ring.Switches[0], ring.Switches[1], ring.Switches[2], ring.Switches[3], dst}
+	if len(path) != len(want) {
+		t.Fatalf("clockwise path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("clockwise path %v, want %v", path, want)
+		}
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	d, err := NewChain(3, 2, DefaultBandwidth, DefaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Switches) != 3 || len(d.Topology.Hosts()) != 6 {
+		t.Fatalf("chain shape wrong: %d switches %d hosts", len(d.Switches), len(d.Topology.Hosts()))
+	}
+	r := ComputeRouting(d.Topology)
+	p, err := r.Path(d.HostsAt[0][0], d.HostsAt[2][1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 {
+		t.Fatalf("end-to-end chain path length %d, want 5", len(p))
+	}
+}
+
+func TestHostByIP(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	for _, h := range ft.Topology.Hosts() {
+		ip := ft.Node(h).IP
+		got, ok := ft.Topology.HostByIP(ip)
+		if !ok || got != h {
+			t.Fatalf("HostByIP(%#x) = %v,%v want %v", ip, got, ok, h)
+		}
+	}
+	if _, ok := ft.Topology.HostByIP(0xDEADBEEF); ok {
+		t.Fatal("bogus IP resolved")
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	tp := New(100e9, 2*sim.Microsecond)
+	// 1250 bytes at 100 Gbps = 100 ns.
+	if d := tp.TransmitTime(1250); d != 100 {
+		t.Fatalf("TransmitTime(1250B @100G) = %v, want 100ns", d)
+	}
+}
+
+func TestIsHostFacing(t *testing.T) {
+	ft, _ := NewFatTree(4)
+	edge := ft.Edge[0][0]
+	hostFacing, switchFacing := 0, 0
+	for pi := range ft.Node(edge).Ports {
+		if ft.Topology.IsHostFacing(edge, pi) {
+			hostFacing++
+		} else {
+			switchFacing++
+		}
+	}
+	if hostFacing != 2 || switchFacing != 2 {
+		t.Fatalf("edge ports: %d host-facing %d switch-facing, want 2/2", hostFacing, switchFacing)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	tp := New(100e9, sim.Microsecond)
+	a := tp.AddSwitch("a")
+	b := tp.AddSwitch("b")
+	tp.Connect(a, b)
+	// Corrupt the back-pointer.
+	tp.Nodes[b].Ports[0].PeerPort = 7
+	if err := tp.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric link")
+	}
+}
+
+func TestUnreachableDestination(t *testing.T) {
+	tp := New(100e9, sim.Microsecond)
+	h1 := tp.AddHost("h1")
+	h2 := tp.AddHost("h2")
+	s := tp.AddSwitch("s")
+	tp.Connect(h1, s)
+	_ = h2 // h2 intentionally disconnected
+	r := ComputeRouting(tp)
+	if _, err := r.Path(h1, h2, 0); err == nil {
+		t.Fatal("path to disconnected host succeeded")
+	}
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	ls, err := NewLeafSpine(2, 4, 4, DefaultBandwidth, DefaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ls.Switches()); got != 6 {
+		t.Fatalf("2x4 leaf-spine has %d switches, want 6", got)
+	}
+	if got := len(ls.Hosts()); got != 16 {
+		t.Fatalf("leaf-spine has %d hosts, want 16", got)
+	}
+	// Every leaf connects to every spine plus its hosts.
+	for _, leaf := range ls.Leaves {
+		if n := len(ls.Node(leaf).Ports); n != 4+2 {
+			t.Fatalf("leaf has %d ports, want 6", n)
+		}
+	}
+	for _, spine := range ls.Spines {
+		if n := len(ls.Node(spine).Ports); n != 4 {
+			t.Fatalf("spine has %d ports, want 4 (one per leaf)", n)
+		}
+	}
+	// Cross-leaf routing goes exactly leaf -> spine -> leaf (2 switch hops
+	// between leaves means 3-switch paths host to host).
+	r := ComputeRouting(ls.Topology)
+	refs, err := r.PortPath(ls.LeafHosts[0][0], ls.LeafHosts[3][2], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	for _, ref := range refs {
+		if ls.Node(ref.Node).Kind == KindSwitch {
+			switches++
+		}
+	}
+	if switches != 3 {
+		t.Fatalf("cross-leaf path crosses %d switches, want 3 (leaf-spine-leaf)", switches)
+	}
+}
+
+func TestLeafSpineRejectsBadShape(t *testing.T) {
+	if _, err := NewLeafSpine(0, 4, 2, DefaultBandwidth, DefaultDelay); err == nil {
+		t.Error("zero spines accepted")
+	}
+	if _, err := NewLeafSpine(2, 0, 2, DefaultBandwidth, DefaultDelay); err == nil {
+		t.Error("zero leaves accepted")
+	}
+	if _, err := NewLeafSpine(2, 2, -1, DefaultBandwidth, DefaultDelay); err == nil {
+		t.Error("negative hosts accepted")
+	}
+}
+
+func TestSpecRoundTripFatTree(t *testing.T) {
+	ft, err := NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ft.Topology.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpecJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != len(ft.Topology.Nodes) {
+		t.Fatalf("node count %d != %d", len(got.Nodes), len(ft.Topology.Nodes))
+	}
+	for i, want := range ft.Topology.Nodes {
+		g := got.Nodes[i]
+		if g.Kind != want.Kind || g.Name != want.Name || g.IP != want.IP {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, g, want)
+		}
+		if len(g.Ports) != len(want.Ports) {
+			t.Fatalf("node %d port count %d != %d", i, len(g.Ports), len(want.Ports))
+		}
+		for pi := range want.Ports {
+			if g.Ports[pi] != want.Ports[pi] {
+				t.Fatalf("node %d port %d mismatch", i, pi)
+			}
+		}
+	}
+	if got.LinkBandwidth != ft.Topology.LinkBandwidth || got.LinkDelay != ft.Topology.LinkDelay {
+		t.Fatal("link properties lost")
+	}
+	// Routing computed on the reconstruction must match: same ECMP port
+	// choices for the same hash on every host pair.
+	r1 := ComputeRouting(ft.Topology)
+	r2 := ComputeRouting(got)
+	hosts := ft.Topology.Hosts()
+	for _, a := range hosts[:4] {
+		for _, b := range hosts[len(hosts)-4:] {
+			if a == b {
+				continue
+			}
+			for h := uint32(0); h < 8; h++ {
+				p1, _ := r1.PortPath(a, b, h)
+				p2, _ := r2.PortPath(a, b, h)
+				if len(p1) != len(p2) {
+					t.Fatalf("path length differs for %d->%d hash %d", a, b, h)
+				}
+				for i := range p1 {
+					if p1[i] != p2[i] {
+						t.Fatalf("path differs for %d->%d hash %d at hop %d", a, b, h, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpecRejectsMalformed(t *testing.T) {
+	good := func() Spec {
+		tp := New(100e9, DefaultDelay)
+		h := tp.AddHost("h")
+		s := tp.AddSwitch("s")
+		tp.Connect(h, s)
+		return tp.ToSpec()
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero bandwidth", func(s *Spec) { s.BandwidthBps = 0 }},
+		{"negative delay", func(s *Spec) { s.DelayNS = -1 }},
+		{"bad kind", func(s *Spec) { s.Nodes[0].Kind = "router" }},
+		{"dangling link", func(s *Spec) { s.Links[0].B = 99 }},
+		{"negative port", func(s *Spec) { s.Links[0].APort = -2 }},
+		{"port reuse", func(s *Spec) { s.Links = append(s.Links, s.Links[0]) }},
+		{"port hole", func(s *Spec) { s.Links[0].APort = 5 }},
+	}
+	for _, c := range cases {
+		s := good()
+		c.mut(&s)
+		if _, err := FromSpec(s); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestRoutingPathInvariantsProperty checks, over random host pairs and
+// ECMP hashes on several topologies, that every resolved path is
+// loop-free, connected (each hop's port really leads to the next node)
+// and terminates at the destination.
+func TestRoutingPathInvariantsProperty(t *testing.T) {
+	type fabric struct {
+		name string
+		t    *Topology
+	}
+	var fabrics []fabric
+	for _, k := range []int{4, 6} {
+		ft, err := NewFatTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabrics = append(fabrics, fabric{name: "fat-tree", t: ft.Topology})
+	}
+	ls, err := NewLeafSpine(3, 4, 3, DefaultBandwidth, DefaultDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics = append(fabrics, fabric{name: "leaf-spine", t: ls.Topology})
+
+	for _, f := range fabrics {
+		r := ComputeRouting(f.t)
+		hosts := f.t.Hosts()
+		prop := func(si, di uint16, hash uint32) bool {
+			src := hosts[int(si)%len(hosts)]
+			dst := hosts[int(di)%len(hosts)]
+			if src == dst {
+				return true
+			}
+			refs, err := r.PortPath(src, dst, hash)
+			if err != nil {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			cur := src
+			for _, ref := range refs {
+				if ref.Node != cur || seen[cur] {
+					return false
+				}
+				seen[cur] = true
+				cur, _ = f.t.PeerOf(ref.Node, ref.Port)
+			}
+			return cur == dst
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", f.name, err)
+		}
+	}
+}

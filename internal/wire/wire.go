@@ -1,0 +1,159 @@
+// Package wire implements the framing the Hawkeye analyzer speaks over
+// TCP: length-prefixed typed messages carrying the handshake (topology +
+// telemetry parameters), binary telemetry reports, and diagnosis
+// requests/replies. The framing is deliberately simple — 4-byte length,
+// 1-byte type — so partial reads, oversize frames and unknown types are
+// all easy to reason about and test.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hawkeye/internal/packet"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+const (
+	// MsgHello opens a session: JSON Hello payload.
+	MsgHello MsgType = 1
+	// MsgHelloOK acknowledges the handshake (empty payload).
+	MsgHelloOK MsgType = 2
+	// MsgReport carries one switch telemetry report (binary encoding).
+	MsgReport MsgType = 3
+	// MsgDiagnose asks for a diagnosis: the victim 5-tuple.
+	MsgDiagnose MsgType = 4
+	// MsgDiagnosis is the reply: JSON Diagnosis payload.
+	MsgDiagnosis MsgType = 5
+	// MsgError reports a server-side failure: UTF-8 text payload.
+	MsgError MsgType = 6
+	// MsgIncidents asks for the session's diagnoses grouped into
+	// incidents (empty payload = default window).
+	MsgIncidents MsgType = 7
+	// MsgIncidentList is the reply: JSON array of IncidentSummary.
+	MsgIncidentList MsgType = 8
+)
+
+// MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
+// of KB, the topology spec of a large pod a few hundred KB.
+const MaxFrame = 8 << 20
+
+// ProtocolVersion is bumped on incompatible changes.
+const ProtocolVersion = 1
+
+// ErrFrameTooLarge reports an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// Hello is the session handshake: everything the analyzer needs to build
+// provenance graphs for this fabric.
+type Hello struct {
+	Version int             `json:"version"`
+	Topo    json.RawMessage `json:"topo"` // topo.Spec
+	// EpochNS is the telemetry epoch length in nanoseconds.
+	EpochNS int64 `json:"epochNs"`
+}
+
+// Diagnosis is the analyzer's reply.
+type Diagnosis struct {
+	Type string `json:"type"`
+	// CauseKind is the primary cause class (flow contention / injection /
+	// spreading).
+	CauseKind string `json:"causeKind"`
+	// InitialNode/InitialPort name the initial congestion point.
+	InitialNode int `json:"initialNode"`
+	InitialPort int `json:"initialPort"`
+	// Culprits are the root-cause flows, if any.
+	Culprits []string `json:"culprits,omitempty"`
+	// Rendered is the human-readable diagnosis report.
+	Rendered string `json:"rendered"`
+	// Switches counts the telemetry reports used.
+	Switches int `json:"switches"`
+}
+
+// IncidentSummary is one grouped anomaly event in a MsgIncidentList.
+type IncidentSummary struct {
+	Type       string `json:"type"`
+	Complaints int    `json:"complaints"`
+	Victims    int    `json:"victims"`
+	FirstNS    int64  `json:"firstNs"`
+	LastNS     int64  `json:"lastNs"`
+	// Rendered is the primary member's diagnosis report.
+	Rendered string `json:"rendered"`
+}
+
+// WriteFrame emits one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame consumes one frame. io.EOF at a clean frame boundary is
+// returned as-is; EOF mid-frame becomes ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("wire: truncated frame header: %w", err)
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// WriteJSON marshals v and emits it as a frame of type t.
+func WriteJSON(w io.Writer, t MsgType, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encode %T: %w", v, err)
+	}
+	return WriteFrame(w, t, data)
+}
+
+// EncodeDiagnoseRequest serializes the victim 5-tuple plus the trigger
+// time in nanoseconds (used by the incident grouping; 0 if unknown).
+func EncodeDiagnoseRequest(victim packet.FiveTuple, atNS int64) []byte {
+	tup, _ := victim.MarshalBinary() // cannot fail: fixed-size layout
+	b := make([]byte, packet.FiveTupleLen+8)
+	copy(b, tup)
+	binary.BigEndian.PutUint64(b[packet.FiveTupleLen:], uint64(atNS))
+	return b
+}
+
+// DecodeDiagnoseRequest parses a MsgDiagnose payload. The timestamp is
+// optional for backward compatibility: a bare 13-byte tuple decodes with
+// atNS = 0.
+func DecodeDiagnoseRequest(b []byte) (packet.FiveTuple, int64, error) {
+	var ft packet.FiveTuple
+	if err := ft.UnmarshalBinary(b); err != nil {
+		return ft, 0, err
+	}
+	var at int64
+	if len(b) >= packet.FiveTupleLen+8 {
+		at = int64(binary.BigEndian.Uint64(b[packet.FiveTupleLen:]))
+	}
+	return ft, at, nil
+}

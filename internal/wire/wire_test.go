@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hawkeye/internal/packet"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7}, 10000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, MsgType(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		mt, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if mt != MsgType(i+1) || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d mismatch: type=%d len=%d", i, mt, len(got))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(mt uint8, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, MsgType(mt), payload); err != nil {
+			return false
+		}
+		got, data, err := ReadFrame(&buf)
+		return err == nil && got == MsgType(mt) && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	big := make([]byte, MaxFrame+1)
+	if err := WriteFrame(io.Discard, MsgReport, big); err != ErrFrameTooLarge {
+		t.Fatalf("writer accepted oversize frame: %v", err)
+	}
+	// A hostile header claiming an oversize body must be rejected before
+	// allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgReport)}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err != ErrFrameTooLarge {
+		t.Fatalf("reader accepted oversize frame: %v", err)
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgReport, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Truncate inside the header.
+	if _, _, err := ReadFrame(bytes.NewReader(whole[:3])); err == nil ||
+		!strings.Contains(err.Error(), "header") {
+		t.Fatalf("header truncation: %v", err)
+	}
+	// Truncate inside the body.
+	if _, _, err := ReadFrame(bytes.NewReader(whole[:8])); err == nil ||
+		!strings.Contains(err.Error(), "body") {
+		t.Fatalf("body truncation: %v", err)
+	}
+}
+
+func TestDiagnoseRequestRoundTrip(t *testing.T) {
+	want := packet.FiveTuple{SrcIP: 0x0A000001, DstIP: 0x0A000010, SrcPort: 1027, DstPort: 4791, Proto: 17}
+	got, at, err := DecodeDiagnoseRequest(EncodeDiagnoseRequest(want, 123456789))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || at != 123456789 {
+		t.Fatalf("request mangled: %+v at=%d", got, at)
+	}
+	// Bare 13-byte tuple (no timestamp) still decodes.
+	tup, _ := want.MarshalBinary()
+	got2, at2, err := DecodeDiagnoseRequest(tup)
+	if err != nil || got2 != want || at2 != 0 {
+		t.Fatalf("bare tuple decode: %+v at=%d err=%v", got2, at2, err)
+	}
+	if _, _, err := DecodeDiagnoseRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+// TestReadFrameNeverPanicsOnGarbage feeds random bytes to the frame
+// reader (hostile or corrupted peers must produce errors, not panics or
+// huge allocations).
+func TestReadFrameNeverPanicsOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		r := bytes.NewReader(data)
+		for {
+			_, _, err := ReadFrame(r)
+			if err != nil {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

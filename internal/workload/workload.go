@@ -1,0 +1,223 @@
+// Package workload generates the evaluation traffic (§4.1): an empirical
+// long-tailed RoCEv2 flow-size distribution, Poisson flow arrivals scaled
+// to a target link load, random host pairs, and the five crafted anomaly
+// scenarios (incast backpressure, PFC storm, in-/out-of-loop deadlock,
+// normal contention) with machine-checkable ground truth.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"hawkeye/internal/cluster"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// CDFPoint maps a flow size (bytes) to a cumulative probability.
+type CDFPoint struct {
+	Bytes int64
+	Prob  float64
+}
+
+// SizeCDF is a piecewise-linear flow-size distribution sampled by inverse
+// transform.
+type SizeCDF struct {
+	points []CDFPoint
+}
+
+// NewSizeCDF validates and builds a CDF. Points must be sorted by
+// probability, start above 0 and end at 1.
+func NewSizeCDF(points []CDFPoint) (*SizeCDF, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: CDF needs >= 2 points")
+	}
+	if points[len(points)-1].Prob != 1 {
+		return nil, fmt.Errorf("workload: CDF must end at prob 1")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Prob <= points[i-1].Prob || points[i].Bytes < points[i-1].Bytes {
+			return nil, fmt.Errorf("workload: CDF not monotone at %d", i)
+		}
+	}
+	return &SizeCDF{points: points}, nil
+}
+
+// Sample draws a flow size.
+func (c *SizeCDF) Sample(rng *sim.Rand) int64 {
+	u := rng.Float64()
+	idx := sort.Search(len(c.points), func(i int) bool { return c.points[i].Prob >= u })
+	if idx == 0 {
+		return c.points[0].Bytes
+	}
+	if idx >= len(c.points) {
+		return c.points[len(c.points)-1].Bytes
+	}
+	lo, hi := c.points[idx-1], c.points[idx]
+	frac := (u - lo.Prob) / (hi.Prob - lo.Prob)
+	return lo.Bytes + int64(frac*float64(hi.Bytes-lo.Bytes))
+}
+
+// Mean returns the distribution mean (for arrival-rate scaling).
+func (c *SizeCDF) Mean() float64 {
+	mean := 0.0
+	prev := CDFPoint{Bytes: c.points[0].Bytes, Prob: 0}
+	for _, p := range c.points {
+		mean += (p.Prob - prev.Prob) * float64(p.Bytes+prev.Bytes) / 2
+		prev = p
+	}
+	return mean
+}
+
+// PaperCDF reproduces the §4.1 industrial distribution shape —
+// "<80% of flows are smaller than 10 MB, <90% smaller than 100 MB, about
+// 10% between 100 MB and 300 MB" — scaled down by the given divisor so a
+// trace stays laptop-runnable at packet granularity (the distribution
+// SHAPE, which is what the diagnosis results depend on, is preserved).
+// The paper's scale corresponds to divisor 1.
+func PaperCDF(divisor int64) *SizeCDF {
+	if divisor < 1 {
+		divisor = 1
+	}
+	d := func(b int64) int64 {
+		v := b / divisor
+		if v < 1000 {
+			v = 1000
+		}
+		return v
+	}
+	c, err := NewSizeCDF([]CDFPoint{
+		{d(10_000), 0.15},
+		{d(100_000), 0.40},
+		{d(1_000_000), 0.60},
+		{d(10_000_000), 0.80},
+		{d(100_000_000), 0.90},
+		{d(300_000_000), 1.00},
+	})
+	if err != nil {
+		panic(err) // static table
+	}
+	return c
+}
+
+// DefaultScaleDivisor keeps the largest flows near 3 MB (~3k packets).
+const DefaultScaleDivisor = 100
+
+// WebSearchCDF is the DCTCP web-search distribution widely used in this
+// literature (query/response traffic; heavy 1-30 MB tail), scaled by
+// divisor like PaperCDF.
+func WebSearchCDF(divisor int64) *SizeCDF {
+	return scaledCDF(divisor, []CDFPoint{
+		{6_000, 0.15},
+		{13_000, 0.30},
+		{19_000, 0.50},
+		{33_000, 0.60},
+		{53_000, 0.70},
+		{133_000, 0.80},
+		{667_000, 0.90},
+		{1_333_000, 0.95},
+		{30_000_000, 1.00},
+	})
+}
+
+// HadoopCDF is the Facebook Hadoop-cluster distribution (mostly tiny
+// RPCs with a moderate tail), scaled by divisor like PaperCDF.
+func HadoopCDF(divisor int64) *SizeCDF {
+	return scaledCDF(divisor, []CDFPoint{
+		{300, 0.30},
+		{1_000, 0.50},
+		{2_000, 0.70},
+		{10_000, 0.80},
+		{100_000, 0.90},
+		{1_000_000, 0.95},
+		{10_000_000, 1.00},
+	})
+}
+
+// CDFByName resolves a distribution for the CLI tools.
+func CDFByName(name string, divisor int64) (*SizeCDF, error) {
+	switch name {
+	case "paper", "":
+		return PaperCDF(divisor), nil
+	case "websearch":
+		return WebSearchCDF(divisor), nil
+	case "hadoop":
+		return HadoopCDF(divisor), nil
+	}
+	return nil, fmt.Errorf("workload: unknown CDF %q (paper, websearch, hadoop)", name)
+}
+
+// scaledCDF applies the divisor with a 1 KB floor and collapses points
+// that the floor made equal (small sizes all floor to 1 KB).
+func scaledCDF(divisor int64, points []CDFPoint) *SizeCDF {
+	if divisor < 1 {
+		divisor = 1
+	}
+	var out []CDFPoint
+	for _, p := range points {
+		b := p.Bytes / divisor
+		if b < 1000 {
+			b = 1000
+		}
+		if n := len(out); n > 0 && out[n-1].Bytes == b {
+			out[n-1].Prob = p.Prob // merge: keep the higher probability
+			continue
+		}
+		out = append(out, CDFPoint{Bytes: b, Prob: p.Prob})
+	}
+	if len(out) == 1 {
+		out = append([]CDFPoint{{Bytes: out[0].Bytes - 1, Prob: 0.5}}, out...)
+	}
+	c, err := NewSizeCDF(out)
+	if err != nil {
+		panic(err) // static tables
+	}
+	return c
+}
+
+// Background drives Poisson background traffic over a cluster.
+type Background struct {
+	// Load is the target average utilization of host links (0..1).
+	Load float64
+	// CDF is the flow size distribution.
+	CDF *SizeCDF
+	// Hosts restricts sources/destinations (nil = all cluster hosts).
+	Hosts []topo.NodeID
+	// Start/Stop bound the arrival process.
+	Start, Stop sim.Time
+}
+
+// Install schedules the arrival process on the cluster and returns the
+// number of flows that will be started (deterministic given rng).
+func (b *Background) Install(cl *cluster.Cluster, rng *sim.Rand) int {
+	hosts := b.Hosts
+	if hosts == nil {
+		hosts = cl.Topo.Hosts()
+	}
+	if len(hosts) < 2 || b.Load <= 0 {
+		return 0
+	}
+	// Aggregate arrival rate: load * total host bandwidth / mean size.
+	meanBits := b.CDF.Mean() * 8
+	ratePerNS := b.Load * cl.Topo.LinkBandwidth * float64(len(hosts)) / meanBits / 1e9
+	n := 0
+	for t := b.Start; t < b.Stop; {
+		gap := sim.Time(rng.ExpFloat64() / ratePerNS)
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		if t >= b.Stop {
+			break
+		}
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		size := b.CDF.Sample(rng)
+		cl.StartFlow(src, dst, size, t)
+		n++
+	}
+	return n
+}
