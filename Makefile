@@ -1,0 +1,27 @@
+# Standard library only; the targets below are the whole toolchain.
+
+GO ?= go
+
+.PHONY: check build vet test race bench fleet-race
+
+# check is the CI gate: compile everything, vet, full race-enabled tests.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fleet-race is the fast loop while working on the ingest pipeline.
+fleet-race:
+	$(GO) test -race ./internal/fleetstore ./internal/analyzd
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/fleetstore

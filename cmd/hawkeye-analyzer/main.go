@@ -41,4 +41,6 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("served %d sessions, %d reports, %d diagnoses\n",
 		st.Sessions, st.Reports, st.Diagnoses)
+	fmt.Printf("fleet store: %d ingested, %d dropped, %d evicted; %d incidents (%d open)\n",
+		st.Ingested, st.Dropped, st.Evicted, st.Incidents, st.OpenIncidents)
 }

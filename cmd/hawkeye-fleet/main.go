@@ -1,0 +1,112 @@
+// Command hawkeye-fleet is the operator's window into a running
+// analyzer's fleet store: query the clustered incident history, or tail
+// incident lifecycle events live as fabrics report complaints.
+//
+// Usage:
+//
+//	hawkeye-fleet -addr 127.0.0.1:9393                 # query all incidents
+//	hawkeye-fleet -addr 127.0.0.1:9393 -type pfc-storm # filter by anomaly type
+//	hawkeye-fleet -addr 127.0.0.1:9393 -from 1ms -to 5ms
+//	hawkeye-fleet -addr 127.0.0.1:9393 -tail           # live subscription
+//	hawkeye-fleet -addr 127.0.0.1:9393 -tail -n 10     # stop after 10 events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hawkeye/internal/analyzd"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9393", "analyzer address")
+	tail := flag.Bool("tail", false, "subscribe and stream incident events instead of querying")
+	n := flag.Int("n", 0, "with -tail: exit after this many events (0 = forever)")
+	fabric := flag.String("fabric", "", "filter: fabric name")
+	typ := flag.String("type", "", "filter: anomaly type (e.g. pfc-storm)")
+	node := flag.Int("node", -1, "filter: initial congestion node ID (-1 = any)")
+	from := flag.Duration("from", 0, "filter: span start on the fabric clock (e.g. 1ms)")
+	to := flag.Duration("to", 0, "filter: span end (0 = unbounded)")
+	limit := flag.Int("limit", 0, "query: cap the incident count (0 = all)")
+	flag.Parse()
+
+	c, err := analyzd.DialOperator(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	if *tail {
+		req := wire.SubscribeRequest{Fabric: *fabric, Type: *typ, Node: *node}
+		if err := c.Subscribe(req); err != nil {
+			fail(err)
+		}
+		fmt.Printf("tailing incidents on %s (ctrl-c to stop)\n", *addr)
+		for i := 0; *n == 0 || i < *n; i++ {
+			ev, err := c.NextEvent()
+			if err != nil {
+				fail(err)
+			}
+			printEvent(ev)
+		}
+		return
+	}
+
+	q := wire.IncidentQuery{
+		Fabric: *fabric,
+		Type:   *typ,
+		Node:   *node,
+		FromNS: int64(*from),
+		ToNS:   int64(*to),
+		Limit:  *limit,
+	}
+	incs, err := c.QueryIncidents(q)
+	if err != nil {
+		fail(err)
+	}
+	if len(incs) == 0 {
+		fmt.Println("no incidents match")
+		return
+	}
+	for i := range incs {
+		printIncident(&incs[i])
+	}
+	fmt.Printf("%d incident(s)\n", len(incs))
+}
+
+func printEvent(ev *wire.IncidentEvent) {
+	inc := &ev.Incident
+	fmt.Printf("[%s] #%d %s\n", strings.ToUpper(ev.Kind), inc.ID, inc.Summary)
+}
+
+func printIncident(inc *wire.FleetIncident) {
+	state := "open"
+	if inc.Resolved {
+		state = "resolved"
+	}
+	fmt.Printf("#%d (%s) %v .. %v  %s\n",
+		inc.ID, state, sim.Time(inc.FirstNS), sim.Time(inc.LastNS), inc.Summary)
+	if len(inc.Fabrics) > 0 {
+		fmt.Printf("    fabrics: %s\n", strings.Join(inc.Fabrics, ", "))
+	}
+	if len(inc.Culprits) > 0 {
+		fmt.Printf("    culprits: %s\n", strings.Join(inc.Culprits, ", "))
+	}
+	// The attribute partition: what every complaint agreed on, and
+	// which dimensions spread.
+	for k, v := range inc.Constant {
+		fmt.Printf("    constant %s = %s\n", k, v)
+	}
+	for k, vals := range inc.Varying {
+		fmt.Printf("    varying  %s across %d values\n", k, len(vals))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hawkeye-fleet:", err)
+	os.Exit(1)
+}

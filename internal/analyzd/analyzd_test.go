@@ -294,3 +294,169 @@ func TestIncidentsOverTheWire(t *testing.T) {
 }
 
 const time2ms = 2_000_000 // 2 ms in sim.Time ns
+
+// TestFleetStoreEndToEnd drives two concurrent fabric sessions through
+// one analyzer into the shared fleet store, tails it over a live
+// subscription, and queries the clustered incidents by type and time
+// range over the wire.
+func TestFleetStoreEndToEnd(t *testing.T) {
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Score.Result == nil {
+		t.Fatal("trial produced no diagnosis")
+	}
+	victim := tr.Score.Result.Trigger.Victim
+	at := int64(tr.Score.Result.Trigger.At)
+	epoch := int64(tr.Sys.Cfg.Telemetry.EpochSize())
+	s := newServer(t)
+
+	// Operator 1 subscribes before any complaint arrives.
+	tail, err := DialOperator(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if err := tail.Subscribe(wire.SubscribeRequest{Node: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two fabrics report the same anomaly concurrently (same simulated
+	// telemetry standing in for two pods seeing one spine-level event).
+	fabrics := []string{"pod-a", "pod-b"}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(fabrics))
+	for _, fabric := range fabrics {
+		fabric := fabric
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialFabric(s.Addr(), fabric, tr.Cl.Topo, epoch)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for _, rep := range tr.View.Traced {
+				if err := c.SendReport(rep); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := c.DiagnoseAt(victim, at); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The live tail saw the incident open (and, fabrics racing, grow).
+	ev, err := tail.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "opened" {
+		t.Fatalf("first event kind %q, want opened", ev.Kind)
+	}
+	wantType := tr.Score.Result.Diagnosis.Type.String()
+	if ev.Incident.Type != wantType {
+		t.Fatalf("event type %q, want %q", ev.Incident.Type, wantType)
+	}
+	ev2, err := tail.NextEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Kind != "grew" && ev2.Kind != "opened" {
+		t.Fatalf("second event kind %q", ev2.Kind)
+	}
+
+	// Operator 2 queries: by type, then by a time range excluding it.
+	q, err := DialOperator(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	incs, err := q.QueryIncidents(wire.IncidentQuery{Type: wantType, Node: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("type query returned %d incidents, want 1 (both fabrics merged)", len(incs))
+	}
+	inc := incs[0]
+	if inc.Complaints != 2 || len(inc.Fabrics) != 2 {
+		t.Fatalf("incident complaints=%d fabrics=%v, want 2 complaints across 2 fabrics", inc.Complaints, inc.Fabrics)
+	}
+	if inc.Summary == "" || inc.FirstNS != at || inc.LastNS != at {
+		t.Fatalf("incident summary/span: %+v", inc)
+	}
+	// The varying dimension is the fabric; the anchor attributes are
+	// constant.
+	if len(inc.Varying["fabric"]) != 2 {
+		t.Fatalf("varying = %v, want 2 fabrics", inc.Varying)
+	}
+	in, err := q.QueryIncidents(wire.IncidentQuery{Node: -1, FromNS: at - 1000, ToNS: at + 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 1 {
+		t.Fatalf("covering time-range query returned %d, want 1", len(in))
+	}
+	out, err := q.QueryIncidents(wire.IncidentQuery{Node: -1, FromNS: at + time2ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("disjoint time-range query returned %d, want 0", len(out))
+	}
+	if _, err := q.QueryIncidents(wire.IncidentQuery{Type: "no-such-type", Node: -1}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+
+	st := s.Stats()
+	if st.Ingested != 2 || st.Dropped != 0 || st.Incidents != 1 || st.OpenIncidents != 1 {
+		t.Fatalf("fleet stats = %+v", st)
+	}
+	if st.Sessions != 4 {
+		t.Fatalf("sessions = %d, want 4 (2 fabrics + 2 operators)", st.Sessions)
+	}
+}
+
+// TestOperatorSessionCannotDiagnose pins the operator-session contract:
+// no topology means no reports and no diagnoses.
+func TestOperatorSessionCannotDiagnose(t *testing.T) {
+	s := newServer(t)
+	c, err := DialOperator(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Diagnose(packetFiveTuple{SrcIP: 1, DstIP: 2, Proto: 17}); err == nil {
+		t.Fatal("operator session diagnosed")
+	}
+}
+
+// TestSubscriberOutlivesProducers: events keep flowing as fabrics come
+// and go; closing the server closes the tail cleanly.
+func TestSubscriberClosedOnServerClose(t *testing.T) {
+	s := newServer(t)
+	tail, err := DialOperator(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if err := tail.Subscribe(wire.SubscribeRequest{Node: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.NextEvent(); err == nil {
+		t.Fatal("NextEvent succeeded on a closed server")
+	}
+}

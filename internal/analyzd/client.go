@@ -27,19 +27,35 @@ type Client struct {
 }
 
 // Dial connects and performs the handshake: the fabric topology and the
-// telemetry epoch are session state on the server.
+// telemetry epoch are session state on the server. The session reports
+// into the server's default fabric; use DialFabric to name one.
 func Dial(addr string, t *topo.Topology, epochNS int64) (*Client, error) {
+	return DialFabric(addr, "", t, epochNS)
+}
+
+// DialFabric is Dial with an explicit fabric name: every diagnosis this
+// session completes is filed under that name in the fleet store.
+func DialFabric(addr, fabric string, t *topo.Topology, epochNS int64) (*Client, error) {
+	spec, err := json.Marshal(t.ToSpec())
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: topology: %w", err)
+	}
+	hello := wire.Hello{Version: wire.ProtocolVersion, Topo: spec, EpochNS: epochNS, Fabric: fabric}
+	return dialHello(addr, hello)
+}
+
+// DialOperator opens an operator session: no topology, no reports or
+// diagnoses — only fleet incident queries and live subscriptions.
+func DialOperator(addr string) (*Client, error) {
+	return dialHello(addr, wire.Hello{Version: wire.ProtocolVersion})
+}
+
+func dialHello(addr string, hello wire.Hello) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: dial: %w", err)
 	}
 	c := &Client{conn: conn}
-	spec, err := json.Marshal(t.ToSpec())
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("analyzd: topology: %w", err)
-	}
-	hello := wire.Hello{Version: wire.ProtocolVersion, Topo: spec, EpochNS: epochNS}
 	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -121,4 +137,73 @@ func (c *Client) Incidents() ([]wire.IncidentSummary, error) {
 		return nil, fmt.Errorf("analyzd: decode incidents: %w", err)
 	}
 	return out, nil
+}
+
+// QueryIncidents asks the fleet store for clustered incidents matching
+// q. Remember q.Node: 0 is a real node, -1 is the wildcard.
+func (c *Client) QueryIncidents(q wire.IncidentQuery) ([]wire.FleetIncident, error) {
+	if err := wire.WriteJSON(c.conn, wire.MsgQueryIncidents, q); err != nil {
+		return nil, err
+	}
+	mt, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: query incidents: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgIncidentMatches {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var out []wire.FleetIncident
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("analyzd: decode fleet incidents: %w", err)
+	}
+	return out, nil
+}
+
+// Subscribe turns this session into a live incident tail: the server
+// acknowledges, then pushes MsgIncidentEvent frames as incidents open,
+// grow and resolve. After Subscribe, NextEvent is the only valid call —
+// use a second connection for queries.
+func (c *Client) Subscribe(req wire.SubscribeRequest) error {
+	if err := wire.WriteJSON(c.conn, wire.MsgSubscribe, req); err != nil {
+		return err
+	}
+	mt, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("analyzd: subscribe: %w", err)
+	}
+	if mt == wire.MsgError {
+		return fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgSubscribeOK {
+		return fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	return nil
+}
+
+// NextEvent blocks for the next pushed incident event. Unknown frame
+// types from a newer server are skipped, per the wire package contract.
+func (c *Client) NextEvent() (*wire.IncidentEvent, error) {
+	for {
+		mt, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("analyzd: next event: %w", err)
+		}
+		switch {
+		case mt == wire.MsgIncidentEvent:
+			var ev wire.IncidentEvent
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return nil, fmt.Errorf("analyzd: decode event: %w", err)
+			}
+			return &ev, nil
+		case mt == wire.MsgError:
+			return nil, fmt.Errorf("analyzd: server error: %s", payload)
+		case !wire.Known(mt):
+			continue // forward compatibility: skip unknown frames
+		default:
+			return nil, fmt.Errorf("analyzd: unexpected frame type %d while tailing", mt)
+		}
+	}
 }

@@ -1,0 +1,85 @@
+package analyzd
+
+import (
+	"fmt"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleetstore"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
+)
+
+// parseType maps an optional wire anomaly-type string to a type list
+// (nil = any).
+func parseType(s string) ([]diagnosis.AnomalyType, error) {
+	if s == "" {
+		return nil, nil
+	}
+	t, ok := diagnosis.ParseAnomalyType(s)
+	if !ok {
+		return nil, fmt.Errorf("unknown anomaly type %q", s)
+	}
+	return []diagnosis.AnomalyType{t}, nil
+}
+
+// wireNode maps the wire node filter (-1 or any negative = wildcard) to
+// the store's.
+func wireNode(n int) topo.NodeID {
+	if n < 0 {
+		return fleetstore.AnyNode
+	}
+	return topo.NodeID(n)
+}
+
+func queryFromWire(wq wire.IncidentQuery) (fleetstore.Query, error) {
+	types, err := parseType(wq.Type)
+	if err != nil {
+		return fleetstore.Query{}, err
+	}
+	return fleetstore.Query{
+		Fabric: wq.Fabric,
+		Types:  types,
+		Node:   wireNode(wq.Node),
+		From:   sim.Time(wq.FromNS),
+		To:     sim.Time(wq.ToNS),
+		Limit:  wq.Limit,
+	}, nil
+}
+
+func filterFromWire(req wire.SubscribeRequest) (fleetstore.Filter, error) {
+	types, err := parseType(req.Type)
+	if err != nil {
+		return fleetstore.Filter{}, err
+	}
+	return fleetstore.Filter{
+		Fabric: req.Fabric,
+		Types:  types,
+		Node:   wireNode(req.Node),
+	}, nil
+}
+
+func incidentToWire(inc *fleetstore.Incident) wire.FleetIncident {
+	return wire.FleetIncident{
+		ID:         inc.ID,
+		Type:       inc.Type.String(),
+		Node:       int(inc.Node),
+		FirstNS:    int64(inc.First),
+		LastNS:     int64(inc.Last),
+		Complaints: inc.Complaints,
+		Victims:    inc.Victims,
+		Fabrics:    inc.Fabrics,
+		Culprits:   inc.Culprits,
+		Resolved:   inc.Resolved,
+		Summary:    inc.Summary(),
+		Constant:   inc.Constant,
+		Varying:    inc.Varying,
+	}
+}
+
+func eventToWire(ev *fleetstore.Event) wire.IncidentEvent {
+	return wire.IncidentEvent{
+		Kind:     ev.Kind.String(),
+		Incident: incidentToWire(&ev.Incident),
+	}
+}

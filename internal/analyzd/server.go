@@ -4,7 +4,10 @@
 // of a victim flow and get the provenance verdict back. The simulator
 // runs the same provenance/diagnosis code in-process for the evaluation;
 // this service is the deployment face of the analyzer — one process per
-// fabric, sessions carry the topology in the handshake.
+// fleet, fabric sessions carry their topology in the handshake, and
+// every completed diagnosis also flows into the shared fleet store
+// (internal/fleetstore), where operator sessions query and tail the
+// clustered incident view.
 package analyzd
 
 import (
@@ -14,9 +17,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/host"
 	"hawkeye/internal/provenance"
 	"hawkeye/internal/sim"
@@ -32,15 +37,20 @@ type Server struct {
 	// DiagnosisConfig tunes signature matching (defaults if zero).
 	DiagnosisConfig diagnosis.Config
 
+	// fleet is the shared diagnosis history; pipe is its ingest front.
+	fleet *fleetstore.Store
+	pipe  *fleetstore.Pipeline
+
+	// mu guards the connection map only; the counters below are
+	// atomics so hot-path accounting never contends with accept/close.
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 
-	// Stats (updated under mu).
-	sessions  int
-	reports   int
-	diagnoses int
+	sessions  atomic.Uint64
+	reports   atomic.Uint64
+	diagnoses atomic.Uint64
 }
 
 // Stats is a snapshot of server activity.
@@ -48,17 +58,36 @@ type Stats struct {
 	Sessions  int
 	Reports   int
 	Diagnoses int
+	// Fleet store counters: records admitted, records shed at the
+	// ingest queue, retention-ring evictions, incidents ever opened,
+	// incidents currently open, and subscription events lost to slow
+	// subscribers.
+	Ingested      uint64
+	Dropped       uint64
+	Evicted       uint64
+	Incidents     uint64
+	OpenIncidents int
+	EventsDropped uint64
 }
 
-// Listen starts a server on addr (e.g. "127.0.0.1:0").
+// Listen starts a server on addr (e.g. "127.0.0.1:0") with a default
+// fleet store.
 func Listen(addr string) (*Server, error) {
+	return ListenFleet(addr, fleetstore.DefaultConfig())
+}
+
+// ListenFleet starts a server with an explicitly sized fleet store.
+func ListenFleet(addr string, fleetCfg fleetstore.Config) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: listen: %w", err)
 	}
+	st := fleetstore.New(fleetCfg)
 	s := &Server{
 		lis:             lis,
 		DiagnosisConfig: diagnosis.DefaultConfig(),
+		fleet:           st,
+		pipe:            fleetstore.NewPipeline(st, 0, 0),
 		conns:           make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
@@ -69,15 +98,27 @@ func Listen(addr string) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
+// Fleet exposes the server's fleet store (in-process consumers).
+func (s *Server) Fleet() *fleetstore.Store { return s.fleet }
+
 // Stats returns activity counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{Sessions: s.sessions, Reports: s.reports, Diagnoses: s.diagnoses}
+	fc := s.fleet.CountersSnapshot()
+	return Stats{
+		Sessions:      int(s.sessions.Load()),
+		Reports:       int(s.reports.Load()),
+		Diagnoses:     int(s.diagnoses.Load()),
+		Ingested:      fc.Ingested,
+		Dropped:       s.pipe.Dropped(),
+		Evicted:       fc.Evicted,
+		Incidents:     fc.Incidents,
+		OpenIncidents: fc.OpenIncidents,
+		EventsDropped: fc.EventsDropped,
+	}
 }
 
 // Close stops accepting, closes every live session and waits for the
-// handlers to drain.
+// handlers to drain, then shuts the ingest pipeline down.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -86,7 +127,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.lis.Close()
+	s.fleet.Hub().Close()
 	s.wg.Wait()
+	s.pipe.Close()
 	return err
 }
 
@@ -104,8 +147,8 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.sessions++
 		s.mu.Unlock()
+		s.sessions.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -120,6 +163,14 @@ func (s *Server) acceptLoop() {
 
 // session is one connection's analyzer state.
 type session struct {
+	conn net.Conn
+	// writeMu serializes frames from the request/reply loop with
+	// asynchronously pushed incident events.
+	writeMu sync.Mutex
+
+	// fabric names this session in the fleet store.
+	fabric string
+	// topo is nil for operator sessions (query/subscribe only).
 	topo    *topo.Topology
 	epochNS int64
 	// reports keeps the freshest report per switch.
@@ -127,12 +178,29 @@ type session struct {
 	// history records completed diagnoses for incident grouping (trigger
 	// order, the order requests arrive).
 	history []*core.Result
+	// sub is the live subscription, once MsgSubscribe arrived.
+	sub *fleetstore.Sub
+}
+
+func (sess *session) write(t wire.MsgType, payload []byte) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	return wire.WriteFrame(sess.conn, t, payload)
+}
+
+func (sess *session) writeJSON(t wire.MsgType, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("analyzd: encode %T: %w", v, err)
+	}
+	return sess.write(t, data)
 }
 
 func (s *Server) handle(conn net.Conn) {
-	sendErr := func(msg string) { _ = wire.WriteFrame(conn, wire.MsgError, []byte(msg)) }
+	sess := &session{conn: conn}
+	sendErr := func(msg string) { _ = sess.write(wire.MsgError, []byte(msg)) }
 
-	// Handshake first: nothing else is meaningful without a topology.
+	// Handshake first: nothing else is meaningful without it.
 	t, payload, err := wire.ReadFrame(conn)
 	if err != nil {
 		return
@@ -150,23 +218,34 @@ func (s *Server) handle(conn net.Conn) {
 		sendErr(fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.ProtocolVersion))
 		return
 	}
-	if hello.EpochNS <= 0 {
-		sendErr("non-positive telemetry epoch")
+	sess.fabric = hello.Fabric
+	if sess.fabric == "" {
+		sess.fabric = "default"
+	}
+	// An empty topology marks an operator session: it may query and
+	// subscribe but carries no fabric of its own.
+	if len(hello.Topo) > 0 && string(hello.Topo) != "null" {
+		if hello.EpochNS <= 0 {
+			sendErr("non-positive telemetry epoch")
+			return
+		}
+		tp, err := topo.ParseSpecJSON(hello.Topo)
+		if err != nil {
+			sendErr(fmt.Sprintf("bad topology: %v", err))
+			return
+		}
+		sess.topo = tp
+		sess.epochNS = hello.EpochNS
+		sess.reports = make(map[topo.NodeID]*telemetry.Report)
+	}
+	if err := sess.write(wire.MsgHelloOK, nil); err != nil {
 		return
 	}
-	tp, err := topo.ParseSpecJSON(hello.Topo)
-	if err != nil {
-		sendErr(fmt.Sprintf("bad topology: %v", err))
-		return
-	}
-	if err := wire.WriteFrame(conn, wire.MsgHelloOK, nil); err != nil {
-		return
-	}
-	sess := &session{
-		topo:    tp,
-		epochNS: hello.EpochNS,
-		reports: make(map[topo.NodeID]*telemetry.Report),
-	}
+	defer func() {
+		if sess.sub != nil {
+			s.fleet.Hub().Unsubscribe(sess.sub)
+		}
+	}()
 
 	for {
 		t, payload, err := wire.ReadFrame(conn)
@@ -176,52 +255,119 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		switch t {
-		case wire.MsgReport:
-			rep := &telemetry.Report{}
-			if err := rep.UnmarshalBinary(payload); err != nil {
-				sendErr(fmt.Sprintf("bad report: %v", err))
-				return
-			}
-			if int(rep.Switch) >= len(sess.topo.Nodes) {
-				sendErr(fmt.Sprintf("report for unknown switch %d", rep.Switch))
-				return
-			}
-			sess.reports[rep.Switch] = rep
-			s.mu.Lock()
-			s.reports++
-			s.mu.Unlock()
-		case wire.MsgDiagnose:
-			victim, atNS, err := wire.DecodeDiagnoseRequest(payload)
-			if err != nil {
-				sendErr(fmt.Sprintf("bad diagnose request: %v", err))
-				return
-			}
-			reply := s.diagnose(sess, victim, atNS)
-			if err := wire.WriteJSON(conn, wire.MsgDiagnosis, reply); err != nil {
-				return
-			}
-			s.mu.Lock()
-			s.diagnoses++
-			s.mu.Unlock()
-		case wire.MsgIncidents:
-			incs := core.GroupIncidents(sess.history, incidentWindow)
-			out := make([]wire.IncidentSummary, 0, len(incs))
-			for _, inc := range incs {
-				out = append(out, wire.IncidentSummary{
-					Type:       inc.Type.String(),
-					Complaints: len(inc.Results),
-					Victims:    inc.Victims(),
-					FirstNS:    int64(inc.First),
-					LastNS:     int64(inc.Last),
-					Rendered:   inc.Primary().Diagnosis.String(),
-				})
-			}
-			if err := wire.WriteJSON(conn, wire.MsgIncidentList, out); err != nil {
-				return
-			}
-		default:
-			sendErr(fmt.Sprintf("unexpected message type %d", t))
+		if !s.serve(sess, t, payload, sendErr) {
+			return
+		}
+	}
+}
+
+// serve dispatches one request frame; false ends the session.
+func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr func(string)) bool {
+	switch t {
+	case wire.MsgReport:
+		if sess.topo == nil {
+			sendErr("operator session cannot push reports")
+			return false
+		}
+		rep := &telemetry.Report{}
+		if err := rep.UnmarshalBinary(payload); err != nil {
+			sendErr(fmt.Sprintf("bad report: %v", err))
+			return false
+		}
+		if int(rep.Switch) >= len(sess.topo.Nodes) {
+			sendErr(fmt.Sprintf("report for unknown switch %d", rep.Switch))
+			return false
+		}
+		sess.reports[rep.Switch] = rep
+		s.reports.Add(1)
+	case wire.MsgDiagnose:
+		if sess.topo == nil {
+			sendErr("operator session cannot diagnose")
+			return false
+		}
+		victim, atNS, err := wire.DecodeDiagnoseRequest(payload)
+		if err != nil {
+			sendErr(fmt.Sprintf("bad diagnose request: %v", err))
+			return false
+		}
+		reply := s.diagnose(sess, victim, atNS)
+		if err := sess.writeJSON(wire.MsgDiagnosis, reply); err != nil {
+			return false
+		}
+		s.diagnoses.Add(1)
+	case wire.MsgIncidents:
+		incs := core.GroupIncidents(sess.history, incidentWindow)
+		out := make([]wire.IncidentSummary, 0, len(incs))
+		for _, inc := range incs {
+			out = append(out, wire.IncidentSummary{
+				Type:       inc.Type.String(),
+				Complaints: len(inc.Results),
+				Victims:    inc.Victims(),
+				FirstNS:    int64(inc.First),
+				LastNS:     int64(inc.Last),
+				Rendered:   inc.Primary().Diagnosis.String(),
+			})
+		}
+		if err := sess.writeJSON(wire.MsgIncidentList, out); err != nil {
+			return false
+		}
+	case wire.MsgQueryIncidents:
+		var wq wire.IncidentQuery
+		if err := json.Unmarshal(payload, &wq); err != nil {
+			sendErr(fmt.Sprintf("bad incident query: %v", err))
+			return false
+		}
+		q, err := queryFromWire(wq)
+		if err != nil {
+			sendErr(err.Error())
+			return false
+		}
+		// Read-your-writes: settle the ingest queue before answering.
+		s.pipe.Drain()
+		incs := s.fleet.Incidents(q)
+		out := make([]wire.FleetIncident, 0, len(incs))
+		for i := range incs {
+			out = append(out, incidentToWire(&incs[i]))
+		}
+		if err := sess.writeJSON(wire.MsgIncidentMatches, out); err != nil {
+			return false
+		}
+	case wire.MsgSubscribe:
+		var req wire.SubscribeRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			sendErr(fmt.Sprintf("bad subscribe request: %v", err))
+			return false
+		}
+		f, err := filterFromWire(req)
+		if err != nil {
+			sendErr(err.Error())
+			return false
+		}
+		if sess.sub != nil {
+			sendErr("already subscribed")
+			return false
+		}
+		sess.sub = s.fleet.Hub().Subscribe(f, 0)
+		if err := sess.write(wire.MsgSubscribeOK, nil); err != nil {
+			return false
+		}
+		s.wg.Add(1)
+		go s.forwardEvents(sess)
+	default:
+		sendErr(fmt.Sprintf("unexpected message type %d", t))
+		return false
+	}
+	return true
+}
+
+// forwardEvents streams the session's subscription to its connection.
+// It exits when the hub closes the subscription (session teardown or
+// server close) or the connection dies.
+func (s *Server) forwardEvents(sess *session) {
+	defer s.wg.Done()
+	for ev := range sess.sub.Events() {
+		if err := sess.writeJSON(wire.MsgIncidentEvent, eventToWire(&ev)); err != nil {
+			sess.conn.Close() // unblock the read loop; it unsubscribes
 			return
 		}
 	}
@@ -240,10 +386,14 @@ func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wir
 	cfg := provenance.DefaultConfig(sess.topo.LinkBandwidth, sess.epochNS)
 	g := provenance.Build(cfg, reports, sess.topo)
 	d := diagnosis.Diagnose(s.DiagnosisConfig, g, sess.topo, victim)
-	sess.history = append(sess.history, &core.Result{
+	res := &core.Result{
 		Trigger:   host.Trigger{Victim: victim, At: sim.Time(atNS)},
 		Diagnosis: d,
-	})
+	}
+	sess.history = append(sess.history, res)
+	// Feed the fleet store; a full queue sheds the record (counted)
+	// rather than stalling this session.
+	s.pipe.Offer(fleetstore.NewRecord(sess.fabric, res))
 	cause := d.PrimaryCause()
 	reply := wire.Diagnosis{
 		Type:        d.Type.String(),

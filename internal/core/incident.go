@@ -23,9 +23,19 @@ type Incident struct {
 	First, Last sim.Time
 }
 
-// Primary returns the earliest member — its diagnosis carries the
-// incident's root cause with the freshest telemetry.
-func (inc *Incident) Primary() *Result { return inc.Results[0] }
+// Primary returns the earliest-triggered member — its diagnosis carries
+// the incident's root cause with the freshest telemetry. Members arrive
+// in delivery order, which under complaint storms is not trigger order,
+// so this scans rather than trusting Results[0].
+func (inc *Incident) Primary() *Result {
+	p := inc.Results[0]
+	for _, r := range inc.Results[1:] {
+		if r.Trigger.At < p.Trigger.At {
+			p = r
+		}
+	}
+	return p
+}
 
 // Victims lists the distinct complaining flows.
 func (inc *Incident) Victims() int {
@@ -84,9 +94,12 @@ func (sys *System) Incidents(window sim.Time) []*Incident {
 
 // GroupIncidents clusters diagnoses into incidents: a result joins an
 // open incident when it describes the same event (sameEvent) and its
-// trigger falls within window of the incident's last member; otherwise
-// it opens a new incident. Results must be in trigger order (the order
-// DiagnoseAll returns).
+// trigger falls within window of the incident's span; otherwise it
+// opens a new incident. Results are usually in trigger order (the order
+// DiagnoseAll returns), but out-of-order arrivals — an analyzer serving
+// live sessions sees a later-delivered earlier complaint — are handled:
+// the span check is symmetric around [First-window, Last+window], and
+// First/Last track the true extremes.
 func GroupIncidents(results []*Result, window sim.Time) []*Incident {
 	var out []*Incident
 	for _, r := range results {
@@ -95,7 +108,8 @@ func GroupIncidents(results []*Result, window sim.Time) []*Incident {
 		}
 		var joined *Incident
 		for _, inc := range out {
-			if r.Trigger.At-inc.Last <= window && sameEvent(inc, r) {
+			at := r.Trigger.At
+			if at >= inc.First-window && at <= inc.Last+window && sameEvent(inc, r) {
 				joined = inc
 				break
 			}
@@ -112,6 +126,9 @@ func GroupIncidents(results []*Result, window sim.Time) []*Incident {
 		joined.Results = append(joined.Results, r)
 		if r.Trigger.At > joined.Last {
 			joined.Last = r.Trigger.At
+		}
+		if r.Trigger.At < joined.First {
+			joined.First = r.Trigger.At
 		}
 	}
 	return out

@@ -90,6 +90,40 @@ func TestGroupIncidentsLoopOverlapMerges(t *testing.T) {
 	}
 }
 
+// TestGroupIncidentsOutOfOrderTriggers: a live analyzer can complete an
+// earlier-triggered diagnosis after a later one (sessions race). The
+// late-delivered earlier member must extend First, leave Last alone,
+// and take over Primary() — without widening the join window so far
+// that unrelated events merge.
+func TestGroupIncidentsOutOfOrderTriggers(t *testing.T) {
+	rs := []*Result{
+		mkResult(1000, 1, diagnosis.TypePFCContention, 5, nil),
+		mkResult(1400, 2, diagnosis.TypePFCContention, 5, nil),
+		mkResult(600, 3, diagnosis.TypePFCContention, 5, nil), // earlier trigger, delivered last
+	}
+	incs := GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	inc := incs[0]
+	if inc.First != 600 || inc.Last != 1400 {
+		t.Fatalf("span %v..%v, want 600..1400", inc.First, inc.Last)
+	}
+	if got := inc.Primary().Trigger.At; got != 600 {
+		t.Fatalf("primary at %v, want the earliest member (600)", got)
+	}
+	// An earlier trigger beyond the widened span opens its own incident
+	// instead of corrupting the existing one.
+	rs = append(rs, mkResult(600-2*sim.Millisecond, 4, diagnosis.TypePFCContention, 5, nil))
+	incs = GroupIncidents(rs, sim.Millisecond)
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2 (stale complaint split off)", len(incs))
+	}
+	if incs[0].First != 600 || incs[0].Last != 1400 {
+		t.Fatalf("original incident corrupted: %v..%v", incs[0].First, incs[0].Last)
+	}
+}
+
 func TestGroupIncidentsSkipsNilDiagnosis(t *testing.T) {
 	rs := []*Result{{Trigger: host.Trigger{At: 1}}}
 	if incs := GroupIncidents(rs, sim.Millisecond); len(incs) != 0 {

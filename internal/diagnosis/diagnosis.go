@@ -59,6 +59,23 @@ func (t AnomalyType) String() string {
 	}
 }
 
+// anomalyTypes enumerates every defined type, for ParseAnomalyType.
+var anomalyTypes = []AnomalyType{
+	TypeNone, TypeNormalContention, TypePFCContention, TypePFCStorm,
+	TypeInLoopDeadlock, TypeOutLoopDeadlockContention, TypeOutLoopDeadlockInjection,
+}
+
+// ParseAnomalyType inverts AnomalyType.String (wire filters carry the
+// string form). The second result is false for unknown names.
+func ParseAnomalyType(s string) (AnomalyType, bool) {
+	for _, t := range anomalyTypes {
+		if t.String() == s {
+			return t, true
+		}
+	}
+	return TypeNone, false
+}
+
 // IsDeadlock reports whether the type is one of the deadlock cases.
 func (t AnomalyType) IsDeadlock() bool {
 	return t == TypeInLoopDeadlock || t == TypeOutLoopDeadlockContention || t == TypeOutLoopDeadlockInjection

@@ -1,0 +1,60 @@
+package fleetstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/sim"
+)
+
+// BenchmarkStoreAdd measures raw sharded-store insertion from parallel
+// producers (the lock-striping hot path, no pipeline in front).
+func BenchmarkStoreAdd(b *testing.B) {
+	st := New(Config{Shards: 16, ShardCapacity: 1 << 12})
+	var fabricSeq atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		fabric := fmt.Sprintf("pod-%d", fabricSeq.Add(1))
+		at := sim.Time(0)
+		for pb.Next() {
+			at += 100
+			st.Add(Record{
+				Fabric: fabric,
+				At:     at,
+				Victim: "v",
+				Type:   diagnosis.TypePFCContention,
+				Node:   5,
+			})
+		}
+	})
+}
+
+// BenchmarkPipelineIngest measures end-to-end ingest throughput: N
+// parallel producers offering through the bounded queue into the worker
+// pool, clustering included. Drops count as work shed, not time saved —
+// the benchmark reports them.
+func BenchmarkPipelineIngest(b *testing.B) {
+	st := New(Config{Shards: 16, ShardCapacity: 1 << 14})
+	p := NewPipeline(st, 4096, 4)
+	defer p.Close()
+	var fabricSeq atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		fabric := fmt.Sprintf("pod-%d", fabricSeq.Add(1))
+		at := sim.Time(0)
+		for pb.Next() {
+			at += 100
+			p.Offer(Record{
+				Fabric: fabric,
+				At:     at,
+				Victim: "v",
+				Type:   diagnosis.TypePFCContention,
+				Node:   5,
+			})
+		}
+	})
+	p.Drain()
+	b.ReportMetric(float64(p.Dropped())/float64(b.N), "drops/op")
+}

@@ -1,0 +1,429 @@
+package fleetstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// Incident is one clustered anomaly event, fleet-wide: the analyzer-side
+// counterpart of §3.4's in-fabric polling dedup, generalized across
+// sessions and fabrics. Dozens of correlated complaints become one
+// ticket whose summary names what stayed constant (the anchor) and how
+// far the varying dimensions spread (victims, fabrics).
+type Incident struct {
+	// ID is unique per store, in open order.
+	ID uint64
+	// Type is the members' anomaly class.
+	Type diagnosis.AnomalyType
+	// Node anchors the incident at the initial congestion node.
+	Node topo.NodeID
+	// First/Last bound the member triggers.
+	First, Last sim.Time
+	// Complaints counts member records.
+	Complaints int
+	// Victims / Fabrics / Culprits are the distinct values seen, sorted.
+	Victims  []string
+	Fabrics  []string
+	Culprits []string
+	// Resolved is set once the join window has passed the incident.
+	Resolved bool
+	// Constant/Varying partition the member attributes (Datadog-style
+	// tag partitioning): an attribute with one distinct value across all
+	// members is constant — part of the "what/where"; one with several
+	// is varying — part of the "how far it spread".
+	Constant map[string]string
+	Varying  map[string][]string
+}
+
+// Summary renders the operator one-liner, e.g.
+// "pfc-storm at N5: 14 complaints from 9 victims across 2 fabrics".
+func (inc *Incident) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v at N%d: %d complaint", inc.Type, inc.Node, inc.Complaints)
+	if inc.Complaints != 1 {
+		b.WriteByte('s')
+	}
+	fmt.Fprintf(&b, " from %d victim", len(inc.Victims))
+	if len(inc.Victims) != 1 {
+		b.WriteByte('s')
+	}
+	fmt.Fprintf(&b, " across %d fabric", len(inc.Fabrics))
+	if len(inc.Fabrics) != 1 {
+		b.WriteByte('s')
+	}
+	if len(inc.Culprits) > 0 {
+		fmt.Fprintf(&b, ", %d culprit flow", len(inc.Culprits))
+		if len(inc.Culprits) != 1 {
+			b.WriteByte('s')
+		}
+	}
+	// Constant attributes beyond the anchor sharpen the ticket; varying
+	// ones are already counted above.
+	if k, ok := inc.Constant["cause"]; ok {
+		fmt.Fprintf(&b, " (cause: %s)", k)
+	}
+	return b.String()
+}
+
+// attrs projects a record into the dimensions the partition runs over.
+// The anchor dimensions (type, node) are constant by construction; the
+// interesting question is which of the others vary.
+func attrs(rec *Record) map[string]string {
+	m := map[string]string{
+		"fabric": rec.Fabric,
+		"victim": rec.Victim,
+		"cause":  rec.Cause.String(),
+		"port":   fmt.Sprintf("N%d.P%d", rec.Node, rec.Port),
+	}
+	if len(rec.Culprits) > 0 {
+		m["culprits"] = strings.Join(rec.Culprits, "+")
+	}
+	return m
+}
+
+// PartitionAttrs splits per-member attribute maps into constant
+// dimensions (one distinct value across every member that has the key)
+// and varying dimensions (several distinct values, sorted). A key
+// missing from some members counts as varying only if its present
+// values differ; a single member makes everything constant.
+func PartitionAttrs(members []map[string]string) (constant map[string]string, varying map[string][]string) {
+	constant = make(map[string]string)
+	varying = make(map[string][]string)
+	seen := make(map[string]map[string]bool)
+	for _, m := range members {
+		for k, v := range m {
+			if seen[k] == nil {
+				seen[k] = make(map[string]bool)
+			}
+			seen[k][v] = true
+		}
+	}
+	for k, vals := range seen {
+		if len(vals) == 1 {
+			for v := range vals {
+				constant[k] = v
+			}
+			continue
+		}
+		list := make([]string, 0, len(vals))
+		for v := range vals {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		varying[k] = list
+	}
+	return constant, varying
+}
+
+// EventKind classifies an incident lifecycle transition.
+type EventKind int
+
+const (
+	// Opened: first complaint of a new incident.
+	Opened EventKind = iota
+	// Grew: a complaint joined an open incident.
+	Grew
+	// Resolved: the join window passed with no new complaints.
+	Resolved
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Opened:
+		return "opened"
+	case Grew:
+		return "grew"
+	case Resolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one incident lifecycle transition, carrying the incident
+// snapshot after the transition.
+type Event struct {
+	Kind     EventKind
+	Incident Incident
+}
+
+// openIncident is the clusterer's mutable state for one open incident.
+// Distinct-value sets are maintained incrementally so publishing an
+// event after the n-th complaint costs O(distinct values), not O(n) —
+// a storm's incident can have tens of thousands of members.
+type openIncident struct {
+	inc     Incident
+	victims map[string]bool
+	fabrics map[string]bool
+	culprit map[string]bool
+	// attrSeen holds, per attribute dimension, the distinct values
+	// observed across members (the incremental form of PartitionAttrs).
+	attrSeen map[string]map[string]bool
+	loop     []topo.PortRef
+}
+
+func (oi *openIncident) fold(rec *Record) {
+	for k, v := range attrs(rec) {
+		if oi.attrSeen[k] == nil {
+			oi.attrSeen[k] = make(map[string]bool)
+		}
+		oi.attrSeen[k][v] = true
+	}
+}
+
+// clusterer folds admitted records into incidents. One mutex guards it:
+// clustering is a per-record O(open incidents) scan and the open set is
+// small (an incident per concurrent anomaly, not per complaint), so a
+// stripe here would buy nothing — the shards absorb the storage load.
+type clusterer struct {
+	window sim.Time
+	keep   int
+	emit   func(Event)
+
+	mu       sync.Mutex
+	open     []*openIncident
+	resolved []Incident
+	nextID   uint64
+
+	opened atomic.Uint64
+}
+
+func newClusterer(window sim.Time, keep int, emit func(Event)) *clusterer {
+	return &clusterer{window: window, keep: keep, emit: emit}
+}
+
+// joins reports whether rec belongs to oi: same anomaly class and an
+// overlapping anchor — the initial congestion node, or, for deadlocks,
+// a shared loop port — with the trigger inside the widened span
+// [First-window, Last+window]. Fabric is deliberately not part of the
+// key: a spine-level storm is one event however many fabrics report it.
+func (c *clusterer) joins(oi *openIncident, rec *Record) bool {
+	if rec.Type != oi.inc.Type {
+		return false
+	}
+	if rec.At < oi.inc.First-c.window || rec.At > oi.inc.Last+c.window {
+		return false
+	}
+	if rec.Node == oi.inc.Node {
+		return true
+	}
+	return loopsOverlap(oi.loop, rec.Loop)
+}
+
+func loopsOverlap(a, b []topo.PortRef) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[topo.PortRef]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	for _, p := range b {
+		if set[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// observe folds one record in and emits the resulting event.
+func (c *clusterer) observe(rec Record) {
+	c.mu.Lock()
+	var ev Event
+	if oi := c.match(&rec); oi != nil {
+		c.grow(oi, &rec)
+		ev = Event{Kind: Grew, Incident: snapshot(oi)}
+	} else {
+		oi := c.openNew(&rec)
+		ev = Event{Kind: Opened, Incident: snapshot(oi)}
+	}
+	c.mu.Unlock()
+	c.emit(ev)
+}
+
+func (c *clusterer) match(rec *Record) *openIncident {
+	for _, oi := range c.open {
+		if c.joins(oi, rec) {
+			return oi
+		}
+	}
+	return nil
+}
+
+func (c *clusterer) grow(oi *openIncident, rec *Record) {
+	oi.inc.Complaints++
+	if rec.At < oi.inc.First {
+		oi.inc.First = rec.At
+	}
+	if rec.At > oi.inc.Last {
+		oi.inc.Last = rec.At
+	}
+	oi.victims[rec.Victim] = true
+	oi.fabrics[rec.Fabric] = true
+	for _, cu := range rec.Culprits {
+		oi.culprit[cu] = true
+	}
+	if len(oi.loop) == 0 {
+		oi.loop = rec.Loop
+	}
+	oi.fold(rec)
+}
+
+func (c *clusterer) openNew(rec *Record) *openIncident {
+	c.nextID++
+	c.opened.Add(1)
+	oi := &openIncident{
+		inc: Incident{
+			ID:    c.nextID,
+			Type:  rec.Type,
+			Node:  rec.Node,
+			First: rec.At,
+			Last:  rec.At,
+		},
+		victims:  map[string]bool{rec.Victim: true},
+		fabrics:  map[string]bool{rec.Fabric: true},
+		culprit:  make(map[string]bool),
+		attrSeen: make(map[string]map[string]bool),
+		loop:     rec.Loop,
+	}
+	oi.inc.Complaints = 1
+	for _, cu := range rec.Culprits {
+		oi.culprit[cu] = true
+	}
+	oi.fold(rec)
+	c.open = append(c.open, oi)
+	return oi
+}
+
+// snapshot freezes an open incident for publication: distinct sets
+// sorted, attribute partition derived from the incremental value sets.
+func snapshot(oi *openIncident) Incident {
+	inc := oi.inc
+	inc.Victims = sortedKeys(oi.victims)
+	inc.Fabrics = sortedKeys(oi.fabrics)
+	inc.Culprits = sortedKeys(oi.culprit)
+	inc.Constant = make(map[string]string)
+	inc.Varying = make(map[string][]string)
+	for k, vals := range oi.attrSeen {
+		if len(vals) == 1 {
+			for v := range vals {
+				inc.Constant[k] = v
+			}
+			continue
+		}
+		inc.Varying[k] = sortedKeys(vals)
+	}
+	return inc
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweep resolves open incidents whose widened span lies entirely before
+// the watermark, emitting Resolved events outside the lock.
+func (c *clusterer) sweep(watermark sim.Time) {
+	c.mu.Lock()
+	var done []Incident
+	kept := c.open[:0]
+	for _, oi := range c.open {
+		if oi.inc.Last+c.window < watermark {
+			inc := snapshot(oi)
+			inc.Resolved = true
+			done = append(done, inc)
+		} else {
+			kept = append(kept, oi)
+		}
+	}
+	c.open = kept
+	c.resolved = append(c.resolved, done...)
+	if over := len(c.resolved) - c.keep; over > 0 {
+		c.resolved = append(c.resolved[:0], c.resolved[over:]...)
+	}
+	c.mu.Unlock()
+	for i := range done {
+		c.emit(Event{Kind: Resolved, Incident: done[i]})
+	}
+}
+
+func (c *clusterer) openCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.open)
+}
+
+// matchesIncident applies a Query to an incident: the anchor node, the
+// type list, the time span (overlap) and, via Fabrics, the fabric.
+func matchesIncident(q *Query, inc *Incident) bool {
+	if q.Node >= 0 && inc.Node != q.Node {
+		return false
+	}
+	if inc.Last < q.From || (q.To > 0 && inc.First > q.To) {
+		return false
+	}
+	if q.Fabric != "" {
+		found := false
+		for _, f := range inc.Fabrics {
+			if f == q.Fabric {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(q.Types) == 0 {
+		return true
+	}
+	for _, t := range q.Types {
+		if inc.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// incidents lists matching incidents, resolved then open, ordered by
+// first trigger time.
+func (c *clusterer) incidents(q Query) []Incident {
+	c.mu.Lock()
+	out := make([]Incident, 0, len(c.resolved)+len(c.open))
+	for i := range c.resolved {
+		if matchesIncident(&q, &c.resolved[i]) {
+			out = append(out, c.resolved[i])
+		}
+	}
+	for _, oi := range c.open {
+		inc := snapshot(oi)
+		if matchesIncident(&q, &inc) {
+			out = append(out, inc)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].ID < out[j].ID
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package fleetstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/sim"
+)
+
+func TestPipelineBackpressureDropsAndAccounts(t *testing.T) {
+	st := New(Config{})
+	p := NewPipelineManual(st, 2) // no workers: the queue fills deterministically
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if p.Offer(rec("pod-a", sim.Time(i*100), fmt.Sprintf("v%d", i), diagnosis.TypePFCStorm, 5)) {
+			accepted++
+		}
+	}
+	if accepted != 2 || p.Dropped() != 3 {
+		t.Fatalf("accepted=%d dropped=%d, want 2/3", accepted, p.Dropped())
+	}
+	// Close drains the queued records synchronously.
+	p.Close()
+	if c := st.CountersSnapshot(); c.Ingested != 2 {
+		t.Fatalf("ingested = %d after close, want 2", c.Ingested)
+	}
+	if p.Offer(rec("pod-a", 999, "late", diagnosis.TypePFCStorm, 5)) {
+		t.Fatal("offer accepted after close")
+	}
+	if p.Dropped() != 4 {
+		t.Fatalf("dropped = %d after post-close offer, want 4", p.Dropped())
+	}
+}
+
+func TestPipelineConcurrentIngest(t *testing.T) {
+	st := New(Config{Shards: 8, ShardCapacity: 1 << 14})
+	p := NewPipeline(st, 256, 4)
+	defer p.Close()
+	const producers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.Offer(rec(fmt.Sprintf("pod-%d", w), sim.Time(i*10), "v", diagnosis.TypePFCContention, 5))
+			}
+		}()
+	}
+	wg.Wait()
+	p.Drain()
+	c := st.CountersSnapshot()
+	if c.Ingested+p.Dropped() != producers*each {
+		t.Fatalf("ingested %d + dropped %d != offered %d", c.Ingested, p.Dropped(), producers*each)
+	}
+	if c.Ingested == 0 {
+		t.Fatal("everything was dropped")
+	}
+}
+
+func TestPipelineDrainReadsOwnWrites(t *testing.T) {
+	st := New(Config{Window: sim.Millisecond})
+	p := NewPipeline(st, 64, 2)
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		if !p.Offer(rec("pod-a", sim.Time(100+i), "v", diagnosis.TypePFCStorm, 5)) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	p.Drain()
+	if c := st.CountersSnapshot(); c.Ingested != 10 {
+		t.Fatalf("ingested = %d after drain, want 10", c.Ingested)
+	}
+	if incs := st.Incidents(Query{Node: AnyNode}); len(incs) != 1 || incs[0].Complaints != 10 {
+		t.Fatalf("incidents after drain: %+v", incs)
+	}
+}
+
+func TestPipelineWatermarkSweeps(t *testing.T) {
+	st := New(Config{Window: sim.Millisecond})
+	p := NewPipeline(st, 64, 1) // one worker: in-order processing
+	defer p.Close()
+	p.Offer(rec("pod-a", 100, "v1", diagnosis.TypePFCStorm, 5))
+	// A much later complaint moves the watermark past the first
+	// incident's window and resolves it.
+	p.Offer(rec("pod-a", 100+5*sim.Millisecond, "v2", diagnosis.TypePFCStorm, 5))
+	p.Drain()
+	incs := st.Incidents(Query{Node: AnyNode})
+	if len(incs) != 2 {
+		t.Fatalf("incidents = %d, want 2", len(incs))
+	}
+	if !incs[0].Resolved || incs[1].Resolved {
+		t.Fatalf("resolved flags: %v %v, want true false", incs[0].Resolved, incs[1].Resolved)
+	}
+}

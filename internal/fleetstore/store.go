@@ -1,0 +1,291 @@
+// Package fleetstore is the analyzer's fleet-wide diagnosis memory: a
+// sharded, lock-striped store of completed diagnoses from every fabric
+// session, a bounded ingest pipeline that absorbs complaint storms
+// without blocking the sessions producing them, semantic clustering of
+// correlated complaints into operator-facing incidents, and a
+// subscription hub that streams incident lifecycle events (opened /
+// grew / resolved) to live operator connections. analyzd feeds it;
+// operators query and tail it.
+package fleetstore
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// Record is one diagnosis as the fleet store keeps it: the attributes
+// incident clustering and operator queries need, detached from the
+// session that produced it.
+type Record struct {
+	// Fabric names the reporting fabric (one analyzer serves many).
+	Fabric string
+	// Seq is the store-assigned admission number (global arrival order).
+	Seq uint64
+	// At is the complaint's trigger time on the fabric clock.
+	At sim.Time
+	// Victim is the complaining flow, rendered.
+	Victim string
+	// Type is the diagnosed anomaly class.
+	Type diagnosis.AnomalyType
+	// Cause is the primary root-cause kind.
+	Cause diagnosis.CauseKind
+	// Node/Port locate the initial congestion point.
+	Node topo.NodeID
+	Port int
+	// Culprits are the root-cause flows, rendered.
+	Culprits []string
+	// Loop is the deadlock cycle, when one was found.
+	Loop []topo.PortRef
+}
+
+// NewRecord projects a completed diagnosis into a store record.
+func NewRecord(fabric string, r *core.Result) Record {
+	d := r.Diagnosis
+	cause := d.PrimaryCause()
+	rec := Record{
+		Fabric: fabric,
+		At:     r.Trigger.At,
+		Victim: r.Trigger.Victim.String(),
+		Type:   d.Type,
+		Cause:  cause.Kind,
+		Node:   cause.Port.Node,
+		Port:   cause.Port.Port,
+		Loop:   d.Loop,
+	}
+	for _, f := range cause.Flows {
+		rec.Culprits = append(rec.Culprits, f.String())
+	}
+	return rec
+}
+
+// Config sizes the store.
+type Config struct {
+	// Shards is the lock-stripe count, rounded up to a power of two.
+	Shards int
+	// ShardCapacity bounds each shard's retention ring; the oldest
+	// record is overwritten (and counted evicted) on overflow.
+	ShardCapacity int
+	// Window is the incident join window: a complaint extends an open
+	// incident when its trigger falls within Window of the incident's
+	// span (same semantics as core.GroupIncidents).
+	Window sim.Time
+	// ResolvedKeep bounds how many resolved incidents are retained for
+	// queries after they close.
+	ResolvedKeep int
+}
+
+// DefaultConfig returns sizes suitable for tests and examples; a
+// production deployment scales Shards/ShardCapacity with fleet size.
+func DefaultConfig() Config {
+	return Config{
+		Shards:        16,
+		ShardCapacity: 4096,
+		Window:        2 * sim.Millisecond,
+		ResolvedKeep:  1024,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Shards <= 0 {
+		c.Shards = d.Shards
+	}
+	if c.ShardCapacity <= 0 {
+		c.ShardCapacity = d.ShardCapacity
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.ResolvedKeep <= 0 {
+		c.ResolvedKeep = d.ResolvedKeep
+	}
+	return c
+}
+
+// shard is one lock stripe: a fixed-capacity ring of records in
+// admission order, oldest overwritten first.
+type shard struct {
+	mu   sync.Mutex
+	ring []Record
+	next int // ring slot the next record lands in once full
+}
+
+func (sh *shard) add(rec Record, capacity int) (evicted bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.ring) < capacity {
+		sh.ring = append(sh.ring, rec)
+		return false
+	}
+	sh.ring[sh.next] = rec
+	sh.next = (sh.next + 1) % capacity
+	return true
+}
+
+// snapshot appends the shard's records matching q to out.
+func (sh *shard) snapshot(q Query, out []Record) []Record {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range sh.ring {
+		if q.matches(&sh.ring[i]) {
+			out = append(out, sh.ring[i])
+		}
+	}
+	return out
+}
+
+// Store holds the fleet's diagnosis history.
+type Store struct {
+	cfg    Config
+	shards []shard
+	mask   uint64
+
+	seq      atomic.Uint64
+	ingested atomic.Uint64
+	evicted  atomic.Uint64
+
+	cl  *clusterer
+	hub *Hub
+}
+
+// New builds a store. cfg zero-values fall back to DefaultConfig.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	st := &Store{
+		cfg:    cfg,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		hub:    newHub(),
+	}
+	st.cl = newClusterer(cfg.Window, cfg.ResolvedKeep, st.hub.publish)
+	return st
+}
+
+// Hub exposes the store's subscription hub.
+func (st *Store) Hub() *Hub { return st.hub }
+
+// shardBucket spaces single-fabric storms across stripes: the shard is
+// picked from the fabric hash XOR a coarse (~1 ms) time bucket, so one
+// fabric's burst does not serialize on one lock while queries can still
+// scan all stripes cheaply.
+const shardBucketShift = 20
+
+func (st *Store) shardFor(fabric string, at sim.Time) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(fabric))
+	idx := (h.Sum64() ^ (uint64(at) >> shardBucketShift)) & st.mask
+	return &st.shards[idx]
+}
+
+// Add admits one record synchronously: stamps its sequence number,
+// inserts it into its shard ring, folds it into the incident clusters
+// and publishes any resulting lifecycle events. Safe for concurrent
+// use. Returns the stamped record.
+func (st *Store) Add(rec Record) Record {
+	rec.Seq = st.seq.Add(1)
+	if st.shardFor(rec.Fabric, rec.At).add(rec, st.cfg.ShardCapacity) {
+		st.evicted.Add(1)
+	}
+	st.ingested.Add(1)
+	st.cl.observe(rec)
+	return rec
+}
+
+// Sweep resolves open incidents whose join window has fully passed at
+// the given watermark time, publishing Resolved events. Callers feed it
+// the highest trigger time seen (ingest workers do this automatically).
+func (st *Store) Sweep(watermark sim.Time) { st.cl.sweep(watermark) }
+
+// Query filters records and incidents. Zero values mean "any":
+// Fabric == "", Types == nil, Node < 0 (use AnyNode), To == 0.
+type Query struct {
+	Fabric string
+	Types  []diagnosis.AnomalyType
+	Node   topo.NodeID
+	From   sim.Time
+	To     sim.Time
+	Limit  int
+}
+
+// AnyNode is the Node wildcard.
+const AnyNode topo.NodeID = -1
+
+func (q *Query) matches(rec *Record) bool {
+	if q.Fabric != "" && rec.Fabric != q.Fabric {
+		return false
+	}
+	if q.Node >= 0 && rec.Node != q.Node {
+		return false
+	}
+	if rec.At < q.From || (q.To > 0 && rec.At > q.To) {
+		return false
+	}
+	if len(q.Types) == 0 {
+		return true
+	}
+	for _, t := range q.Types {
+		if rec.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Records returns matching records ordered by trigger time (sequence
+// number breaks ties), truncated to q.Limit when positive.
+func (st *Store) Records(q Query) []Record {
+	var out []Record
+	for i := range st.shards {
+		out = st.shards[i].snapshot(q, out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// Incidents returns the clustered incidents (open and retained
+// resolved) matching q, ordered by first trigger time.
+func (st *Store) Incidents(q Query) []Incident { return st.cl.incidents(q) }
+
+// Counters is a snapshot of store activity.
+type Counters struct {
+	// Ingested counts records admitted to the store.
+	Ingested uint64
+	// Evicted counts retention-ring overwrites.
+	Evicted uint64
+	// Incidents counts every incident ever opened.
+	Incidents uint64
+	// OpenIncidents counts incidents not yet resolved.
+	OpenIncidents int
+	// EventsDropped counts subscription events lost to slow subscribers.
+	EventsDropped uint64
+}
+
+// CountersSnapshot returns the store's activity counters.
+func (st *Store) CountersSnapshot() Counters {
+	return Counters{
+		Ingested:      st.ingested.Load(),
+		Evicted:       st.evicted.Load(),
+		Incidents:     st.cl.opened.Load(),
+		OpenIncidents: st.cl.openCount(),
+		EventsDropped: st.hub.dropped.Load(),
+	}
+}

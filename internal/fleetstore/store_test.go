@@ -1,0 +1,147 @@
+package fleetstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/host"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+func rec(fabric string, at sim.Time, victim string, typ diagnosis.AnomalyType, node topo.NodeID) Record {
+	return Record{
+		Fabric: fabric,
+		At:     at,
+		Victim: victim,
+		Type:   typ,
+		Cause:  diagnosis.CauseFlowContention,
+		Node:   node,
+		Port:   1,
+	}
+}
+
+func TestRecordsQueryFilters(t *testing.T) {
+	st := New(Config{})
+	st.Add(rec("pod-a", 100, "v1", diagnosis.TypePFCContention, 5))
+	st.Add(rec("pod-a", 200, "v2", diagnosis.TypePFCStorm, 5))
+	st.Add(rec("pod-b", 300, "v3", diagnosis.TypePFCContention, 9))
+	st.Add(rec("pod-b", 400, "v4", diagnosis.TypePFCContention, 5))
+
+	cases := []struct {
+		name string
+		q    Query
+		want []string // victims, in time order
+	}{
+		{"all", Query{Node: AnyNode}, []string{"v1", "v2", "v3", "v4"}},
+		{"fabric", Query{Fabric: "pod-a", Node: AnyNode}, []string{"v1", "v2"}},
+		{"type", Query{Types: []diagnosis.AnomalyType{diagnosis.TypePFCStorm}, Node: AnyNode}, []string{"v2"}},
+		{"node", Query{Node: 9}, []string{"v3"}},
+		{"timerange", Query{From: 150, To: 350, Node: AnyNode}, []string{"v2", "v3"}},
+		{"from-only", Query{From: 250, Node: AnyNode}, []string{"v3", "v4"}},
+		{"limit", Query{Node: AnyNode, Limit: 2}, []string{"v1", "v2"}},
+		{"no-match", Query{Fabric: "pod-c", Node: AnyNode}, nil},
+	}
+	for _, tc := range cases {
+		got := st.Records(tc.q)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %d records, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i, r := range got {
+			if r.Victim != tc.want[i] {
+				t.Fatalf("%s: record %d is %q, want %q", tc.name, i, r.Victim, tc.want[i])
+			}
+		}
+	}
+}
+
+func TestRetentionRingEvicts(t *testing.T) {
+	st := New(Config{Shards: 1, ShardCapacity: 4})
+	for i := 0; i < 10; i++ {
+		st.Add(rec("pod-a", sim.Time(i*100), fmt.Sprintf("v%d", i), diagnosis.TypePFCContention, 5))
+	}
+	c := st.CountersSnapshot()
+	if c.Ingested != 10 {
+		t.Fatalf("ingested = %d, want 10", c.Ingested)
+	}
+	if c.Evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", c.Evicted)
+	}
+	got := st.Records(Query{Node: AnyNode})
+	if len(got) != 4 {
+		t.Fatalf("retained %d records, want 4", len(got))
+	}
+	// The survivors are the newest four.
+	if got[0].Victim != "v6" || got[3].Victim != "v9" {
+		t.Fatalf("retained %q .. %q, want v6 .. v9", got[0].Victim, got[3].Victim)
+	}
+}
+
+func TestSeqStampsAdmissionOrder(t *testing.T) {
+	st := New(Config{})
+	a := st.Add(rec("pod-a", 500, "v1", diagnosis.TypePFCContention, 5))
+	b := st.Add(rec("pod-b", 100, "v2", diagnosis.TypePFCContention, 5))
+	if a.Seq == 0 || b.Seq != a.Seq+1 {
+		t.Fatalf("seq %d then %d, want consecutive from 1", a.Seq, b.Seq)
+	}
+}
+
+func TestConcurrentAddRaceClean(t *testing.T) {
+	st := New(Config{Shards: 4, ShardCapacity: 64})
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				st.Add(rec(fmt.Sprintf("pod-%d", w), sim.Time(i), "v", diagnosis.TypePFCContention, topo.NodeID(w)))
+			}
+		}()
+	}
+	wg.Wait()
+	c := st.CountersSnapshot()
+	if c.Ingested != workers*each {
+		t.Fatalf("ingested = %d, want %d", c.Ingested, workers*each)
+	}
+	retained := len(st.Records(Query{Node: AnyNode}))
+	if uint64(retained)+c.Evicted != c.Ingested {
+		t.Fatalf("retained %d + evicted %d != ingested %d", retained, c.Evicted, c.Ingested)
+	}
+}
+
+func TestNewRecordProjectsResult(t *testing.T) {
+	culprit := packet.FiveTuple{SrcIP: 9, DstIP: 10, SrcPort: 7, DstPort: 8, Proto: 17}
+	res := &core.Result{
+		Trigger: host.Trigger{
+			Victim: packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+			At:     1234,
+		},
+		Diagnosis: &diagnosis.Report{
+			Type: diagnosis.TypePFCContention,
+			Causes: []diagnosis.RootCause{{
+				Kind:  diagnosis.CauseFlowContention,
+				Port:  topo.PortRef{Node: 5, Port: 2},
+				Flows: []packet.FiveTuple{culprit},
+			}},
+		},
+	}
+	got := NewRecord("pod-a", res)
+	if got.Fabric != "pod-a" || got.At != 1234 || got.Type != diagnosis.TypePFCContention {
+		t.Fatalf("record header mangled: %+v", got)
+	}
+	if got.Node != 5 || got.Port != 2 {
+		t.Fatalf("anchor = N%d.P%d, want N5.P2", got.Node, got.Port)
+	}
+	if len(got.Culprits) != 1 || got.Culprits[0] != culprit.String() {
+		t.Fatalf("culprits = %v", got.Culprits)
+	}
+	if got.Victim != res.Trigger.Victim.String() {
+		t.Fatalf("victim = %q", got.Victim)
+	}
+}

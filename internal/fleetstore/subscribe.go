@@ -1,0 +1,143 @@
+package fleetstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/topo"
+)
+
+// Filter selects which incident events a subscriber receives. Zero
+// values mean "any" (Fabric == "", Types == nil, Node < 0).
+type Filter struct {
+	Fabric string
+	Types  []diagnosis.AnomalyType
+	Node   topo.NodeID
+}
+
+// AnyFilter matches every event.
+func AnyFilter() Filter { return Filter{Node: AnyNode} }
+
+func (f *Filter) matches(ev *Event) bool {
+	inc := &ev.Incident
+	if f.Node >= 0 && inc.Node != f.Node {
+		return false
+	}
+	if f.Fabric != "" {
+		found := false
+		for _, fb := range inc.Fabrics {
+			if fb == f.Fabric {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(f.Types) == 0 {
+		return true
+	}
+	for _, t := range f.Types {
+		if inc.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Sub is one live subscription. Events arrive on Events(); a subscriber
+// that falls behind its buffer loses events (counted, never blocking
+// ingest) rather than stalling the store.
+type Sub struct {
+	filter  Filter
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  bool // guarded by the hub mutex
+}
+
+// Events is the subscription stream. It is closed by Unsubscribe (or
+// hub Close), after which no more events arrive.
+func (s *Sub) Events() <-chan Event { return s.ch }
+
+// Dropped counts events this subscriber lost to a full buffer.
+func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
+
+// Hub fans incident events out to subscribers.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[*Sub]struct{}
+	closed  bool
+	dropped atomic.Uint64 // fleet-wide slow-subscriber losses
+}
+
+func newHub() *Hub {
+	return &Hub{subs: make(map[*Sub]struct{})}
+}
+
+// Subscribe registers a subscriber with the given buffer depth
+// (defaulted when <= 0).
+func (h *Hub) Subscribe(f Filter, buf int) *Sub {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Sub{filter: f, ch: make(chan Event, buf)}
+	h.mu.Lock()
+	if h.closed {
+		close(s.ch)
+		s.closed = true
+	} else {
+		h.subs[s] = struct{}{}
+	}
+	h.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the subscriber and closes its stream. Safe to
+// call more than once.
+func (h *Hub) Unsubscribe(s *Sub) {
+	h.mu.Lock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+	}
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	h.mu.Unlock()
+}
+
+// Close closes every subscription stream.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		if !s.closed {
+			s.closed = true
+			close(s.ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// publish delivers an event to every matching subscriber without ever
+// blocking: a full buffer drops the event for that subscriber and
+// counts it — ingest backpressure must not propagate to the fabric
+// sessions.
+func (h *Hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if !s.filter.matches(&ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			h.dropped.Add(1)
+		}
+	}
+}

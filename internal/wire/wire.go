@@ -37,7 +37,25 @@ const (
 	MsgIncidents MsgType = 7
 	// MsgIncidentList is the reply: JSON array of IncidentSummary.
 	MsgIncidentList MsgType = 8
+	// MsgQueryIncidents asks the fleet store for clustered incidents:
+	// JSON IncidentQuery payload.
+	MsgQueryIncidents MsgType = 9
+	// MsgIncidentMatches is the reply: JSON array of FleetIncident.
+	MsgIncidentMatches MsgType = 10
+	// MsgSubscribe turns the session into a live incident tail: JSON
+	// SubscribeRequest payload.
+	MsgSubscribe MsgType = 11
+	// MsgSubscribeOK acknowledges a subscription (empty payload).
+	MsgSubscribeOK MsgType = 12
+	// MsgIncidentEvent is one pushed incident lifecycle transition:
+	// JSON IncidentEvent payload.
+	MsgIncidentEvent MsgType = 13
 )
+
+// Known reports whether t is a frame type this protocol version
+// defines. Readers skip unknown types instead of failing the session,
+// so a newer peer can add frames without breaking older tails.
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgIncidentEvent }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.
@@ -53,9 +71,14 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
 // provenance graphs for this fabric.
 type Hello struct {
 	Version int             `json:"version"`
-	Topo    json.RawMessage `json:"topo"` // topo.Spec
+	Topo    json.RawMessage `json:"topo,omitempty"` // topo.Spec; absent on operator sessions
 	// EpochNS is the telemetry epoch length in nanoseconds.
 	EpochNS int64 `json:"epochNs"`
+	// Fabric names the reporting fabric in the analyzer's fleet store.
+	// Empty means the default fabric. An empty Topo marks an operator
+	// session: no reports or diagnoses, only fleet queries and
+	// subscriptions (EpochNS is then ignored).
+	Fabric string `json:"fabric,omitempty"`
 }
 
 // Diagnosis is the analyzer's reply.
@@ -84,6 +107,56 @@ type IncidentSummary struct {
 	LastNS     int64  `json:"lastNs"`
 	// Rendered is the primary member's diagnosis report.
 	Rendered string `json:"rendered"`
+}
+
+// IncidentQuery filters the fleet store. Zero values mean "any", except
+// Node where -1 is the wildcard (0 is a real node ID).
+type IncidentQuery struct {
+	Fabric string `json:"fabric,omitempty"`
+	// Type is the anomaly type string (AnomalyType.String()); empty
+	// matches all.
+	Type string `json:"type,omitempty"`
+	Node int    `json:"node"`
+	// FromNS/ToNS bound the incident span; ToNS == 0 is unbounded.
+	FromNS int64 `json:"fromNs,omitempty"`
+	ToNS   int64 `json:"toNs,omitempty"`
+	Limit  int   `json:"limit,omitempty"`
+}
+
+// FleetIncident is one clustered fleet incident in a query reply or a
+// pushed event.
+type FleetIncident struct {
+	ID         uint64   `json:"id"`
+	Type       string   `json:"type"`
+	Node       int      `json:"node"`
+	FirstNS    int64    `json:"firstNs"`
+	LastNS     int64    `json:"lastNs"`
+	Complaints int      `json:"complaints"`
+	Victims    []string `json:"victims,omitempty"`
+	Fabrics    []string `json:"fabrics,omitempty"`
+	Culprits   []string `json:"culprits,omitempty"`
+	Resolved   bool     `json:"resolved,omitempty"`
+	// Summary is the operator one-liner.
+	Summary string `json:"summary"`
+	// Constant/Varying are the attribute partition: dimensions shared
+	// by every complaint vs. dimensions that spread.
+	Constant map[string]string   `json:"constant,omitempty"`
+	Varying  map[string][]string `json:"varying,omitempty"`
+}
+
+// SubscribeRequest filters a live incident subscription; semantics
+// match IncidentQuery (Node -1 = any).
+type SubscribeRequest struct {
+	Fabric string `json:"fabric,omitempty"`
+	Type   string `json:"type,omitempty"`
+	Node   int    `json:"node"`
+}
+
+// IncidentEvent is one pushed lifecycle transition.
+type IncidentEvent struct {
+	// Kind is "opened", "grew" or "resolved".
+	Kind     string        `json:"kind"`
+	Incident FleetIncident `json:"incident"`
 }
 
 // WriteFrame emits one frame.

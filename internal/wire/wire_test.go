@@ -97,6 +97,97 @@ func TestDiagnoseRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMaxFrameBoundary pins the exact boundary for the fleet message
+// types: a body of exactly MaxFrame round-trips, one byte more is
+// rejected on both the write and the read path before allocation.
+func TestMaxFrameBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	exact := make([]byte, MaxFrame)
+	exact[0], exact[MaxFrame-1] = 0xAB, 0xCD
+	if err := WriteFrame(&buf, MsgIncidentEvent, exact); err != nil {
+		t.Fatalf("exact-MaxFrame write rejected: %v", err)
+	}
+	mt, got, err := ReadFrame(&buf)
+	if err != nil || mt != MsgIncidentEvent || len(got) != MaxFrame {
+		t.Fatalf("exact-MaxFrame read: type=%d len=%d err=%v", mt, len(got), err)
+	}
+	if got[0] != 0xAB || got[MaxFrame-1] != 0xCD {
+		t.Fatal("exact-MaxFrame body corrupted")
+	}
+	if err := WriteFrame(io.Discard, MsgQueryIncidents, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("MaxFrame+1 write accepted: %v", err)
+	}
+	var hdr [5]byte
+	writeHeader(hdr[:], MaxFrame+1, MsgQueryIncidents)
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("MaxFrame+1 read accepted: %v", err)
+	}
+}
+
+func writeHeader(b []byte, n int, t MsgType) {
+	b[0], b[1], b[2], b[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	b[4] = byte(t)
+}
+
+// TestTruncatedNewMessageFrames covers the fleet frames: a partial
+// length prefix and a truncated body both return clean, descriptive
+// errors, never io.EOF masquerading as a frame boundary.
+func TestTruncatedNewMessageFrames(t *testing.T) {
+	for _, mt := range []MsgType{MsgQueryIncidents, MsgSubscribe, MsgIncidentEvent} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, mt, []byte(`{"kind":"opened"}`)); err != nil {
+			t.Fatal(err)
+		}
+		whole := buf.Bytes()
+		// Partial length prefix: 1..4 bytes of the 5-byte header.
+		for cut := 1; cut < 5; cut++ {
+			_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+			if err == nil || err == io.EOF || !strings.Contains(err.Error(), "header") {
+				t.Fatalf("type %d cut %d: %v", mt, cut, err)
+			}
+		}
+		// Truncated body.
+		_, _, err := ReadFrame(bytes.NewReader(whole[:7]))
+		if err == nil || !strings.Contains(err.Error(), "body") {
+			t.Fatalf("type %d body truncation: %v", mt, err)
+		}
+	}
+}
+
+// TestUnknownTypeSkippable backs the package doc's claim that unknown
+// types are easy to handle: the reader surfaces them intact (no error),
+// Known reports them unknown, and the caller can skip to the next frame.
+func TestUnknownTypeSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgType(200), []byte("future frame")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgIncidentEvent, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	mt, _, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("unknown type errored: %v", err)
+	}
+	if Known(mt) {
+		t.Fatalf("Known(%d) = true", mt)
+	}
+	// Skipping it lands cleanly on the next frame.
+	mt, payload, err := ReadFrame(&buf)
+	if err != nil || mt != MsgIncidentEvent || string(payload) != "{}" {
+		t.Fatalf("frame after skip: type=%d payload=%q err=%v", mt, payload, err)
+	}
+	// Every defined type is Known; the neighbors are not.
+	for mt := MsgHello; mt <= MsgIncidentEvent; mt++ {
+		if !Known(mt) {
+			t.Fatalf("Known(%d) = false for defined type", mt)
+		}
+	}
+	if Known(0) || Known(MsgIncidentEvent+1) {
+		t.Fatal("Known accepts undefined neighbors")
+	}
+}
+
 // TestReadFrameNeverPanicsOnGarbage feeds random bytes to the frame
 // reader (hostile or corrupted peers must produce errors, not panics or
 // huge allocations).
