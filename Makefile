@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fleet-race
+.PHONY: check build vet test race bench fleet-race chaos-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -22,6 +22,13 @@ race:
 # fleet-race is the fast loop while working on the ingest pipeline.
 fleet-race:
 	$(GO) test -race ./internal/fleetstore ./internal/analyzd
+
+# chaos-smoke proves the fault-injection contract end to end: replay
+# determinism, the degraded-confidence sweep, and the retrying client.
+chaos-smoke:
+	$(GO) test ./internal/chaos
+	$(GO) test -run 'TestChaosDeterminism|TestRobustnessConfidenceSweep' ./internal/experiments
+	$(GO) test -run 'TestDial|TestDiagnoseSurvives|TestRetry|TestHandshake' ./internal/analyzd
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/fleetstore

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"hawkeye/internal/chaos"
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
 	"hawkeye/internal/experiments"
@@ -30,6 +31,8 @@ func main() {
 	factor := flag.Float64("threshold", 0, "detection threshold as xRTT (0 = scenario default)")
 	verbose := flag.Bool("v", false, "print every diagnosis result, not only the scored one")
 	dotPath := flag.String("dot", "", "write the scored provenance graph as Graphviz DOT to this file")
+	chaosSpec := flag.String("chaos", "", "fault schedule, e.g. poll-loss=0.1,tel-loss=0.3,collect-drop=0.2 (see internal/chaos)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from -seed)")
 	flag.Parse()
 
 	cfg := experiments.DefaultTrialConfig(*scenario, *seed)
@@ -42,6 +45,15 @@ func main() {
 	if *factor != 0 {
 		cfg.RTTFactor = *factor
 	}
+	if *chaosSpec != "" {
+		sched, err := chaos.ParseSchedule(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hawkeye-sim: -chaos:", err)
+			os.Exit(1)
+		}
+		cfg.Chaos = sched
+		cfg.ChaosSeed = *chaosSeed
+	}
 
 	tr, err := experiments.RunTrial(cfg)
 	if err != nil {
@@ -50,7 +62,11 @@ func main() {
 	}
 
 	fmt.Printf("scenario %s (seed %d): anomaly at %v\n", *scenario, *seed, tr.GT.AnomalyAt)
-	fmt.Printf("detected=%v correct=%v (%s)\n\n", tr.Score.Detected, tr.Score.Correct, tr.Score.Reason)
+	fmt.Printf("detected=%v correct=%v (%s)\n", tr.Score.Detected, tr.Score.Correct, tr.Score.Reason)
+	if tr.Chaos != nil {
+		fmt.Println(tr.Chaos.Counters)
+	}
+	fmt.Println()
 
 	if *verbose {
 		for _, r := range tr.Results {

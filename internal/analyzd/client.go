@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
+	"hawkeye/internal/chaos"
 	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
 	"hawkeye/internal/telemetry"
 	"hawkeye/internal/topo"
 	"hawkeye/internal/wire"
@@ -21,9 +24,55 @@ func sortReports(reports []*telemetry.Report) {
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Switch < reports[j].Switch })
 }
 
-// Client is one analyzer session.
+// RetryConfig shapes the client's reconnect behaviour: capped
+// exponential backoff with symmetric jitter. A switch CPU pushing
+// reports must survive analyzer restarts and flaky management networks
+// without turning one reset into a lost diagnosis session.
+type RetryConfig struct {
+	// MaxAttempts bounds tries per operation, first attempt included
+	// (<1 behaves as 1: no retry).
+	MaxAttempts int
+	// BaseBackoff doubles per retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each delay by ±frac so a fleet of reconnecting
+	// clients does not stampede the analyzer in lockstep.
+	JitterFrac float64
+	// Seed makes the jitter sequence reproducible.
+	Seed uint64
+	// Sleep is the delay function (nil = time.Sleep; tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryConfig returns the production defaults: 5 attempts,
+// 10 ms -> 500 ms backoff, 20% jitter.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		JitterFrac:  0.2,
+		Seed:        1,
+	}
+}
+
+// Client is one analyzer session. Request/reply operations transparently
+// redial and re-handshake on transport failure (connection reset, broken
+// pipe) with capped exponential backoff. Reports pushed before a
+// reconnect are gone with the old session — the analyzer answers later
+// diagnoses from whatever survives, with the confidence machinery
+// reporting the gap — so callers that must have full telemetry should
+// re-send reports after an operation error.
 type Client struct {
-	conn net.Conn
+	conn  net.Conn
+	addr  string
+	hello wire.Hello
+	retry RetryConfig
+	rng   *sim.Rand
+
+	// Redials counts successful reconnects after transport failures.
+	Redials int
 }
 
 // Dial connects and performs the handshake: the fabric topology and the
@@ -36,56 +85,170 @@ func Dial(addr string, t *topo.Topology, epochNS int64) (*Client, error) {
 // DialFabric is Dial with an explicit fabric name: every diagnosis this
 // session completes is filed under that name in the fleet store.
 func DialFabric(addr, fabric string, t *topo.Topology, epochNS int64) (*Client, error) {
+	return DialFabricRetry(addr, fabric, t, epochNS, DefaultRetryConfig())
+}
+
+// DialFabricRetry is DialFabric with explicit retry behaviour.
+func DialFabricRetry(addr, fabric string, t *topo.Topology, epochNS int64, rc RetryConfig) (*Client, error) {
 	spec, err := json.Marshal(t.ToSpec())
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: topology: %w", err)
 	}
 	hello := wire.Hello{Version: wire.ProtocolVersion, Topo: spec, EpochNS: epochNS, Fabric: fabric}
-	return dialHello(addr, hello)
+	return dialHello(addr, hello, rc)
 }
 
 // DialOperator opens an operator session: no topology, no reports or
 // diagnoses — only fleet incident queries and live subscriptions.
 func DialOperator(addr string) (*Client, error) {
-	return dialHello(addr, wire.Hello{Version: wire.ProtocolVersion})
+	return dialHello(addr, wire.Hello{Version: wire.ProtocolVersion}, DefaultRetryConfig())
 }
 
-func dialHello(addr string, hello wire.Hello) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("analyzd: dial: %w", err)
+func dialHello(addr string, hello wire.Hello, rc RetryConfig) (*Client, error) {
+	c := &Client{
+		addr:  addr,
+		hello: hello,
+		retry: rc,
+		rng:   sim.NewRand(rc.Seed ^ 0xA11A),
 	}
-	c := &Client{conn: conn}
-	if err := wire.WriteJSON(conn, wire.MsgHello, hello); err != nil {
-		conn.Close()
+	var err error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+		}
+		var perm bool
+		if perm, err = c.connect(); err == nil || perm {
+			break
+		}
+	}
+	if err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) attempts() int {
+	if c.retry.MaxAttempts < 1 {
+		return 1
+	}
+	return c.retry.MaxAttempts
+}
+
+// backoff sleeps the capped-exponential delay for the given retry index.
+func (c *Client) backoff(attempt int) {
+	d := chaos.Jitter(c.rng, c.retry.BaseBackoff, c.retry.MaxBackoff, attempt, c.retry.JitterFrac)
+	sleep := c.retry.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
+}
+
+// connect dials and re-handshakes. The second kind of failure — the
+// server actively rejecting the hello — is permanent: retrying an
+// incompatible handshake only hammers the analyzer.
+func (c *Client) connect() (permanent bool, err error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return false, fmt.Errorf("analyzd: dial: %w", err)
+	}
+	if err := wire.WriteJSON(conn, wire.MsgHello, c.hello); err != nil {
+		conn.Close()
+		return false, err
 	}
 	mt, payload, err := wire.ReadFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("analyzd: handshake: %w", err)
+		return false, fmt.Errorf("analyzd: handshake: %w", err)
 	}
 	if mt == wire.MsgError {
 		conn.Close()
-		return nil, fmt.Errorf("analyzd: server rejected hello: %s", payload)
+		return true, fmt.Errorf("analyzd: server rejected hello: %s", payload)
 	}
 	if mt != wire.MsgHelloOK {
 		conn.Close()
-		return nil, fmt.Errorf("analyzd: unexpected handshake reply type %d", mt)
+		return true, fmt.Errorf("analyzd: unexpected handshake reply type %d", mt)
 	}
-	return c, nil
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	return false, nil
+}
+
+// reconnect re-establishes the session after a transport failure.
+func (c *Client) reconnect() error {
+	perm, err := c.connect()
+	if err != nil && !perm {
+		return err
+	}
+	if err == nil {
+		c.Redials++
+	}
+	return err
+}
+
+// request performs one frame round trip, redialing with backoff when the
+// transport fails. Server-level error replies (MsgError) come back as a
+// reply, not an error — they are answers, not failures.
+func (c *Client) request(mt wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+			if err := c.reconnect(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := wire.WriteFrame(c.conn, mt, payload); err != nil {
+			lastErr = err
+			continue
+		}
+		rt, rp, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return rt, rp, nil
+	}
+	return 0, nil, lastErr
+}
+
+// push writes one frame with no reply expected, with the same
+// redial-and-backoff policy as request.
+func (c *Client) push(mt wire.MsgType, payload []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+			if err := c.reconnect(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := wire.WriteFrame(c.conn, mt, payload); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// SendReport pushes one switch telemetry report.
+// SendReport pushes one switch telemetry report. On transport failure it
+// reconnects and re-sends this report; reports sent before the reconnect
+// belong to the dead session and must be re-sent by the caller if the
+// next diagnosis needs them.
 func (c *Client) SendReport(rep *telemetry.Report) error {
 	data, err := rep.MarshalBinary()
 	if err != nil {
 		return fmt.Errorf("analyzd: encode report: %w", err)
 	}
-	return wire.WriteFrame(c.conn, wire.MsgReport, data)
+	return c.push(wire.MsgReport, data)
 }
 
 // Diagnose asks the analyzer for the verdict on a victim flow.
@@ -96,10 +259,7 @@ func (c *Client) Diagnose(victim packet.FiveTuple) (*wire.Diagnosis, error) {
 // DiagnoseAt is Diagnose with the complaint's trigger time attached, so
 // the server can group diagnoses into incidents.
 func (c *Client) DiagnoseAt(victim packet.FiveTuple, atNS int64) (*wire.Diagnosis, error) {
-	if err := wire.WriteFrame(c.conn, wire.MsgDiagnose, wire.EncodeDiagnoseRequest(victim, atNS)); err != nil {
-		return nil, err
-	}
-	mt, payload, err := wire.ReadFrame(c.conn)
+	mt, payload, err := c.request(wire.MsgDiagnose, wire.EncodeDiagnoseRequest(victim, atNS))
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: diagnose: %w", err)
 	}
@@ -119,10 +279,7 @@ func (c *Client) DiagnoseAt(victim packet.FiveTuple, atNS int64) (*wire.Diagnosi
 // Incidents asks the analyzer to group this session's diagnoses into
 // incidents.
 func (c *Client) Incidents() ([]wire.IncidentSummary, error) {
-	if err := wire.WriteFrame(c.conn, wire.MsgIncidents, nil); err != nil {
-		return nil, err
-	}
-	mt, payload, err := wire.ReadFrame(c.conn)
+	mt, payload, err := c.request(wire.MsgIncidents, nil)
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: incidents: %w", err)
 	}
@@ -142,10 +299,11 @@ func (c *Client) Incidents() ([]wire.IncidentSummary, error) {
 // QueryIncidents asks the fleet store for clustered incidents matching
 // q. Remember q.Node: 0 is a real node, -1 is the wildcard.
 func (c *Client) QueryIncidents(q wire.IncidentQuery) ([]wire.FleetIncident, error) {
-	if err := wire.WriteJSON(c.conn, wire.MsgQueryIncidents, q); err != nil {
-		return nil, err
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode query: %w", err)
 	}
-	mt, payload, err := wire.ReadFrame(c.conn)
+	mt, payload, err := c.request(wire.MsgQueryIncidents, body)
 	if err != nil {
 		return nil, fmt.Errorf("analyzd: query incidents: %w", err)
 	}

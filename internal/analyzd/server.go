@@ -402,6 +402,9 @@ func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wir
 		InitialPort: cause.Port.Port,
 		Rendered:    d.String() + g.String(),
 		Switches:    len(reports),
+		Confidence:  d.Confidence.String(),
+		Score:       d.ConfidenceScore,
+		Missing:     d.Missing,
 	}
 	for _, f := range cause.Flows {
 		reply.Culprits = append(reply.Culprits, f.String())

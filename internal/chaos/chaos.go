@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hawkeye/internal/cluster"
+	"hawkeye/internal/core"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// Counters is the engine-wide fault accounting surface: every injection,
+// across every channel, lands here.
+type Counters struct {
+	PollingDropped    uint64
+	PollingDuplicated uint64
+	EpochsDropped     uint64
+	MetersCorrupted   uint64
+	StatusCorrupted   uint64
+	DeliveriesDropped uint64
+	DeliveriesLagged  uint64
+	LinkFlaps         uint64
+	BWChanges         uint64
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"chaos: poll drop=%d dup=%d | tel epochs=%d meters=%d status=%d | collect drop=%d lag=%d | links flaps=%d bw=%d",
+		c.PollingDropped, c.PollingDuplicated, c.EpochsDropped, c.MetersCorrupted,
+		c.StatusCorrupted, c.DeliveriesDropped, c.DeliveriesLagged, c.LinkFlaps, c.BWChanges)
+}
+
+// Engine draws every fault decision from per-channel forked streams of
+// one seed, so fault sequences on one channel are independent of how
+// often the others fire — and the whole composition replays exactly.
+//
+// Engine implements polling.FaultInjector, telemetry.Faults and
+// collect.Faults.
+type Engine struct {
+	Sched Schedule
+
+	// Counters accumulates every injection decision that fired.
+	Counters Counters
+
+	rngPoll    *sim.Rand
+	rngTel     *sim.Rand
+	rngCollect *sim.Rand
+}
+
+// NewEngine builds an engine for the schedule. The seed fully
+// determines every probabilistic decision; a zero seed is valid (it maps
+// to the generator's fixed default).
+func NewEngine(sched Schedule, seed uint64) *Engine {
+	root := sim.NewRand(seed ^ 0xC8A0C8A0C8A0C8A0)
+	return &Engine{
+		Sched:      sched,
+		rngPoll:    root.Fork(),
+		rngTel:     root.Fork(),
+		rngCollect: root.Fork(),
+	}
+}
+
+// DropPolling implements polling.FaultInjector.
+func (e *Engine) DropPolling(topo.NodeID, packet.PollingHeader) bool {
+	if e.Sched.PollLoss > 0 && e.rngPoll.Float64() < e.Sched.PollLoss {
+		e.Counters.PollingDropped++
+		return true
+	}
+	return false
+}
+
+// DuplicatePolling implements polling.FaultInjector.
+func (e *Engine) DuplicatePolling(topo.NodeID, packet.PollingHeader) bool {
+	if e.Sched.PollDup > 0 && e.rngPoll.Float64() < e.Sched.PollDup {
+		e.Counters.PollingDuplicated++
+		return true
+	}
+	return false
+}
+
+// DropEpoch implements telemetry.Faults.
+func (e *Engine) DropEpoch(topo.NodeID, int) bool {
+	if e.Sched.TelemetryEpochLoss > 0 && e.rngTel.Float64() < e.Sched.TelemetryEpochLoss {
+		e.Counters.EpochsDropped++
+		return true
+	}
+	return false
+}
+
+// CorruptMeter implements telemetry.Faults: half the corruptions zero
+// the register (the causality evidence is erased and the record is
+// zero-filtered out of the report), half replace the byte count with
+// bounded garbage.
+func (e *Engine) CorruptMeter(_ topo.NodeID, rec *telemetry.MeterRecord) bool {
+	if e.Sched.MeterCorrupt <= 0 || e.rngTel.Float64() >= e.Sched.MeterCorrupt {
+		return false
+	}
+	e.Counters.MetersCorrupted++
+	if e.rngTel.Float64() < 0.5 || rec.Bytes == 0 {
+		rec.Bytes = 0
+	} else {
+		rec.Bytes = 1 + e.rngTel.Uint64()%(2*rec.Bytes)
+	}
+	return true
+}
+
+// CorruptStatus implements telemetry.Faults: half the corruptions wipe
+// the register block (lost pause evidence), half fabricate a backlog
+// (false congestion evidence).
+func (e *Engine) CorruptStatus(_ topo.NodeID, st *telemetry.PortStatus) bool {
+	if e.Sched.StatusCorrupt <= 0 || e.rngTel.Float64() >= e.Sched.StatusCorrupt {
+		return false
+	}
+	e.Counters.StatusCorrupted++
+	if e.rngTel.Float64() < 0.5 {
+		st.PausedUntil = 0
+		st.QdepthBytes = 0
+	} else {
+		st.QdepthBytes = int(e.rngTel.Uint64() % (1 << 17))
+	}
+	return true
+}
+
+// DropDelivery implements collect.Faults.
+func (e *Engine) DropDelivery(topo.NodeID) bool {
+	if e.Sched.CollectDrop > 0 && e.rngCollect.Float64() < e.Sched.CollectDrop {
+		e.Counters.DeliveriesDropped++
+		return true
+	}
+	return false
+}
+
+// CollectLatency implements collect.Faults: uniform lag in [0, max].
+func (e *Engine) CollectLatency(topo.NodeID) sim.Time {
+	if e.Sched.CollectLagMax <= 0 {
+		return 0
+	}
+	lag := sim.Time(e.rngCollect.Float64() * float64(e.Sched.CollectLagMax))
+	if lag > 0 {
+		e.Counters.DeliveriesLagged++
+	}
+	return lag
+}
+
+// Install wires the engine into an installed Hawkeye system: every
+// polling handler, every telemetry state, the collector, and the fabric
+// (scheduled link flaps and bandwidth degradations, applied to both
+// directions of each named link). It returns the engine for counter
+// inspection after the run.
+func Install(cl *cluster.Cluster, sys *core.System, sched Schedule, seed uint64) (*Engine, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	e := NewEngine(sched, seed)
+	for _, h := range sys.Handlers {
+		h.Cfg.Faults = e
+	}
+	for _, tel := range sys.Tels {
+		tel.SetFaults(e)
+	}
+	sys.Collector.Faults = e
+	e.scheduleFabricFaults(cl)
+	return e, nil
+}
+
+// scheduleFabricFaults arms the explicitly timed link faults on the
+// cluster's event engine.
+func (e *Engine) scheduleFabricFaults(cl *cluster.Cluster) {
+	net := cl.Net
+	for _, f := range e.Sched.LinkFlaps {
+		f := f
+		peer, peerPort := net.Topo.PeerOf(f.Node, f.Port)
+		cl.Eng.At(f.At, func() {
+			until := f.At + f.Duration
+			net.SetLinkDown(f.Node, f.Port, until)
+			net.SetLinkDown(peer, peerPort, until)
+			e.Counters.LinkFlaps++
+		})
+	}
+	for _, d := range e.Sched.BWDegrades {
+		d := d
+		peer, peerPort := net.Topo.PeerOf(d.Node, d.Port)
+		cl.Eng.At(d.At, func() {
+			net.SetLinkBandwidthFactor(d.Node, d.Port, d.Factor)
+			net.SetLinkBandwidthFactor(peer, peerPort, d.Factor)
+			e.Counters.BWChanges++
+		})
+		cl.Eng.At(d.At+d.Duration, func() {
+			net.SetLinkBandwidthFactor(d.Node, d.Port, 1)
+			net.SetLinkBandwidthFactor(peer, peerPort, 1)
+			e.Counters.BWChanges++
+		})
+	}
+}

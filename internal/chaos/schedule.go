@@ -1,0 +1,342 @@
+// Package chaos is the deterministic fault-injection subsystem: a
+// seed-driven engine that composes schedules of faults across every
+// layer of the Hawkeye pipeline — link flaps and bandwidth degradation
+// on the fabric, epoch-ring loss and register corruption in the switch
+// telemetry, report-batch drops and controller lag in the collection
+// path, and polling-packet loss/duplication in the data plane. The point
+// is not to break the simulated network (scenarios already do that) but
+// to break Hawkeye's *own* diagnosis plumbing, and measure what the
+// diagnosis says when its inputs lie: the degraded-mode confidence and
+// missing-evidence machinery in internal/provenance and
+// internal/diagnosis is exercised exclusively through this package.
+//
+// Everything is deterministic: one engine seed forks an independent
+// xorshift stream per fault channel, so the same seed plus the same
+// schedule reproduces the same faults — and therefore byte-identical
+// diagnosis output — on every run.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+// LinkFlap takes the link attached to (Node, Port) down at At for
+// Duration. Both directions of the link go dark: packets in either
+// direction vanish on the wire for the window.
+type LinkFlap struct {
+	Node     topo.NodeID
+	Port     int
+	At       sim.Time
+	Duration sim.Time
+}
+
+// BWDegrade derates the link attached to (Node, Port) to Factor of its
+// nominal serialization rate from At for Duration (both directions).
+type BWDegrade struct {
+	Node     topo.NodeID
+	Port     int
+	At       sim.Time
+	Duration sim.Time
+	Factor   float64
+}
+
+// Schedule is one composed fault scenario. The zero value injects
+// nothing; fields compose freely.
+type Schedule struct {
+	// PollLoss is the per-hop polling-packet loss probability.
+	PollLoss float64
+	// PollDup is the per-hop polling-packet duplication probability.
+	PollDup float64
+	// TelemetryEpochLoss is the per-epoch probability that a ring slot
+	// is lost from a snapshot (epoch-ring read failure).
+	TelemetryEpochLoss float64
+	// MeterCorrupt is the per-record probability that a causality-meter
+	// register reads back corrupted.
+	MeterCorrupt float64
+	// StatusCorrupt is the per-register probability that a PFC status
+	// block reads back corrupted.
+	StatusCorrupt float64
+	// CollectDrop is the per-delivery probability that a report batch is
+	// lost between the switch CPU and the analyzer.
+	CollectDrop float64
+	// CollectLagMax adds uniform extra controller lag in [0, max] to
+	// each delivery.
+	CollectLagMax sim.Time
+	// LinkFlaps and BWDegrades are explicitly scheduled fabric faults.
+	LinkFlaps  []LinkFlap
+	BWDegrades []BWDegrade
+}
+
+// IsZero reports whether the schedule injects nothing.
+func (s *Schedule) IsZero() bool {
+	return s.PollLoss == 0 && s.PollDup == 0 && s.TelemetryEpochLoss == 0 &&
+		s.MeterCorrupt == 0 && s.StatusCorrupt == 0 && s.CollectDrop == 0 &&
+		s.CollectLagMax == 0 && len(s.LinkFlaps) == 0 && len(s.BWDegrades) == 0
+}
+
+// Validate checks probability ranges and fault windows.
+func (s *Schedule) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"poll-loss", s.PollLoss}, {"poll-dup", s.PollDup},
+		{"tel-loss", s.TelemetryEpochLoss}, {"meter-corrupt", s.MeterCorrupt},
+		{"status-corrupt", s.StatusCorrupt}, {"collect-drop", s.CollectDrop},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s=%g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.CollectLagMax < 0 {
+		return fmt.Errorf("chaos: negative collect-lag")
+	}
+	for _, f := range s.LinkFlaps {
+		if f.Duration <= 0 {
+			return fmt.Errorf("chaos: flap on node %d port %d has no duration", f.Node, f.Port)
+		}
+	}
+	for _, d := range s.BWDegrades {
+		if d.Duration <= 0 || d.Factor <= 0 || d.Factor >= 1 {
+			return fmt.Errorf("chaos: bw degrade on node %d port %d needs duration and factor in (0,1)", d.Node, d.Port)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule in the spec grammar ParseSchedule accepts.
+func (s *Schedule) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("poll-loss", s.PollLoss)
+	add("poll-dup", s.PollDup)
+	add("tel-loss", s.TelemetryEpochLoss)
+	add("meter-corrupt", s.MeterCorrupt)
+	add("status-corrupt", s.StatusCorrupt)
+	add("collect-drop", s.CollectDrop)
+	if s.CollectLagMax > 0 {
+		parts = append(parts, fmt.Sprintf("collect-lag=%dus", int64(s.CollectLagMax/sim.Microsecond)))
+	}
+	for _, f := range s.LinkFlaps {
+		parts = append(parts, fmt.Sprintf("flap=%d/%d@%dus+%dus", f.Node, f.Port,
+			int64(f.At/sim.Microsecond), int64(f.Duration/sim.Microsecond)))
+	}
+	for _, d := range s.BWDegrades {
+		parts = append(parts, fmt.Sprintf("bw=%d/%d@%dus+%dus*%g", d.Node, d.Port,
+			int64(d.At/sim.Microsecond), int64(d.Duration/sim.Microsecond), d.Factor))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses the compact comma-separated fault spec used by
+// --chaos flags:
+//
+//	poll-loss=0.2          polling-packet loss probability
+//	poll-dup=0.05          polling-packet duplication probability
+//	tel-loss=0.3           per-epoch snapshot loss probability
+//	meter-corrupt=0.05     causality-meter corruption probability
+//	status-corrupt=0.05    PFC status register corruption probability
+//	collect-drop=0.1       report-batch drop probability
+//	collect-lag=2ms        max extra controller lag per delivery
+//	flap=N/P@T+D           link (node N, port P) down at T for D
+//	bw=N/P@T+D*F           link derated to factor F at T for D
+//
+// Durations use Go syntax (500us, 2ms). flap and bw may repeat.
+// "none" or "" parses to the empty schedule.
+func ParseSchedule(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return s, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: %q is not key=value", item)
+		}
+		var err error
+		switch key {
+		case "poll-loss":
+			s.PollLoss, err = parseProb(val)
+		case "poll-dup":
+			s.PollDup, err = parseProb(val)
+		case "tel-loss":
+			s.TelemetryEpochLoss, err = parseProb(val)
+		case "meter-corrupt":
+			s.MeterCorrupt, err = parseProb(val)
+		case "status-corrupt":
+			s.StatusCorrupt, err = parseProb(val)
+		case "collect-drop":
+			s.CollectDrop, err = parseProb(val)
+		case "collect-lag":
+			s.CollectLagMax, err = parseDuration(val)
+		case "flap":
+			var f LinkFlap
+			f, err = parseFlap(val)
+			s.LinkFlaps = append(s.LinkFlaps, f)
+		case "bw":
+			var d BWDegrade
+			d, err = parseBW(val)
+			s.BWDegrades = append(s.BWDegrades, d)
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %s: %w", key, err)
+		}
+	}
+	sortFaults(s)
+	return s, nil
+}
+
+// sortFaults orders scheduled fabric faults by time then node/port so a
+// schedule assembled in any order installs identically.
+func sortFaults(s *Schedule) {
+	sort.Slice(s.LinkFlaps, func(i, j int) bool {
+		a, b := s.LinkFlaps[i], s.LinkFlaps[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Port < b.Port
+	})
+	sort.Slice(s.BWDegrades, func(i, j int) bool {
+		a, b := s.BWDegrades[i], s.BWDegrades[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Port < b.Port
+	})
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseDuration(v string) (sim.Time, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// parseFlap parses N/P@T+D.
+func parseFlap(v string) (LinkFlap, error) {
+	node, port, rest, err := parsePortRef(v)
+	if err != nil {
+		return LinkFlap{}, err
+	}
+	at, dur, rest, err := parseWindow(rest)
+	if err != nil {
+		return LinkFlap{}, err
+	}
+	if rest != "" {
+		return LinkFlap{}, fmt.Errorf("trailing %q", rest)
+	}
+	return LinkFlap{Node: node, Port: port, At: at, Duration: dur}, nil
+}
+
+// parseBW parses N/P@T+D*F.
+func parseBW(v string) (BWDegrade, error) {
+	node, port, rest, err := parsePortRef(v)
+	if err != nil {
+		return BWDegrade{}, err
+	}
+	at, dur, rest, err := parseWindow(rest)
+	if err != nil {
+		return BWDegrade{}, err
+	}
+	factorStr, ok := strings.CutPrefix(rest, "*")
+	if !ok {
+		return BWDegrade{}, fmt.Errorf("missing *factor in %q", v)
+	}
+	factor, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil {
+		return BWDegrade{}, err
+	}
+	if factor <= 0 || factor >= 1 {
+		return BWDegrade{}, fmt.Errorf("factor %g outside (0,1)", factor)
+	}
+	return BWDegrade{Node: node, Port: port, At: at, Duration: dur, Factor: factor}, nil
+}
+
+// parsePortRef consumes "N/P" and returns the remainder.
+func parsePortRef(v string) (topo.NodeID, int, string, error) {
+	nodeStr, rest, ok := strings.Cut(v, "/")
+	if !ok {
+		return 0, 0, "", fmt.Errorf("missing node/port in %q", v)
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("node in %q: %w", v, err)
+	}
+	i := strings.IndexAny(rest, "@")
+	if i < 0 {
+		return 0, 0, "", fmt.Errorf("missing @time in %q", v)
+	}
+	port, err := strconv.Atoi(rest[:i])
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("port in %q: %w", v, err)
+	}
+	return topo.NodeID(node), port, rest[i:], nil
+}
+
+// parseWindow consumes "@T+D" and returns the remainder.
+func parseWindow(v string) (at, dur sim.Time, rest string, err error) {
+	v, ok := strings.CutPrefix(v, "@")
+	if !ok {
+		return 0, 0, "", fmt.Errorf("missing @time in %q", v)
+	}
+	plus := strings.Index(v, "+")
+	if plus < 0 {
+		return 0, 0, "", fmt.Errorf("missing +duration in %q", v)
+	}
+	if at, err = parseDuration(v[:plus]); err != nil {
+		return 0, 0, "", err
+	}
+	v = v[plus+1:]
+	// The duration ends at the next non-duration rune ('*' for bw specs).
+	end := strings.IndexAny(v, "*")
+	if end < 0 {
+		end = len(v)
+	}
+	if dur, err = parseDuration(v[:end]); err != nil {
+		return 0, 0, "", err
+	}
+	return at, dur, v[end:], nil
+}

@@ -61,6 +61,20 @@ type Delivery struct {
 	Packets int      // MTU-batched packet count
 }
 
+// Faults degrades the collection path. The chaos engine implements it:
+// report batches lost between the switch CPU and the analyzer, and
+// controller lag stretching delivery. Decisions must be deterministic
+// given the engine's seed.
+type Faults interface {
+	// DropDelivery reports whether this switch's report batch is lost in
+	// transit. The register sync itself happened: the switch CPU still
+	// dedups re-polls for the interval, which is exactly the failure mode
+	// worth testing.
+	DropDelivery(sw topo.NodeID) bool
+	// CollectLatency returns extra controller lag added to this delivery.
+	CollectLatency(sw topo.NodeID) sim.Time
+}
+
 // Stats aggregates collection overhead for the efficiency experiments.
 type Stats struct {
 	Collections     int
@@ -71,7 +85,16 @@ type Stats struct {
 	FullDumpPackets uint64 // what PHV-limited data-plane export would cost
 	FlowRecords     uint64
 	SwitchesTouched map[topo.NodeID]bool
+	// DroppedDeliveries counts report batches lost to fault injection;
+	// Collections - DroppedDeliveries batches reached OnDelivery.
+	DroppedDeliveries int
+	// LagSum is the total fault-injected controller lag across deliveries.
+	LagSum sim.Time
 }
+
+// Delivered returns the number of report batches that actually reached
+// the analyzer.
+func (s Stats) Delivered() int { return s.Collections - s.DroppedDeliveries }
 
 // Collector is the analyzer-side collection service. One instance serves
 // the whole fabric (per-switch CPUs are modelled by the latency).
@@ -81,6 +104,9 @@ type Collector struct {
 
 	// OnDelivery receives each report at its (latency-delayed) arrival.
 	OnDelivery func(Delivery)
+
+	// Faults, when set, injects delivery drops and controller lag.
+	Faults Faults
 
 	lastCollect map[topo.NodeID]sim.Time
 	pending     map[topo.NodeID]*Delivery
@@ -141,12 +167,26 @@ func (c *Collector) MirrorPolling(sw topo.NodeID, tel *telemetry.State, hdr pack
 	}
 	c.pending[sw] = d
 	latency := c.Cfg.BaseLatency + sim.Time(len(rep.Epochs))*c.Cfg.PerEpochLatency
+	dropped := false
+	if c.Faults != nil {
+		if lag := c.Faults.CollectLatency(sw); lag > 0 {
+			latency += lag
+			c.stats.LagSum += lag
+		}
+		if c.Faults.DropDelivery(sw) {
+			// The batch is lost between CPU and analyzer. lastCollect
+			// stays set: the switch believes it reported, so re-polls
+			// inside the interval are still deduped away.
+			dropped = true
+			c.stats.DroppedDeliveries++
+		}
+	}
 	c.Eng.After(latency, func() {
 		d.Arrived = c.Eng.Now()
 		if c.pending[sw] == d {
 			delete(c.pending, sw)
 		}
-		if c.OnDelivery != nil {
+		if !dropped && c.OnDelivery != nil {
 			c.OnDelivery(*d)
 		}
 	})

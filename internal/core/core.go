@@ -274,6 +274,10 @@ func (sys *System) diagnose(s *Session) *Result {
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Switch < reports[j].Switch })
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
 	g := provenance.Build(sys.provCfg(), reports, sys.Cl.Topo)
+	// Declare what telemetry the analyzer wanted: the victim's path
+	// switches. Under collection faults some never report; coverage feeds
+	// the diagnosis confidence instead of failing silently.
+	g.Coverage.SetExpected(sys.victimPathSwitches(s.Trigger.Victim))
 	d := diagnosis.Diagnose(sys.Cfg.Diagnosis, g, sys.Cl.Topo, s.Trigger.Victim)
 	polled := len(s.Tagged)
 	if polled == 0 {
@@ -289,6 +293,27 @@ func (sys *System) diagnose(s *Session) *Result {
 		ReadyAt:        s.LastArrival,
 		Detail:         diagnosis.Refine(d.PrimaryCause(), sys.Cl.Routing, sys.Cl.Topo),
 	}
+}
+
+// victimPathSwitches lists the switches on the victim's ECMP-resolved
+// path — the coverage expectation for its diagnosis.
+func (sys *System) victimPathSwitches(ft packet.FiveTuple) []topo.NodeID {
+	src, ok1 := sys.Cl.Topo.HostByIP(ft.SrcIP)
+	dst, ok2 := sys.Cl.Topo.HostByIP(ft.DstIP)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	refs, err := sys.Cl.Routing.PortPath(src, dst, ft.Hash())
+	if err != nil {
+		return nil
+	}
+	var out []topo.NodeID
+	for _, r := range refs {
+		if sys.Cl.Topo.Node(r.Node).Kind == topo.KindSwitch {
+			out = append(out, r.Node)
+		}
+	}
+	return out
 }
 
 // VictimTupleOf is a helper for scenarios: the 5-tuple a flow from src

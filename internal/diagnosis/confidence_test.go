@@ -1,0 +1,161 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+
+	"hawkeye/internal/provenance"
+	"hawkeye/internal/topo"
+)
+
+// contentionGraph assembles the Fig. 12-style PFC contention case used
+// across the confidence tests: victim paused at sw0.P0, edge to terminal
+// sw1.P1 where two flows contend.
+func contentionGraph() *provenance.Graph {
+	g := emptyGraph()
+	victim, b1, b2 := flowT(1), flowT(2), flowT(3)
+	addPort(g, ref(0, 0), 5)
+	addPort(g, ref(1, 1), 0)
+	addPortEdge(g, ref(0, 0), ref(1, 1), 100)
+	addFlowPort(g, victim, ref(0, 0), 5)
+	addPortFlow(g, ref(1, 1), b1, 40)
+	addPortFlow(g, ref(1, 1), b2, 38)
+	addPortFlow(g, ref(1, 1), victim, -78)
+	return g
+}
+
+func setEvidence(g *provenance.Graph, a, b topo.PortRef, ev int) {
+	if g.PortEdgeEvidence[a] == nil {
+		g.PortEdgeEvidence[a] = make(map[topo.PortRef]int)
+	}
+	g.PortEdgeEvidence[a][b] = ev
+}
+
+func setCoverage(g *provenance.Graph, collected []topo.NodeID, epochsEach int, expected []topo.NodeID) {
+	for _, id := range collected {
+		g.Coverage.Switches[id] = true
+		g.Coverage.Collected++
+		g.Coverage.EpochsCollected += epochsEach
+	}
+	g.Coverage.SetExpected(expected)
+}
+
+func TestConfidenceHighWithFullEvidence(t *testing.T) {
+	tp := testTopo(t)
+	g := contentionGraph()
+	setEvidence(g, ref(0, 0), ref(1, 1), 6)
+	setCoverage(g, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+
+	rep := Diagnose(DefaultConfig(), g, tp, flowT(1))
+	if rep.Confidence != ConfHigh {
+		t.Fatalf("confidence = %v (%.2f), want high\n%v", rep.Confidence, rep.ConfidenceScore, rep)
+	}
+	if len(rep.Missing) != 0 {
+		t.Fatalf("full evidence reported gaps: %v", rep.Missing)
+	}
+	if !strings.Contains(rep.String(), "confidence: high") {
+		t.Fatalf("String() lacks confidence line:\n%v", rep)
+	}
+}
+
+func TestConfidenceDegradesWithMissingSwitches(t *testing.T) {
+	tp := testTopo(t)
+	full := contentionGraph()
+	setEvidence(full, ref(0, 0), ref(1, 1), 6)
+	setCoverage(full, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	fullRep := Diagnose(DefaultConfig(), full, tp, flowT(1))
+
+	holed := contentionGraph()
+	setEvidence(holed, ref(0, 0), ref(1, 1), 6)
+	// Same collected set, but the analyzer wanted two more switches.
+	setCoverage(holed, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1, 2, 3})
+	holedRep := Diagnose(DefaultConfig(), holed, tp, flowT(1))
+
+	if holedRep.ConfidenceScore >= fullRep.ConfidenceScore {
+		t.Fatalf("missing switches did not degrade score: %.2f vs %.2f",
+			holedRep.ConfidenceScore, fullRep.ConfidenceScore)
+	}
+	found := false
+	for _, m := range holedRep.Missing {
+		if strings.Contains(m, "victim-path switches") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-switch gap not reported: %v", holedRep.Missing)
+	}
+	// The conclusion itself is unchanged — only the trust in it moves.
+	if holedRep.Type != fullRep.Type {
+		t.Fatalf("coverage changed the classification: %v vs %v", holedRep.Type, fullRep.Type)
+	}
+}
+
+func TestConfidenceDegradesWithWeakEdgeEvidence(t *testing.T) {
+	tp := testTopo(t)
+	strong := contentionGraph()
+	setEvidence(strong, ref(0, 0), ref(1, 1), 6)
+	setCoverage(strong, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	strongRep := Diagnose(DefaultConfig(), strong, tp, flowT(1))
+
+	weak := contentionGraph()
+	setEvidence(weak, ref(0, 0), ref(1, 1), 1)
+	setCoverage(weak, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	weakRep := Diagnose(DefaultConfig(), weak, tp, flowT(1))
+
+	if weakRep.ConfidenceScore >= strongRep.ConfidenceScore {
+		t.Fatalf("single-sample edge did not degrade score: %.2f vs %.2f",
+			weakRep.ConfidenceScore, strongRep.ConfidenceScore)
+	}
+}
+
+func TestConfidenceSparseEpochsReported(t *testing.T) {
+	tp := testTopo(t)
+	g := contentionGraph()
+	setEvidence(g, ref(0, 0), ref(1, 1), 6)
+	setCoverage(g, []topo.NodeID{0, 1}, 1, []topo.NodeID{0, 1})
+	rep := Diagnose(DefaultConfig(), g, tp, flowT(1))
+	found := false
+	for _, m := range rep.Missing {
+		if strings.Contains(m, "epochs sparse") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sparse epochs not reported: %v", rep.Missing)
+	}
+}
+
+func TestConfidenceEmptyGraphIsLow(t *testing.T) {
+	tp := testTopo(t)
+	rep := Diagnose(DefaultConfig(), emptyGraph(), tp, flowT(1))
+	if rep.Confidence != ConfLow || rep.ConfidenceScore > 0.1 {
+		t.Fatalf("empty graph: confidence = %v (%.2f), want low", rep.Confidence, rep.ConfidenceScore)
+	}
+	if len(rep.Missing) == 0 {
+		t.Fatal("empty graph reported no missing evidence")
+	}
+}
+
+func TestConfidenceVictimWithoutPauseEvidence(t *testing.T) {
+	tp := testTopo(t)
+	// Victim has flow telemetry but never a pause record: walk falls back
+	// to live registers and confidence takes the corresponding penalty.
+	g := emptyGraph()
+	victim := flowT(1)
+	addPort(g, ref(0, 0), 3)
+	if g.Flows[victim] == nil {
+		g.Flows[victim] = make(map[topo.PortRef]*provenance.FlowInfo)
+	}
+	g.Flows[victim][ref(0, 0)] = &provenance.FlowInfo{Tuple: victim, Port: ref(0, 0), PktCount: 10}
+	setCoverage(g, []topo.NodeID{0}, 4, []topo.NodeID{0})
+	rep := Diagnose(DefaultConfig(), g, tp, victim)
+	found := false
+	for _, m := range rep.Missing {
+		if strings.Contains(m, "victim never recorded paused") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim pause gap not reported: %v", rep.Missing)
+	}
+}

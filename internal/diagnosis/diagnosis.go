@@ -128,6 +128,33 @@ func DefaultConfig() Config {
 	return Config{MinContribution: 2.0, ContributorFrac: 0.1}
 }
 
+// Confidence grades how well the telemetry behind a diagnosis supports
+// its conclusion. Under fault injection (internal/chaos) the evidence
+// thins out; the grade must thin out with it — a wrong root cause
+// reported with high confidence is worse than no diagnosis at all.
+type Confidence int
+
+const (
+	// ConfLow: major evidence gaps; treat the conclusion as a hint.
+	ConfLow Confidence = iota
+	// ConfMedium: the conclusion is supported but parts of the causality
+	// chain rest on sparse evidence.
+	ConfMedium
+	// ConfHigh: the full causality chain is backed by telemetry.
+	ConfHigh
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case ConfHigh:
+		return "high"
+	case ConfMedium:
+		return "medium"
+	default:
+		return "low"
+	}
+}
+
 // Report is the diagnosis outcome for one victim.
 type Report struct {
 	Victim packet.FiveTuple
@@ -143,6 +170,14 @@ type Report struct {
 	Spreaders []packet.FiveTuple
 	// VictimPausedAt lists the ports where the victim itself was paused.
 	VictimPausedAt []topo.PortRef
+	// Confidence grades the evidence behind the conclusion;
+	// ConfidenceScore is the underlying [0,1] value (levels: >=0.8 high,
+	// >=0.45 medium).
+	Confidence      Confidence
+	ConfidenceScore float64
+	// Missing lists the evidence gaps that degraded the confidence, in
+	// the order they were assessed.
+	Missing []string
 }
 
 // PrimaryCause returns the first root cause (the analysis orders causes
@@ -172,6 +207,10 @@ func (r *Report) String() string {
 	}
 	if len(r.Spreaders) > 0 {
 		fmt.Fprintf(&b, "  spreading flows: %v\n", r.Spreaders)
+	}
+	fmt.Fprintf(&b, "  confidence: %v (%.2f)\n", r.Confidence, r.ConfidenceScore)
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "  missing: %s\n", m)
 	}
 	return b.String()
 }
@@ -210,7 +249,112 @@ func Diagnose(cfg Config, g *provenance.Graph, t *topo.Topology, victim packet.F
 
 	a.rep.Spreaders = a.spreaders()
 	a.classify()
+	a.assess()
 	return a.rep
+}
+
+// assess grades the evidence behind the classification. Each gap applies
+// a multiplicative penalty so independent degradations compound; the
+// notes name what is missing so an operator knows which telemetry to go
+// fetch before trusting (or re-running) the diagnosis.
+func (a *analyzer) assess() {
+	r := a.rep
+	if len(a.g.Ports) == 0 {
+		// Nothing collected at all: whatever classify concluded (TypeNone)
+		// is an absence of evidence, not evidence of absence.
+		r.ConfidenceScore = 0.05
+		r.Confidence = ConfLow
+		r.Missing = append(r.Missing, "no telemetry collected; diagnosis is a default, not a conclusion")
+		return
+	}
+	score := 1.0
+	if cov := a.g.Coverage; cov != nil {
+		if cov.Expected > 0 {
+			score *= 0.35 + 0.65*cov.Frac()
+			if n := len(cov.MissingSwitches); n > 0 {
+				r.Missing = append(r.Missing, fmt.Sprintf(
+					"no report from %d of %d victim-path switches", n, cov.Expected))
+			}
+		}
+		if cov.Collected > 0 {
+			avg := cov.AvgEpochs()
+			frac := avg / 3
+			if frac > 1 {
+				frac = 1
+			}
+			score *= 0.7 + 0.3*frac
+			if avg < 2 {
+				r.Missing = append(r.Missing, fmt.Sprintf(
+					"telemetry epochs sparse: %.1f per report on average", avg))
+			}
+		}
+	}
+	if len(r.VictimPausedAt) == 0 {
+		if len(a.g.Flows[r.Victim]) == 0 {
+			score *= 0.6
+			r.Missing = append(r.Missing, "no flow telemetry for the victim anywhere")
+		} else {
+			score *= 0.75
+			r.Missing = append(r.Missing, "victim never recorded paused; walk rooted at live pause registers")
+		}
+	}
+	// Host-injection conclusions are negative evidence: the walk found NO
+	// contention behind a paused port. Absence only means something when
+	// the telemetry that would have shown contention actually arrived, and
+	// a switch-to-switch port blaming its peer for injecting PFC is
+	// physically suspect outside a deadlock — switches relay pressure,
+	// hosts originate it. Both patterns are the signature of contention
+	// records lost to telemetry faults, so they cap the grade.
+	switchFacing, incomplete := false, false
+	for _, c := range r.Causes {
+		if c.Kind != CauseHostInjection {
+			continue
+		}
+		if !c.InjectorHostFacing && !r.Type.IsDeadlock() {
+			switchFacing = true
+		}
+		if cov := a.g.Coverage; cov != nil {
+			if n := cov.SwitchEpochs(c.Port.Node); n < cov.MaxSwitchEpochs() {
+				incomplete = true
+			}
+		}
+	}
+	if switchFacing {
+		score *= 0.55
+		r.Missing = append(r.Missing,
+			"PFC attributed to injection at a switch-to-switch port; upstream contention telemetry may be lost")
+	}
+	if incomplete {
+		score *= 0.7
+		r.Missing = append(r.Missing,
+			"an injection conclusion rests on an epoch-incomplete report; the missing epochs may hold the real contention")
+	}
+	// The causality chain is only as strong as its weakest wait-for edge.
+	minEv := -1
+	for _, path := range r.PFCPaths {
+		for i := 0; i+1 < len(path); i++ {
+			ev := a.g.EdgeEvidence(path[i], path[i+1])
+			if minEv < 0 || ev < minEv {
+				minEv = ev
+			}
+		}
+	}
+	switch {
+	case minEv >= 0 && minEv <= 1:
+		score *= 0.75
+		r.Missing = append(r.Missing, "a PFC-path edge rests on a single causality-meter sample")
+	case minEv == 2:
+		score *= 0.9
+	}
+	r.ConfidenceScore = score
+	switch {
+	case score >= 0.8:
+		r.Confidence = ConfHigh
+	case score >= 0.45:
+		r.Confidence = ConfMedium
+	default:
+		r.Confidence = ConfLow
+	}
 }
 
 // checkPortNode is the DFS of Algorithm 2 (CheckPortNode): follow

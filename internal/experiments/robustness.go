@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"hawkeye/internal/chaos"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/metrics"
+)
+
+// RobustnessSchedule builds the fault schedule for one point of a
+// robustness sweep: telemetry-epoch loss at the given rate, with the
+// collection path degraded at half of it (reports and epochs fail
+// together in practice — a flaky controller loses both).
+func RobustnessSchedule(rate float64) *chaos.Schedule {
+	return &chaos.Schedule{
+		TelemetryEpochLoss: rate,
+		CollectDrop:        rate / 2,
+	}
+}
+
+// RunRobustnessCurve sweeps fault rates over a scenario and measures how
+// the diagnosis degrades: precision/recall per rate, the average
+// confidence the diagnoses claimed, and — the invariant that matters —
+// how often a wrong diagnosis was graded high-confidence.
+func RunRobustnessCurve(scenario string, seed uint64, rates []float64, trials int) (*metrics.RobustnessCurve, error) {
+	curve := &metrics.RobustnessCurve{Name: scenario}
+	for _, rate := range rates {
+		pt := metrics.RobustnessPoint{FaultRate: rate}
+		confSum, confN := 0.0, 0
+		for i := 0; i < trials; i++ {
+			cfg := DefaultTrialConfig(scenario, seed+uint64(i))
+			cfg.Chaos = RobustnessSchedule(rate)
+			tr, err := RunTrial(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt.PR.Add(tr.Score)
+			pt.Trials++
+			if tr.Score.Result != nil {
+				d := tr.Score.Result.Diagnosis
+				confSum += d.ConfidenceScore
+				confN++
+				if !tr.Score.Correct && d.Confidence == diagnosis.ConfHigh {
+					pt.HighConfWrong++
+				}
+			}
+		}
+		if confN > 0 {
+			pt.AvgConfidence = confSum / float64(confN)
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}

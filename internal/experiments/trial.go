@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"hawkeye/internal/baselines"
+	"hawkeye/internal/chaos"
 	"hawkeye/internal/cluster"
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
@@ -56,7 +57,18 @@ type TrialConfig struct {
 	MeasureBaselines bool
 	// PollLoss injects polling-packet loss at every switch (failure
 	// testing).
+	//
+	// Deprecated: the knob folds into the chaos schedule's PollLoss; it
+	// is kept so existing sweeps keep their call sites. Prefer Chaos.
 	PollLoss float64
+	// Chaos composes fault injection across the whole pipeline
+	// (internal/chaos); nil runs the trial clean. PollLoss merges into
+	// the schedule when the schedule itself leaves polling untouched.
+	Chaos *chaos.Schedule
+	// ChaosSeed drives every chaos decision (0 derives from Seed, so a
+	// trial's identity stays one number unless the sweep needs
+	// independent fault draws).
+	ChaosSeed uint64
 	// EnableWatchdog attaches a PFC storm watchdog to every switch:
 	// mitigation running alongside diagnosis (§2.2 — operators deploy
 	// both; the diagnosis must survive the mitigation's evidence
@@ -108,6 +120,10 @@ type Trial struct {
 	Sys     *core.System
 	Results []*core.Result
 	Score   metrics.TrialScore
+
+	// Chaos is the installed fault-injection engine (nil on clean runs);
+	// its counters account for every injected fault of the trace.
+	Chaos *chaos.Engine
 
 	View  baselines.View
 	Stats baselines.TraceStats
@@ -166,10 +182,6 @@ func RunTrial(cfg TrialConfig) (*Trial, error) {
 	if cfg.pollDedup != nil {
 		score.Polling.Dedup = *cfg.pollDedup
 	}
-	if cfg.PollLoss > 0 {
-		score.Polling.LossProb = cfg.PollLoss
-		score.Polling.Rng = sim.NewRand(cfg.Seed ^ 0x1055)
-	}
 	if cfg.EdgeFlowTelemetryOnly {
 		edges := make(map[topo.NodeID]bool)
 		for _, pod := range ft.Edge {
@@ -191,6 +203,27 @@ func RunTrial(cfg TrialConfig) (*Trial, error) {
 	}
 
 	tr := &Trial{Cfg: cfg, Cl: cl, FT: ft, Sys: sys}
+
+	// Fault injection: the legacy PollLoss knob folds into the chaos
+	// schedule, so every fault — polling loss included — runs off one
+	// seeded engine and one accounting surface.
+	sched := chaos.Schedule{}
+	if cfg.Chaos != nil {
+		sched = *cfg.Chaos
+	}
+	if cfg.PollLoss > 0 && sched.PollLoss == 0 {
+		sched.PollLoss = cfg.PollLoss
+	}
+	if !sched.IsZero() {
+		chaosSeed := cfg.ChaosSeed
+		if chaosSeed == 0 {
+			chaosSeed = cfg.Seed ^ 0x1055
+		}
+		tr.Chaos, err = chaos.Install(cl, sys, sched, chaosSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var smons map[topo.NodeID]*spidermon.Instrument
 	var nstore *netsight.Store
@@ -238,9 +271,17 @@ func RunTrial(cfg TrialConfig) (*Trial, error) {
 		if !gt.Victims[t.Victim] || len(tr.allSnaps) > 64 {
 			return
 		}
-		all := make(map[topo.NodeID]*telemetry.Report, len(sys.Tels))
-		for id, tel := range sys.Tels {
-			all[id] = tel.Snapshot(cfg.NumEpochs)
+		// Sorted snapshot order: Snapshot draws from the chaos telemetry
+		// fault stream, so map iteration here would consume it in a
+		// different order every run and break fault replay.
+		ids := make([]topo.NodeID, 0, len(sys.Tels))
+		for id := range sys.Tels {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		all := make(map[topo.NodeID]*telemetry.Report, len(ids))
+		for _, id := range ids {
+			all[id] = sys.Tels[id].Snapshot(cfg.NumEpochs)
 		}
 		tr.allSnaps = append(tr.allSnaps, fabricSnap{at: cl.Eng.Now(), reports: all})
 	}

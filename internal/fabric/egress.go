@@ -150,7 +150,7 @@ func (e *Egress) kick() {
 		if e.OnDequeue != nil {
 			e.OnDequeue(q)
 		}
-		tx := e.net.Topo.TransmitTime(q.Pkt.Size)
+		tx := e.net.TransmitTimeOn(e.node, e.port, q.Pkt.Size)
 		e.net.Deliver(e.node, e.port, q.Pkt)
 		e.net.Eng.After(tx, func() {
 			e.busy = false

@@ -40,11 +40,82 @@ type Network struct {
 	// OnWire, if set, observes every packet as it is put on a link —
 	// a passive tap (pcap capture, debugging). It must not mutate pkt.
 	OnWire func(from topo.NodeID, port int, pkt *packet.Packet, now sim.Time)
+
+	// faults holds per-(node, port) link fault state installed by the
+	// chaos engine. Nil (the common case) costs one map lookup only when
+	// entries exist.
+	faults map[portKey]*linkFault
+
+	// FaultDrops counts packets discarded because their egress link was
+	// administratively down (fault injection).
+	FaultDrops uint64
+}
+
+// portKey addresses one directed link endpoint.
+type portKey struct {
+	node topo.NodeID
+	port int
+}
+
+// linkFault is the injected state of one link endpoint: an outage window
+// and/or a bandwidth derating factor.
+type linkFault struct {
+	downUntil sim.Time
+	bwFactor  float64 // 0 or 1 = nominal rate
 }
 
 // NewNetwork creates a network over the topology.
 func NewNetwork(eng *sim.Engine, t *topo.Topology) *Network {
 	return &Network{Eng: eng, Topo: t, nodes: make(map[topo.NodeID]Receiver)}
+}
+
+func (n *Network) faultAt(node topo.NodeID, port int) *linkFault {
+	if n.faults == nil {
+		n.faults = make(map[portKey]*linkFault)
+	}
+	k := portKey{node, port}
+	f := n.faults[k]
+	if f == nil {
+		f = &linkFault{}
+		n.faults[k] = f
+	}
+	return f
+}
+
+// SetLinkDown marks the directed link endpoint (node, port) down until
+// the given virtual time: packets sent out of it before then vanish on
+// the wire. Chaos link flaps call this on both endpoints of a link.
+func (n *Network) SetLinkDown(node topo.NodeID, port int, until sim.Time) {
+	n.faultAt(node, port).downUntil = until
+}
+
+// SetLinkBandwidthFactor derates (factor < 1) or restores (factor 0 or 1)
+// the serialization rate of the directed link endpoint (node, port).
+func (n *Network) SetLinkBandwidthFactor(node topo.NodeID, port int, factor float64) {
+	n.faultAt(node, port).bwFactor = factor
+}
+
+// LinkUp reports whether the directed link endpoint can currently carry
+// traffic.
+func (n *Network) LinkUp(node topo.NodeID, port int) bool {
+	if n.faults == nil {
+		return true
+	}
+	f := n.faults[portKey{node, port}]
+	return f == nil || f.downUntil <= n.Eng.Now()
+}
+
+// TransmitTimeOn returns the serialization time of size bytes on the
+// directed link endpoint (node, port), including any injected bandwidth
+// derating. Without faults it equals Topo.TransmitTime.
+func (n *Network) TransmitTimeOn(node topo.NodeID, port int, size int) sim.Time {
+	tx := n.Topo.TransmitTime(size)
+	if n.faults != nil {
+		if f := n.faults[portKey{node, port}]; f != nil && f.bwFactor > 0 && f.bwFactor < 1 {
+			tx = sim.Time(float64(tx) / f.bwFactor)
+		}
+	}
+	return tx
 }
 
 // Register attaches a node model to a topology node.
@@ -62,11 +133,15 @@ func (n *Network) Deliver(from topo.NodeID, port int, pkt *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("fabric: no model registered for node %d", peer))
 	}
+	if !n.LinkUp(from, port) {
+		n.FaultDrops++
+		return
+	}
 	n.account(pkt)
 	if n.OnWire != nil {
 		n.OnWire(from, port, pkt, n.Eng.Now())
 	}
-	tx := n.Topo.TransmitTime(pkt.Size)
+	tx := n.TransmitTimeOn(from, port, pkt.Size)
 	n.Eng.After(tx+n.Topo.LinkDelay, func() {
 		n.Delivered++
 		rx.Receive(pkt, peerPort)

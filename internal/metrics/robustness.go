@@ -1,0 +1,50 @@
+package metrics
+
+import "fmt"
+
+// RobustnessPoint is one operating point of a robustness curve: the
+// diagnosis quality measured while the chaos engine injects faults at
+// the given rate.
+type RobustnessPoint struct {
+	// FaultRate is the injected fault probability for this point
+	// (interpretation depends on the sweep: telemetry-epoch loss,
+	// collection drop, ...).
+	FaultRate float64
+	// PR aggregates precision/recall over the point's trials.
+	PR PR
+	// Trials is how many traces were scored into PR.
+	Trials int
+	// AvgConfidence averages the scored diagnoses' confidence scores.
+	// The whole point of degraded-mode diagnosis: this must fall as
+	// FaultRate rises.
+	AvgConfidence float64
+	// HighConfWrong counts diagnoses that were wrong yet graded
+	// high-confidence — the failure mode the confidence model exists to
+	// prevent. Anything nonzero is a bug in the evidence assessment.
+	HighConfWrong int
+}
+
+// RobustnessCurve is a fault-rate sweep for one scenario.
+type RobustnessCurve struct {
+	Name   string
+	Points []RobustnessPoint
+}
+
+// Table renders the curve as an experiment table.
+func (c *RobustnessCurve) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("robustness: %s", c.Name),
+		Headers: []string{"fault-rate", "precision", "recall", "avg-conf", "high-conf-wrong", "trials"},
+	}
+	for _, p := range c.Points {
+		t.AddRow(
+			fmt.Sprintf("%.2f", p.FaultRate),
+			fmt.Sprintf("%.2f", p.PR.Precision()),
+			fmt.Sprintf("%.2f", p.PR.Recall()),
+			fmt.Sprintf("%.2f", p.AvgConfidence),
+			fmt.Sprintf("%d", p.HighConfWrong),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}

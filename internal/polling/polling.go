@@ -20,16 +20,37 @@ type Mirror interface {
 	MirrorPolling(sw topo.NodeID, tel *telemetry.State, hdr packet.PollingHeader, inPort int)
 }
 
+// FaultInjector intercepts polling packets at handler entry. The chaos
+// engine (internal/chaos) implements it; all injection decisions flow
+// through one seeded RNG and one accounting surface there.
+type FaultInjector interface {
+	// DropPolling reports whether this polling packet is lost before the
+	// handler sees it (a congested or lossy control plane eating
+	// diagnosis traffic).
+	DropPolling(sw topo.NodeID, hdr packet.PollingHeader) bool
+	// DuplicatePolling reports whether the packet arrives twice (link
+	// retransmission, mirror misconfiguration). The duplicate runs the
+	// full handler; the dedup window is what absorbs it.
+	DuplicatePolling(sw topo.NodeID, hdr packet.PollingHeader) bool
+}
+
 // Config controls the per-switch handler.
 type Config struct {
 	// Dedup drops polling packets with the same victim 5-tuple seen
 	// within the interval (Table 1 discussion).
 	Dedup sim.Time
-	// LossProb injects polling-packet loss at handler entry (failure
-	// testing: a congested or lossy control plane eating diagnosis
-	// traffic). Requires Rng. Zero disables.
+	// Faults, when set, injects polling-packet loss and duplication at
+	// handler entry. Install via the chaos engine.
+	Faults FaultInjector
+	// LossProb injects polling-packet loss at handler entry.
+	//
+	// Deprecated: set Faults (chaos.Schedule.PollLoss) instead, which
+	// shares the engine-wide seeded RNG and fault accounting. LossProb
+	// keeps working when Faults is nil. Requires Rng. Zero disables.
 	LossProb float64
-	// Rng drives the loss injection (deterministic, seeded).
+	// Rng drives the deprecated LossProb injection (deterministic, seeded).
+	//
+	// Deprecated: see LossProb.
 	Rng *sim.Rand
 }
 
@@ -50,7 +71,8 @@ type Handler struct {
 	// Counters.
 	Handled        uint64
 	Dropped        uint64
-	Lost           uint64 // failure-injected losses (Config.LossProb)
+	Lost           uint64 // fault-injected losses (Config.Faults / LossProb)
+	Duplicated     uint64 // fault-injected duplicate arrivals
 	ForwardVictim  uint64
 	ForwardCausal  uint64
 	TerminalHost   uint64 // PFC trace ended at a host-facing port
@@ -76,10 +98,27 @@ func (h *Handler) HandlePolling(sw *device.Switch, pkt *packet.Packet, inPort in
 		h.Dropped++
 		return
 	}
-	if h.Cfg.LossProb > 0 && h.Cfg.Rng != nil && h.Cfg.Rng.Float64() < h.Cfg.LossProb {
+	if f := h.Cfg.Faults; f != nil {
+		if f.DropPolling(sw.ID, *hdr) {
+			h.Lost++
+			return
+		}
+		if f.DuplicatePolling(sw.ID, *hdr) {
+			// The duplicate takes the full handler path; the per-victim
+			// dedup window is the mechanism that absorbs it.
+			h.Duplicated++
+			h.handle(sw, hdr, inPort)
+		}
+	} else if h.Cfg.LossProb > 0 && h.Cfg.Rng != nil && h.Cfg.Rng.Float64() < h.Cfg.LossProb {
+		// Deprecated LossProb shim (pre-chaos failure testing).
 		h.Lost++
 		return
 	}
+	h.handle(sw, hdr, inPort)
+}
+
+// handle is the fault-free polling pipeline of Fig. 6.
+func (h *Handler) handle(sw *device.Switch, hdr *packet.PollingHeader, inPort int) {
 	now := h.now()
 	if last, ok := h.lastSeen[hdr.Victim]; ok && now-last < h.Cfg.Dedup {
 		h.Dropped++

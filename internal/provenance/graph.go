@@ -62,6 +62,12 @@ type PortInfo struct {
 	PausedNow bool
 	// StatusQdepth is the live egress backlog register at snapshot time.
 	StatusQdepth float64
+	// Epochs counts how many collected epochs carried a record for this
+	// port; PausedEpochs how many of those saw it paused. Under telemetry
+	// loss these are the per-node evidence mass behind every conclusion
+	// drawn from the port.
+	Epochs       int
+	PausedEpochs int
 }
 
 // AvgQdepth is the mean backlog (bytes) packets saw at this port.
@@ -102,6 +108,9 @@ type FlowInfo struct {
 	QdepthSum    uint64
 	Bytes        uint64
 	ActiveEpochs int
+	// PausedEpochs counts the epochs in which the flow saw pause at this
+	// port (evidence mass for flow-port edges).
+	PausedEpochs int
 	PeakRateBps  float64
 }
 
@@ -129,22 +138,111 @@ type Graph struct {
 	// contention contribution (positive = contributor, negative = victim).
 	PortFlow map[topo.PortRef]map[packet.FiveTuple]float64
 
+	// PortEdgeEvidence counts the independent telemetry samples backing
+	// each port-level wait-for edge: paused epochs at the source, record
+	// epochs at the destination, plus the causality-meter read. An edge
+	// with evidence 1 survives on a single register sample — under fault
+	// injection that is the difference between a conclusion and a guess.
+	PortEdgeEvidence map[topo.PortRef]map[topo.PortRef]int
+
+	// Coverage describes how much of the wanted telemetry this graph was
+	// actually built from. Always non-nil after Build.
+	Coverage *Coverage
+
 	// contention holds the per-epoch flow populations per port, the raw
 	// material for queue replay (kept epoch-separated on purpose).
 	contention map[topo.PortRef][]epochFlows
 }
 
+// Coverage quantifies the telemetry the graph was built from versus what
+// the analyzer wanted, so diagnosis can say how much evidence is missing
+// instead of silently concluding from partial inputs.
+type Coverage struct {
+	// Collected counts the reports the graph ingested; Switches marks
+	// which switches they came from.
+	Collected int
+	Switches  map[topo.NodeID]bool
+	// EpochsCollected totals the epoch payloads across those reports
+	// (epoch-ring loss shows up here, not in Collected).
+	EpochsCollected int
+	// EpochsBySwitch breaks EpochsCollected down per reporting switch, so
+	// diagnosis can tell whether a specific conclusion rests on an
+	// epoch-incomplete report (the switch lost epochs its peers kept).
+	EpochsBySwitch map[topo.NodeID]int
+	// Expected is how many switches the analyzer wanted reports from; 0
+	// means unknown (e.g. analyzd ingests externally chosen report sets).
+	Expected int
+	// MissingSwitches lists expected switches that never reported, sorted.
+	MissingSwitches []topo.NodeID
+}
+
+// SetExpected declares the switch set the analyzer wanted telemetry from
+// (typically the victim's path) and computes the missing set.
+func (c *Coverage) SetExpected(expected []topo.NodeID) {
+	c.Expected = len(expected)
+	c.MissingSwitches = nil
+	for _, id := range expected {
+		if !c.Switches[id] {
+			c.MissingSwitches = append(c.MissingSwitches, id)
+		}
+	}
+	sort.Slice(c.MissingSwitches, func(i, j int) bool {
+		return c.MissingSwitches[i] < c.MissingSwitches[j]
+	})
+}
+
+// Frac is the fraction of expected switches that reported (1 when the
+// expectation is unknown: no evidence of absence).
+func (c *Coverage) Frac() float64 {
+	if c.Expected == 0 {
+		return 1
+	}
+	return float64(c.Expected-len(c.MissingSwitches)) / float64(c.Expected)
+}
+
+// AvgEpochs is the mean epoch payloads per collected report.
+func (c *Coverage) AvgEpochs() float64 {
+	if c.Collected == 0 {
+		return 0
+	}
+	return float64(c.EpochsCollected) / float64(c.Collected)
+}
+
+// MaxSwitchEpochs returns the largest per-switch epoch count — the
+// best-covered report, against which epoch-incomplete ones stand out.
+func (c *Coverage) MaxSwitchEpochs() int {
+	max := 0
+	for _, n := range c.EpochsBySwitch {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SwitchEpochs returns how many epoch payloads switch id contributed.
+func (c *Coverage) SwitchEpochs(id topo.NodeID) int { return c.EpochsBySwitch[id] }
+
 // NewGraph returns an empty graph.
 func NewGraph(cfg Config) *Graph {
 	return &Graph{
-		Cfg:       cfg,
-		Ports:     make(map[topo.PortRef]*PortInfo),
-		Flows:     make(map[packet.FiveTuple]map[topo.PortRef]*FlowInfo),
-		PortEdges: make(map[topo.PortRef]map[topo.PortRef]float64),
-		FlowPort:  make(map[packet.FiveTuple]map[topo.PortRef]float64),
-		PortFlow:  make(map[topo.PortRef]map[packet.FiveTuple]float64),
+		Cfg:              cfg,
+		Ports:            make(map[topo.PortRef]*PortInfo),
+		Flows:            make(map[packet.FiveTuple]map[topo.PortRef]*FlowInfo),
+		PortEdges:        make(map[topo.PortRef]map[topo.PortRef]float64),
+		FlowPort:         make(map[packet.FiveTuple]map[topo.PortRef]float64),
+		PortFlow:         make(map[topo.PortRef]map[packet.FiveTuple]float64),
+		PortEdgeEvidence: make(map[topo.PortRef]map[topo.PortRef]int),
+		Coverage: &Coverage{
+			Switches:       make(map[topo.NodeID]bool),
+			EpochsBySwitch: make(map[topo.NodeID]int),
+		},
 	}
 }
+
+// EdgeEvidence returns the telemetry-sample count backing the a -> b
+// port edge (0 when the edge does not exist).
+func (g *Graph) EdgeEvidence(a, b topo.PortRef) int { return g.PortEdgeEvidence[a][b] }
 
 // OutDegreeP returns the port-level out-degree of p (Table 2 signatures).
 func (g *Graph) OutDegreeP(p topo.PortRef) int { return len(g.PortEdges[p]) }
@@ -309,6 +407,10 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 	for _, rep := range reports {
 		v := &reportView{rep: rep, meter: make(map[int]map[int]uint64)}
 		views[rep.Switch] = v
+		g.Coverage.Collected++
+		g.Coverage.Switches[rep.Switch] = true
+		g.Coverage.EpochsCollected += len(rep.Epochs)
+		g.Coverage.EpochsBySwitch[rep.Switch] += len(rep.Epochs)
 		for _, m := range rep.Meter {
 			row, ok := v.meter[m.InPort]
 			if !ok {
@@ -330,6 +432,10 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 				info.PausedNum += uint64(pr.PausedCount)
 				info.QdepthSum += pr.QdepthSum
 				info.Bytes += pr.Bytes
+				info.Epochs++
+				if pr.PausedCount > 0 {
+					info.PausedEpochs++
+				}
 			}
 			for _, fr := range ep.Flows {
 				ref := topo.PortRef{Node: rep.Switch, Port: fr.OutPort}
@@ -348,6 +454,9 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 				fi.QdepthSum += fr.QdepthSum
 				fi.Bytes += fr.Bytes
 				fi.ActiveEpochs++
+				if fr.PausedCount > 0 {
+					fi.PausedEpochs++
+				}
 				if cfg.EpochSizeNS > 0 {
 					rate := float64(fr.Bytes) * 8 / (float64(cfg.EpochSizeNS) / 1e9)
 					if rate > fi.PeakRateBps {
@@ -423,8 +532,14 @@ func (g *Graph) buildPortEdges(views map[topo.NodeID]*reportView, t *topo.Topolo
 			}
 			if g.PortEdges[ref] == nil {
 				g.PortEdges[ref] = make(map[topo.PortRef]float64)
+				g.PortEdgeEvidence[ref] = make(map[topo.PortRef]int)
 			}
 			g.PortEdges[ref][dst] = weight
+			// Evidence mass: source paused epochs + destination record
+			// epochs + the meter read itself. Live-status-only ports
+			// contribute nothing beyond the meter, leaving the edge at 1 —
+			// real, but hanging off a single register sample.
+			g.PortEdgeEvidence[ref][dst] = info.PausedEpochs + dstInfo.Epochs + 1
 		}
 	}
 }

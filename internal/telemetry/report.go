@@ -55,6 +55,11 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 		FlowSlots: s.Cfg.FlowSlots,
 	}
 	for _, ve := range s.validEpochs(epochsWanted) {
+		if s.faults != nil && s.faults.DropEpoch(s.Switch, ve.idx) {
+			// Epoch-ring read failure: the slot's data never reaches the
+			// CPU poller. The registers themselves are untouched.
+			continue
+		}
 		ep := &s.epochs[ve.idx]
 		data := EpochData{Ring: ve.idx, ID: ep.id, Start: ve.start}
 		for i := range ep.flows {
@@ -74,7 +79,13 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 		for out := 0; out < s.numPorts; out++ {
 			i := in*s.numPorts + out
 			if b := s.meterCur[i] + s.meterPrev[i]; b > 0 {
-				r.Meter = append(r.Meter, MeterRecord{InPort: in, OutPort: out, Bytes: b})
+				rec := MeterRecord{InPort: in, OutPort: out, Bytes: b}
+				if s.faults != nil {
+					s.faults.CorruptMeter(s.Switch, &rec)
+				}
+				if rec.Bytes > 0 {
+					r.Meter = append(r.Meter, rec)
+				}
 			}
 		}
 	}
@@ -82,6 +93,11 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 	if s.queueOf != nil {
 		for i := range r.Status {
 			r.Status[i].QdepthBytes = s.queueOf(r.Status[i].Port)
+		}
+	}
+	if s.faults != nil {
+		for i := range r.Status {
+			s.faults.CorruptStatus(s.Switch, &r.Status[i])
 		}
 	}
 	return r

@@ -178,7 +178,32 @@ type State struct {
 	idShift   uint
 	idxMask   uint64
 	Evictions uint64
+
+	// faults, when set, degrades snapshot extraction (chaos engine).
+	faults Faults
 }
+
+// Faults lets a fault-injection engine degrade snapshot extraction,
+// modelling a lossy or corrupting register DMA sync between the data
+// plane and the switch CPU. The chaos engine (internal/chaos)
+// implements it; all methods must be deterministic given the engine's
+// seed.
+type Faults interface {
+	// DropEpoch reports whether the given ring slot is lost from this
+	// snapshot (epoch-ring read failure).
+	DropEpoch(sw topo.NodeID, ring int) bool
+	// CorruptMeter may mutate one causality-meter record in the
+	// snapshot, returning true when it did (register corruption).
+	CorruptMeter(sw topo.NodeID, rec *MeterRecord) bool
+	// CorruptStatus may mutate one PFC status register block in the
+	// snapshot, returning true when it did.
+	CorruptStatus(sw topo.NodeID, st *PortStatus) bool
+}
+
+// SetFaults installs (or, with nil, removes) the snapshot fault
+// injector. The live data-plane registers are never touched — only what
+// the CPU poller reads out.
+func (s *State) SetFaults(f Faults) { s.faults = f }
 
 // New builds telemetry state for a switch with numPorts ports.
 // now supplies the data-plane timestamp (the engine clock); queueOf reads

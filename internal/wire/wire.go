@@ -96,6 +96,12 @@ type Diagnosis struct {
 	Rendered string `json:"rendered"`
 	// Switches counts the telemetry reports used.
 	Switches int `json:"switches"`
+	// Confidence grades the evidence behind the conclusion (low / medium
+	// / high); Score is the underlying [0,1] value.
+	Confidence string  `json:"confidence,omitempty"`
+	Score      float64 `json:"score,omitempty"`
+	// Missing lists the evidence gaps that degraded the confidence.
+	Missing []string `json:"missing,omitempty"`
 }
 
 // IncidentSummary is one grouped anomaly event in a MsgIncidentList.
