@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fleet-race chaos-smoke
+.PHONY: check build vet test race bench fleet-race chaos-smoke recovery-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -29,6 +29,17 @@ chaos-smoke:
 	$(GO) test ./internal/chaos
 	$(GO) test -run 'TestChaosDeterminism|TestRobustnessConfidenceSweep' ./internal/experiments
 	$(GO) test -run 'TestDial|TestDiagnoseSurvives|TestRetry|TestHandshake' ./internal/analyzd
+
+# recovery-smoke proves the crash-safety contract: a 20-seed
+# crash-restart sweep over the durable fleet store under the race
+# detector (torn WAL tails, snapshot+delta recovery, exactly-once
+# acked records, no incident-ID reuse), plus the WAL corruption and
+# server lifecycle suites.
+recovery-smoke:
+	$(GO) test -race -run TestCrashRestart ./internal/chaos -crash.seeds=20
+	$(GO) test -race ./internal/fleetstore/wal
+	$(GO) test -race -run 'TestOpen|TestReopen|TestCheckpoint|TestSnapshot|TestEviction|TestReplay' ./internal/fleetstore
+	$(GO) test -race -run 'TestShed|TestThrottle|TestClose|TestDrain|TestHealth|TestServerRestart' ./internal/analyzd
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/fleetstore

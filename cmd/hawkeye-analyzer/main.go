@@ -5,9 +5,17 @@
 // with the provenance verdict (anomaly type, initial congestion point,
 // culprit flows).
 //
+// With -data-dir the fleet store is durable: diagnoses are written to a
+// write-ahead log, checkpointed into snapshots, and recovered on the
+// next start — a crash loses nothing that was acknowledged. SIGTERM (or
+// ctrl-c) drains gracefully: the listener closes, live subscribers get
+// a terminal shutdown frame, the ingest queue flushes, and a final
+// checkpoint is written.
+//
 // Usage:
 //
 //	hawkeye-analyzer -listen 127.0.0.1:9393
+//	hawkeye-analyzer -listen 127.0.0.1:9393 -data-dir /var/lib/hawkeye
 package main
 
 import (
@@ -22,18 +30,29 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9393", "TCP listen address")
+	dataDir := flag.String("data-dir", "", "durable fleet store directory (empty = in-memory)")
 	flag.Parse()
 
-	s, err := analyzd.Listen(*listen)
+	s, err := analyzd.ListenOpts(*listen, analyzd.Options{DataDir: *dataDir})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hawkeye-analyzer:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("hawkeye-analyzer listening on %s\n", s.Addr())
+	if *dataDir != "" {
+		rec := s.Fleet().Recovery()
+		fmt.Printf("durable store at %s: replayed %d WAL records", *dataDir, s.Stats().Replayed)
+		if rec.Torn {
+			fmt.Printf(" (truncated %d torn bytes, dropped %d post-tear segments)",
+				rec.TornBytes, rec.DroppedSegments)
+		}
+		fmt.Println()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	fmt.Println("hawkeye-analyzer: draining")
 
 	if err := s.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hawkeye-analyzer: close:", err)
@@ -43,4 +62,6 @@ func main() {
 		st.Sessions, st.Reports, st.Diagnoses)
 	fmt.Printf("fleet store: %d ingested, %d dropped, %d evicted; %d incidents (%d open)\n",
 		st.Ingested, st.Dropped, st.Evicted, st.Incidents, st.OpenIncidents)
+	fmt.Printf("admission: shed %d subscriptions, %d queries; %d WAL errors\n",
+		st.ShedSubscriptions, st.ShedQueries, st.WALErrors)
 }

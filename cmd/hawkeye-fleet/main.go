@@ -1,6 +1,8 @@
 // Command hawkeye-fleet is the operator's window into a running
-// analyzer's fleet store: query the clustered incident history, or tail
-// incident lifecycle events live as fabrics report complaints.
+// analyzer's fleet store: query the clustered incident history, tail
+// incident lifecycle events live as fabrics report complaints, probe a
+// server's lifecycle health, or inspect a durable store's data
+// directory offline (read-only — safe while the analyzer is down).
 //
 // Usage:
 //
@@ -9,21 +11,33 @@
 //	hawkeye-fleet -addr 127.0.0.1:9393 -from 1ms -to 5ms
 //	hawkeye-fleet -addr 127.0.0.1:9393 -tail           # live subscription
 //	hawkeye-fleet -addr 127.0.0.1:9393 -tail -n 10     # stop after 10 events
+//	hawkeye-fleet -data-dir /var/lib/hawkeye           # offline inspection
+//	hawkeye-fleet health -addr 127.0.0.1:9393          # lifecycle + load probe
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"hawkeye/internal/analyzd"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
 	"hawkeye/internal/wire"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "health" {
+		healthCmd(os.Args[2:])
+		return
+	}
+
 	addr := flag.String("addr", "127.0.0.1:9393", "analyzer address")
+	dataDir := flag.String("data-dir", "", "inspect a durable store directory offline instead of dialing a server")
 	tail := flag.Bool("tail", false, "subscribe and stream incident events instead of querying")
 	n := flag.Int("n", 0, "with -tail: exit after this many events (0 = forever)")
 	fabric := flag.String("fabric", "", "filter: fabric name")
@@ -33,6 +47,14 @@ func main() {
 	to := flag.Duration("to", 0, "filter: span end (0 = unbounded)")
 	limit := flag.Int("limit", 0, "query: cap the incident count (0 = all)")
 	flag.Parse()
+
+	if *dataDir != "" {
+		if *tail {
+			fail(errors.New("-tail needs a live server, not -data-dir"))
+		}
+		offlineQuery(*dataDir, *fabric, *typ, *node, int64(*from), int64(*to), *limit)
+		return
+	}
 
 	c, err := analyzd.DialOperator(*addr)
 	if err != nil {
@@ -49,6 +71,10 @@ func main() {
 		for i := 0; *n == 0 || i < *n; i++ {
 			ev, err := c.NextEvent()
 			if err != nil {
+				if errors.Is(err, analyzd.ErrServerDraining) {
+					fmt.Println("server draining; tail closed")
+					return
+				}
 				fail(err)
 			}
 			printEvent(ev)
@@ -74,6 +100,92 @@ func main() {
 	}
 	for i := range incs {
 		printIncident(&incs[i])
+	}
+	fmt.Printf("%d incident(s)\n", len(incs))
+}
+
+// healthCmd probes a server's lifecycle state and load counters.
+func healthCmd(args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9393", "analyzer address")
+	fs.Parse(args)
+
+	c, err := analyzd.DialOperator(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+	h, err := c.Health()
+	if err != nil {
+		fail(err)
+	}
+	store := "in-memory"
+	if h.Durable {
+		store = "durable (WAL + snapshots)"
+	}
+	fmt.Printf("state: %s\n", h.State)
+	fmt.Printf("store: %s\n", store)
+	fmt.Printf("ingest load: %.0f%% (%d ingested, %d dropped)\n", h.Load*100, h.Ingested, h.Dropped)
+	fmt.Printf("sessions: %d, diagnoses: %d, open incidents: %d\n",
+		h.Sessions, h.Diagnoses, h.OpenIncidents)
+	fmt.Printf("shed: %d subscriptions, %d queries\n", h.ShedSubscriptions, h.ShedQueries)
+	if h.WALErrors > 0 {
+		fmt.Printf("WARNING: %d WAL errors (records kept in memory only)\n", h.WALErrors)
+	}
+}
+
+// offlineQuery opens a durable store directory read-only and prints the
+// matching incidents — the post-mortem path when the analyzer is down.
+func offlineQuery(dir, fabric, typ string, node int, fromNS, toNS int64, limit int) {
+	st, err := fleetstore.Open(dir, fleetstore.Config{ReadOnly: true})
+	if err != nil {
+		fail(err)
+	}
+	rec := st.Recovery()
+	fmt.Printf("store %s: %d records replayed", dir, st.ReplayedRecords())
+	if rec.Torn {
+		fmt.Printf(" (torn tail: %d bytes truncated, %d segments dropped)",
+			rec.TornBytes, rec.DroppedSegments)
+	}
+	fmt.Println()
+
+	q := fleetstore.Query{
+		Fabric: fabric,
+		Node:   fleetstore.AnyNode,
+		From:   sim.Time(fromNS),
+		To:     sim.Time(toNS),
+		Limit:  limit,
+	}
+	if node >= 0 {
+		q.Node = topo.NodeID(node)
+	}
+	if typ != "" {
+		t, ok := diagnosis.ParseAnomalyType(typ)
+		if !ok {
+			fail(fmt.Errorf("unknown anomaly type %q", typ))
+		}
+		q.Types = []diagnosis.AnomalyType{t}
+	}
+	incs := st.Incidents(q)
+	if len(incs) == 0 {
+		fmt.Println("no incidents match")
+		return
+	}
+	for i := range incs {
+		inc := &incs[i]
+		w := wire.FleetIncident{
+			ID:       inc.ID,
+			Type:     inc.Type.String(),
+			FirstNS:  int64(inc.First),
+			LastNS:   int64(inc.Last),
+			Fabrics:  inc.Fabrics,
+			Culprits: inc.Culprits,
+			Resolved: inc.Resolved,
+			Summary:  inc.Summary(),
+			Constant: inc.Constant,
+			Varying:  inc.Varying,
+		}
+		printIncident(&w)
 	}
 	fmt.Printf("%d incident(s)\n", len(incs))
 }

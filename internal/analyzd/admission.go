@@ -1,0 +1,103 @@
+package analyzd
+
+import "sync/atomic"
+
+// Admission control: the analyzer degrades in tiers keyed off the
+// ingest queue's fill fraction, mirroring the paper's
+// controller-assisted collection principle — under overload the control
+// plane protects the diagnosis pipeline first. Live subscriptions are
+// the cheapest to refuse (the client retries with backoff and misses
+// nothing durable), fleet queries next; diagnosis ingest is NEVER shed
+// by admission control — losing the complaint loses the provenance
+// evidence, while a late query is merely late.
+
+// State is the server lifecycle phase.
+type State int32
+
+const (
+	// StateStarting: listener not yet serving.
+	StateStarting State = iota
+	// StateReplaying: recovering the fleet store from snapshot + WAL.
+	StateReplaying
+	// StateServing: normal operation.
+	StateServing
+	// StateDraining: Close in progress — no new sessions, WAL flushing,
+	// subscribers being told goodbye.
+	StateDraining
+	// StateStopped: fully shut down.
+	StateStopped
+)
+
+func (st State) String() string {
+	switch st {
+	case StateStarting:
+		return "starting"
+	case StateReplaying:
+		return "replaying"
+	case StateServing:
+		return "serving"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Shed tier defaults: subscriptions go first at half-full, queries only
+// when the queue is nearly saturated.
+const (
+	defaultShedSubscriptionsAt = 0.5
+	defaultShedQueriesAt       = 0.9
+	defaultRetryAfterMs        = 50
+)
+
+// Tier names carried in Throttle replies.
+const (
+	TierSubscriptions = "subscriptions"
+	TierQueries       = "queries"
+)
+
+// admission holds the shed thresholds and per-tier counters.
+type admission struct {
+	subscriptionsAt float64
+	queriesAt       float64
+	retryAfterMs    int64
+
+	shedSubscriptions atomic.Uint64
+	shedQueries       atomic.Uint64
+}
+
+func newAdmission(subsAt, queriesAt float64, retryMs int64) *admission {
+	if subsAt <= 0 {
+		subsAt = defaultShedSubscriptionsAt
+	}
+	if queriesAt <= 0 {
+		queriesAt = defaultShedQueriesAt
+	}
+	if retryMs <= 0 {
+		retryMs = defaultRetryAfterMs
+	}
+	return &admission{subscriptionsAt: subsAt, queriesAt: queriesAt, retryAfterMs: retryMs}
+}
+
+// admitSubscription reports whether a new live subscription may start
+// at the given queue load, counting the shed when not.
+func (a *admission) admitSubscription(load float64) bool {
+	if load >= a.subscriptionsAt {
+		a.shedSubscriptions.Add(1)
+		return false
+	}
+	return true
+}
+
+// admitQuery is admitSubscription for fleet incident queries: a higher
+// threshold, because operators debugging an overload need reads longer
+// than they need tails.
+func (a *admission) admitQuery(load float64) bool {
+	if load >= a.queriesAt {
+		a.shedQueries.Add(1)
+		return false
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package analyzd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -101,8 +102,25 @@ func DialFabricRetry(addr, fabric string, t *topo.Topology, epochNS int64, rc Re
 // DialOperator opens an operator session: no topology, no reports or
 // diagnoses — only fleet incident queries and live subscriptions.
 func DialOperator(addr string) (*Client, error) {
-	return dialHello(addr, wire.Hello{Version: wire.ProtocolVersion}, DefaultRetryConfig())
+	return DialOperatorRetry(addr, DefaultRetryConfig())
 }
+
+// DialOperatorRetry is DialOperator with explicit retry behaviour —
+// supervisors polling health across analyzer restarts want a tighter
+// (or much looser) schedule than the reporting default.
+func DialOperatorRetry(addr string, rc RetryConfig) (*Client, error) {
+	return dialHello(addr, wire.Hello{Version: wire.ProtocolVersion}, rc)
+}
+
+// ErrThrottled reports that the server shed the request after every
+// backoff retry; the payload tier is in the wrapping message. The
+// session is still healthy — the caller may retry later.
+var ErrThrottled = errors.New("analyzd: throttled")
+
+// ErrServerDraining reports the server's terminal shutdown frame: the
+// subscription ended because the analyzer is draining, not because the
+// connection failed.
+var ErrServerDraining = errors.New("analyzd: server draining")
 
 func dialHello(addr string, hello wire.Hello, rc RetryConfig) (*Client, error) {
 	c := &Client{
@@ -136,7 +154,10 @@ func (c *Client) attempts() int {
 
 // backoff sleeps the capped-exponential delay for the given retry index.
 func (c *Client) backoff(attempt int) {
-	d := chaos.Jitter(c.rng, c.retry.BaseBackoff, c.retry.MaxBackoff, attempt, c.retry.JitterFrac)
+	c.sleepFor(chaos.Jitter(c.rng, c.retry.BaseBackoff, c.retry.MaxBackoff, attempt, c.retry.JitterFrac))
+}
+
+func (c *Client) sleepFor(d time.Duration) {
 	sleep := c.retry.Sleep
 	if sleep == nil {
 		sleep = time.Sleep
@@ -190,17 +211,22 @@ func (c *Client) reconnect() error {
 
 // request performs one frame round trip, redialing with backoff when the
 // transport fails. Server-level error replies (MsgError) come back as a
-// reply, not an error — they are answers, not failures.
+// reply, not an error — they are answers, not failures. A MsgThrottle
+// reply means the server shed the request under load: the session is
+// still healthy, so the client honors the retry-after hint (no redial)
+// and tries again; attempts exhausted, the error wraps ErrThrottled.
 func (c *Client) request(mt wire.MsgType, payload []byte) (wire.MsgType, []byte, error) {
 	var lastErr error
+	throttled := false
 	for attempt := 0; attempt < c.attempts(); attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !throttled {
 			c.backoff(attempt - 1)
 			if err := c.reconnect(); err != nil {
 				lastErr = err
 				continue
 			}
 		}
+		throttled = false
 		if err := wire.WriteFrame(c.conn, mt, payload); err != nil {
 			lastErr = err
 			continue
@@ -208,6 +234,16 @@ func (c *Client) request(mt wire.MsgType, payload []byte) (wire.MsgType, []byte,
 		rt, rp, err := wire.ReadFrame(c.conn)
 		if err != nil {
 			lastErr = err
+			continue
+		}
+		if rt == wire.MsgThrottle {
+			var th wire.Throttle
+			_ = json.Unmarshal(rp, &th)
+			lastErr = fmt.Errorf("analyzd: %s tier shed the request: %w", th.Tier, ErrThrottled)
+			if th.RetryAfterMs > 0 {
+				c.sleepFor(time.Duration(th.RetryAfterMs) * time.Millisecond)
+			}
+			throttled = true
 			continue
 		}
 		return rt, rp, nil
@@ -323,12 +359,15 @@ func (c *Client) QueryIncidents(q wire.IncidentQuery) ([]wire.FleetIncident, err
 // Subscribe turns this session into a live incident tail: the server
 // acknowledges, then pushes MsgIncidentEvent frames as incidents open,
 // grow and resolve. After Subscribe, NextEvent is the only valid call —
-// use a second connection for queries.
+// use a second connection for queries. An overloaded server throttles
+// subscriptions first; the request machinery backs off and retries, and
+// the returned error wraps ErrThrottled when every attempt was shed.
 func (c *Client) Subscribe(req wire.SubscribeRequest) error {
-	if err := wire.WriteJSON(c.conn, wire.MsgSubscribe, req); err != nil {
-		return err
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("analyzd: encode subscribe: %w", err)
 	}
-	mt, payload, err := wire.ReadFrame(c.conn)
+	mt, payload, err := c.request(wire.MsgSubscribe, body)
 	if err != nil {
 		return fmt.Errorf("analyzd: subscribe: %w", err)
 	}
@@ -339,6 +378,27 @@ func (c *Client) Subscribe(req wire.SubscribeRequest) error {
 		return fmt.Errorf("analyzd: unexpected reply type %d", mt)
 	}
 	return nil
+}
+
+// Health asks the server for its lifecycle state and load counters.
+// It works on every session kind and in every lifecycle state short of
+// stopped — it is the probe a supervisor polls during drain.
+func (c *Client) Health() (*wire.Health, error) {
+	mt, payload, err := c.request(wire.MsgHealth, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: health: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgHealthReply {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var h wire.Health
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return nil, fmt.Errorf("analyzd: decode health: %w", err)
+	}
+	return &h, nil
 }
 
 // NextEvent blocks for the next pushed incident event. Unknown frame
@@ -356,6 +416,9 @@ func (c *Client) NextEvent() (*wire.IncidentEvent, error) {
 				return nil, fmt.Errorf("analyzd: decode event: %w", err)
 			}
 			return &ev, nil
+		case mt == wire.MsgShutdown:
+			// Terminal event: the server is draining, the tail is over.
+			return nil, ErrServerDraining
 		case mt == wire.MsgError:
 			return nil, fmt.Errorf("analyzd: server error: %s", payload)
 		case !wire.Known(mt):

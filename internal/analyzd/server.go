@@ -8,6 +8,13 @@
 // every completed diagnosis also flows into the shared fleet store
 // (internal/fleetstore), where operator sessions query and tail the
 // clustered incident view.
+//
+// The server is supervised: it moves through a lifecycle state machine
+// (starting → replaying → serving → draining → stopped), recovers its
+// fleet store from snapshot + WAL when given a data directory, sheds
+// load in tiers under ingest pressure (subscriptions first, then
+// queries, never diagnosis ingest), and drains gracefully on Close —
+// flushing the WAL and pushing a terminal frame to live subscribers.
 package analyzd
 
 import (
@@ -18,6 +25,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
@@ -30,6 +38,32 @@ import (
 	"hawkeye/internal/wire"
 )
 
+// Options configures ListenOpts. The zero value is a sensible
+// in-memory server.
+type Options struct {
+	// Fleet sizes the fleet store (zero value = DefaultConfig).
+	Fleet fleetstore.Config
+	// DataDir, when non-empty, makes the fleet store durable: Open
+	// replays the snapshot + WAL under this directory before the server
+	// starts serving, and every admitted diagnosis is logged.
+	DataDir string
+	// PipeDepth/PipeWorkers size the ingest pipeline (0 = defaults:
+	// 1024 / 4).
+	PipeDepth   int
+	PipeWorkers int
+	// ManualPipeline builds a worker-less pipeline whose queue only
+	// drains at query time — tests use it to hold the load at an exact
+	// fill fraction.
+	ManualPipeline bool
+	// ShedSubscriptionsAt / ShedQueriesAt are ingest-queue fill
+	// fractions beyond which the tier is refused (0 = defaults 0.5 /
+	// 0.9). Diagnosis ingest is never shed by admission control.
+	ShedSubscriptionsAt float64
+	ShedQueriesAt       float64
+	// RetryAfterMs is the delay hint in throttle replies (0 = 50).
+	RetryAfterMs int64
+}
+
 // Server accepts analyzer sessions.
 type Server struct {
 	lis net.Listener
@@ -37,16 +71,29 @@ type Server struct {
 	// DiagnosisConfig tunes signature matching (defaults if zero).
 	DiagnosisConfig diagnosis.Config
 
-	// fleet is the shared diagnosis history; pipe is its ingest front.
+	// fleet is the shared diagnosis history; pipe is its ingest front;
+	// adm is the tiered load shedder in front of the sheddable verbs.
 	fleet *fleetstore.Store
 	pipe  *fleetstore.Pipeline
+	adm   *admission
+
+	// state is the lifecycle phase (State values).
+	state atomic.Int32
 
 	// mu guards the connection map only; the counters below are
 	// atomics so hot-path accounting never contends with accept/close.
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-	wg     sync.WaitGroup
+	// acceptWG tracks the accept loop, wg the session handlers, fwdWG
+	// the subscription forwarders — Close drains them in that order so
+	// no goroutine touches a structure torn down before it exits.
+	acceptWG sync.WaitGroup
+	wg       sync.WaitGroup
+	fwdWG    sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
 
 	sessions  atomic.Uint64
 	reports   atomic.Uint64
@@ -68,29 +115,70 @@ type Stats struct {
 	Incidents     uint64
 	OpenIncidents int
 	EventsDropped uint64
+	// Shed tier counters: requests refused with a throttle reply.
+	// Subscriptions shed first, queries only near saturation; there is
+	// deliberately no ShedIngest — diagnosis ingest is never refused.
+	ShedSubscriptions uint64
+	ShedQueries       uint64
+	// WALErrors counts records that failed to reach the log (kept in
+	// memory regardless); zero on in-memory servers.
+	WALErrors uint64
+	// Replayed counts records recovered from the WAL at startup.
+	Replayed int
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") with a default
-// fleet store.
+// in-memory fleet store.
 func Listen(addr string) (*Server, error) {
-	return ListenFleet(addr, fleetstore.DefaultConfig())
+	return ListenOpts(addr, Options{})
 }
 
 // ListenFleet starts a server with an explicitly sized fleet store.
 func ListenFleet(addr string, fleetCfg fleetstore.Config) (*Server, error) {
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("analyzd: listen: %w", err)
-	}
-	st := fleetstore.New(fleetCfg)
+	return ListenOpts(addr, Options{Fleet: fleetCfg})
+}
+
+// ListenOpts starts a fully configured server. With a DataDir it
+// recovers the fleet store (state "replaying") before accepting
+// sessions, so a client never observes a partially recovered store.
+func ListenOpts(addr string, o Options) (*Server, error) {
 	s := &Server{
-		lis:             lis,
 		DiagnosisConfig: diagnosis.DefaultConfig(),
-		fleet:           st,
-		pipe:            fleetstore.NewPipeline(st, 0, 0),
+		adm:             newAdmission(o.ShedSubscriptionsAt, o.ShedQueriesAt, o.RetryAfterMs),
 		conns:           make(map[net.Conn]struct{}),
 	}
-	s.wg.Add(1)
+	s.state.Store(int32(StateStarting))
+
+	cfg := o.Fleet
+	if cfg == (fleetstore.Config{}) {
+		cfg = fleetstore.DefaultConfig()
+	}
+	var st *fleetstore.Store
+	if o.DataDir != "" {
+		s.state.Store(int32(StateReplaying))
+		var err error
+		st, err = fleetstore.Open(o.DataDir, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st = fleetstore.New(cfg)
+	}
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("analyzd: listen: %w", err)
+	}
+	s.lis = lis
+	s.fleet = st
+	if o.ManualPipeline {
+		s.pipe = fleetstore.NewPipelineManual(st, o.PipeDepth)
+	} else {
+		s.pipe = fleetstore.NewPipeline(st, o.PipeDepth, o.PipeWorkers)
+	}
+	s.state.Store(int32(StateServing))
+	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
@@ -101,40 +189,98 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 // Fleet exposes the server's fleet store (in-process consumers).
 func (s *Server) Fleet() *fleetstore.Store { return s.fleet }
 
+// State returns the lifecycle phase.
+func (s *Server) State() State { return State(s.state.Load()) }
+
 // Stats returns activity counters.
 func (s *Server) Stats() Stats {
 	fc := s.fleet.CountersSnapshot()
 	return Stats{
-		Sessions:      int(s.sessions.Load()),
-		Reports:       int(s.reports.Load()),
-		Diagnoses:     int(s.diagnoses.Load()),
-		Ingested:      fc.Ingested,
-		Dropped:       s.pipe.Dropped(),
-		Evicted:       fc.Evicted,
-		Incidents:     fc.Incidents,
-		OpenIncidents: fc.OpenIncidents,
-		EventsDropped: fc.EventsDropped,
+		Sessions:          int(s.sessions.Load()),
+		Reports:           int(s.reports.Load()),
+		Diagnoses:         int(s.diagnoses.Load()),
+		Ingested:          fc.Ingested,
+		Dropped:           s.pipe.Dropped(),
+		Evicted:           fc.Evicted,
+		Incidents:         fc.Incidents,
+		OpenIncidents:     fc.OpenIncidents,
+		EventsDropped:     fc.EventsDropped,
+		ShedSubscriptions: s.adm.shedSubscriptions.Load(),
+		ShedQueries:       s.adm.shedQueries.Load(),
+		WALErrors:         fc.WALErrors,
+		Replayed:          s.fleet.ReplayedRecords(),
 	}
 }
 
-// Close stops accepting, closes every live session and waits for the
-// handlers to drain, then shuts the ingest pipeline down.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
+// health is the wire view of Stats plus the lifecycle state.
+func (s *Server) health() wire.Health {
+	st := s.Stats()
+	return wire.Health{
+		State:             s.State().String(),
+		Durable:           s.fleet.Durable(),
+		Load:              s.pipe.Load(),
+		Sessions:          st.Sessions,
+		Diagnoses:         st.Diagnoses,
+		Ingested:          st.Ingested,
+		Dropped:           st.Dropped,
+		OpenIncidents:     st.OpenIncidents,
+		ShedSubscriptions: st.ShedSubscriptions,
+		ShedQueries:       st.ShedQueries,
+		WALErrors:         st.WALErrors,
 	}
-	s.mu.Unlock()
-	err := s.lis.Close()
-	s.fleet.Hub().Close()
-	s.wg.Wait()
-	s.pipe.Close()
-	return err
+}
+
+// drainDeadline bounds the terminal-frame write to a stuck subscriber
+// so one dead client cannot stall the whole drain.
+const drainDeadline = 2 * time.Second
+
+// Close drains the server: stop accepting, tell live subscribers
+// goodbye with a terminal frame, close every session, wait for the
+// handlers, then flush and close the ingest pipeline and the fleet
+// store (checkpointing a durable one). Safe to call from any number of
+// goroutines; every call returns the first call's error.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.state.Store(int32(StateDraining))
+		// 1. Stop accepting and wait for the accept goroutine: after
+		// this, the connection map only shrinks.
+		err := s.lis.Close()
+		s.acceptWG.Wait()
+		// 2. Close the hub: forwarders see their event channel end,
+		// push the terminal shutdown frame and exit. Every live
+		// connection gets a write deadline first, so a subscriber that
+		// stopped reading cannot wedge a forwarder mid-event and stall
+		// the drain.
+		s.fleet.Hub().Close()
+		deadline := time.Now().Add(drainDeadline)
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.SetWriteDeadline(deadline)
+		}
+		s.mu.Unlock()
+		s.fwdWG.Wait()
+		// 3. Tear down the sessions and wait for their handlers.
+		s.mu.Lock()
+		s.closed = true
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		// 4. Flush: drain the ingest queue into the store, then close
+		// the store (fsyncs the WAL and writes a final snapshot).
+		s.pipe.Close()
+		if cerr := s.fleet.Close(); err == nil {
+			err = cerr
+		}
+		s.state.Store(int32(StateStopped))
+		s.closeErr = err
+	})
+	return s.closeErr
 }
 
 func (s *Server) acceptLoop() {
-	defer s.wg.Done()
+	defer s.acceptWG.Done()
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -261,6 +407,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// throttle refuses a sheddable request with a backpressure reply; the
+// session stays alive — the client backs off and retries.
+func (s *Server) throttle(sess *session, tier string) bool {
+	err := sess.writeJSON(wire.MsgThrottle, wire.Throttle{
+		Tier:         tier,
+		RetryAfterMs: s.adm.retryAfterMs,
+	})
+	return err == nil
+}
+
 // serve dispatches one request frame; false ends the session.
 func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr func(string)) bool {
 	switch t {
@@ -281,6 +437,8 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		sess.reports[rep.Switch] = rep
 		s.reports.Add(1)
 	case wire.MsgDiagnose:
+		// Never shed: a refused diagnosis loses the complaint and its
+		// provenance evidence; the tiers above it absorb overload first.
 		if sess.topo == nil {
 			sendErr("operator session cannot diagnose")
 			return false
@@ -312,6 +470,9 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 			return false
 		}
 	case wire.MsgQueryIncidents:
+		if !s.adm.admitQuery(s.pipe.Load()) {
+			return s.throttle(sess, TierQueries)
+		}
 		var wq wire.IncidentQuery
 		if err := json.Unmarshal(payload, &wq); err != nil {
 			sendErr(fmt.Sprintf("bad incident query: %v", err))
@@ -333,6 +494,9 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 			return false
 		}
 	case wire.MsgSubscribe:
+		if !s.adm.admitSubscription(s.pipe.Load()) {
+			return s.throttle(sess, TierSubscriptions)
+		}
 		var req wire.SubscribeRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
 			sendErr(fmt.Sprintf("bad subscribe request: %v", err))
@@ -351,8 +515,14 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		if err := sess.write(wire.MsgSubscribeOK, nil); err != nil {
 			return false
 		}
-		s.wg.Add(1)
+		s.fwdWG.Add(1)
 		go s.forwardEvents(sess)
+	case wire.MsgHealth:
+		// Health is answered in every lifecycle state and on every
+		// session kind: it is how supervisors watch the drain.
+		if err := sess.writeJSON(wire.MsgHealthReply, s.health()); err != nil {
+			return false
+		}
 	default:
 		sendErr(fmt.Sprintf("unexpected message type %d", t))
 		return false
@@ -362,14 +532,22 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 
 // forwardEvents streams the session's subscription to its connection.
 // It exits when the hub closes the subscription (session teardown or
-// server close) or the connection dies.
+// server drain) or the connection dies; on a drain it pushes the
+// terminal shutdown frame so the tail learns the difference between
+// "server going away" and "connection lost".
 func (s *Server) forwardEvents(sess *session) {
-	defer s.wg.Done()
+	defer s.fwdWG.Done()
 	for ev := range sess.sub.Events() {
 		if err := sess.writeJSON(wire.MsgIncidentEvent, eventToWire(&ev)); err != nil {
 			sess.conn.Close() // unblock the read loop; it unsubscribes
 			return
 		}
+	}
+	if s.State() == StateDraining {
+		// Bound the goodbye: a wedged subscriber must not stall Close.
+		_ = sess.conn.SetWriteDeadline(time.Now().Add(drainDeadline))
+		_ = sess.write(wire.MsgShutdown, nil)
+		_ = sess.conn.SetWriteDeadline(time.Time{})
 	}
 }
 

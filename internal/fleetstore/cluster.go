@@ -157,24 +157,51 @@ type Event struct {
 // openIncident is the clusterer's mutable state for one open incident.
 // Distinct-value sets are maintained incrementally so publishing an
 // event after the n-th complaint costs O(distinct values), not O(n) —
-// a storm's incident can have tens of thousands of members.
+// a storm's incident can have tens of thousands of members. The sets
+// are reference-counted rather than boolean so retention-ring eviction
+// can withdraw a member record without a full recount: a value whose
+// count hits zero leaves the set.
 type openIncident struct {
 	inc     Incident
-	victims map[string]bool
-	fabrics map[string]bool
-	culprit map[string]bool
+	victims map[string]int
+	fabrics map[string]int
+	culprit map[string]int
 	// attrSeen holds, per attribute dimension, the distinct values
-	// observed across members (the incremental form of PartitionAttrs).
-	attrSeen map[string]map[string]bool
+	// observed across live members (the incremental, refcounted form of
+	// PartitionAttrs).
+	attrSeen map[string]map[string]int
 	loop     []topo.PortRef
 }
 
 func (oi *openIncident) fold(rec *Record) {
 	for k, v := range attrs(rec) {
 		if oi.attrSeen[k] == nil {
-			oi.attrSeen[k] = make(map[string]bool)
+			oi.attrSeen[k] = make(map[string]int)
 		}
-		oi.attrSeen[k][v] = true
+		oi.attrSeen[k][v]++
+	}
+}
+
+// unfold reverses fold for an evicted member.
+func (oi *openIncident) unfold(rec *Record) {
+	for k, v := range attrs(rec) {
+		if m := oi.attrSeen[k]; m != nil {
+			decr(m, v)
+			if len(m) == 0 {
+				delete(oi.attrSeen, k)
+			}
+		}
+	}
+}
+
+// decr decrements a refcounted set entry, removing it at zero.
+func decr(m map[string]int, k string) {
+	if n, ok := m[k]; ok {
+		if n <= 1 {
+			delete(m, k)
+		} else {
+			m[k] = n - 1
+		}
 	}
 }
 
@@ -233,19 +260,54 @@ func loopsOverlap(a, b []topo.PortRef) bool {
 	return false
 }
 
-// observe folds one record in and emits the resulting event.
-func (c *clusterer) observe(rec Record) {
+// observe folds one record in, emits the resulting event, and returns
+// the ID of the incident the record joined (so the retention ring can
+// withdraw the membership if it later evicts the record).
+func (c *clusterer) observe(rec Record) uint64 {
 	c.mu.Lock()
 	var ev Event
+	var id uint64
 	if oi := c.match(&rec); oi != nil {
 		c.grow(oi, &rec)
 		ev = Event{Kind: Grew, Incident: snapshot(oi)}
+		id = oi.inc.ID
 	} else {
 		oi := c.openNew(&rec)
 		ev = Event{Kind: Opened, Incident: snapshot(oi)}
+		id = oi.inc.ID
 	}
 	c.mu.Unlock()
 	c.emit(ev)
+	return id
+}
+
+// evict withdraws an evicted ring record's membership from its open
+// incident, so a store replayed after a crash cannot resurrect
+// complaints the retention ring had already aged out. Resolved
+// incidents are frozen history and are left untouched; an open incident
+// whose last member is withdrawn vanishes without a Resolved event — it
+// no longer has any evidence behind it.
+func (c *clusterer) evict(incID uint64, rec *Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, oi := range c.open {
+		if oi.inc.ID != incID {
+			continue
+		}
+		oi.inc.Complaints--
+		decr(oi.victims, rec.Victim)
+		decr(oi.fabrics, rec.Fabric)
+		for _, cu := range rec.Culprits {
+			decr(oi.culprit, cu)
+		}
+		oi.unfold(rec)
+		// First/Last keep their historical bounds: the span is when the
+		// incident happened, not which members the ring still holds.
+		if oi.inc.Complaints <= 0 {
+			c.open = append(c.open[:i], c.open[i+1:]...)
+		}
+		return
+	}
 }
 
 func (c *clusterer) match(rec *Record) *openIncident {
@@ -265,10 +327,10 @@ func (c *clusterer) grow(oi *openIncident, rec *Record) {
 	if rec.At > oi.inc.Last {
 		oi.inc.Last = rec.At
 	}
-	oi.victims[rec.Victim] = true
-	oi.fabrics[rec.Fabric] = true
+	oi.victims[rec.Victim]++
+	oi.fabrics[rec.Fabric]++
 	for _, cu := range rec.Culprits {
-		oi.culprit[cu] = true
+		oi.culprit[cu]++
 	}
 	if len(oi.loop) == 0 {
 		oi.loop = rec.Loop
@@ -287,15 +349,15 @@ func (c *clusterer) openNew(rec *Record) *openIncident {
 			First: rec.At,
 			Last:  rec.At,
 		},
-		victims:  map[string]bool{rec.Victim: true},
-		fabrics:  map[string]bool{rec.Fabric: true},
-		culprit:  make(map[string]bool),
-		attrSeen: make(map[string]map[string]bool),
+		victims:  map[string]int{rec.Victim: 1},
+		fabrics:  map[string]int{rec.Fabric: 1},
+		culprit:  make(map[string]int),
+		attrSeen: make(map[string]map[string]int),
 		loop:     rec.Loop,
 	}
 	oi.inc.Complaints = 1
 	for _, cu := range rec.Culprits {
-		oi.culprit[cu] = true
+		oi.culprit[cu]++
 	}
 	oi.fold(rec)
 	c.open = append(c.open, oi)
@@ -323,7 +385,18 @@ func snapshot(oi *openIncident) Incident {
 	return inc
 }
 
-func sortedKeys(m map[string]bool) []string {
+// restoreState swaps in clusterer state decoded from a snapshot.
+// Called before any records flow, during Open.
+func (c *clusterer) restoreState(open []*openIncident, resolved []Incident, nextID, opened uint64) {
+	c.mu.Lock()
+	c.open = open
+	c.resolved = resolved
+	c.nextID = nextID
+	c.mu.Unlock()
+	c.opened.Store(opened)
+}
+
+func sortedKeys(m map[string]int) []string {
 	if len(m) == 0 {
 		return nil
 	}

@@ -35,8 +35,8 @@ func TestClusterMergesAcrossFabrics(t *testing.T) {
 func TestClusterSplitsByTypeNodeAndWindow(t *testing.T) {
 	st := New(Config{Window: sim.Millisecond})
 	st.Add(rec("pod-a", 100, "v1", diagnosis.TypePFCStorm, 5))
-	st.Add(rec("pod-a", 150, "v2", diagnosis.TypePFCContention, 5)) // type split
-	st.Add(rec("pod-a", 200, "v3", diagnosis.TypePFCStorm, 9))     // node split
+	st.Add(rec("pod-a", 150, "v2", diagnosis.TypePFCContention, 5))              // type split
+	st.Add(rec("pod-a", 200, "v3", diagnosis.TypePFCStorm, 9))                   // node split
 	st.Add(rec("pod-a", 100+3*sim.Millisecond, "v4", diagnosis.TypePFCStorm, 5)) // window split
 	if incs := st.Incidents(Query{Node: AnyNode}); len(incs) != 4 {
 		t.Fatalf("incidents = %d, want 4", len(incs))
@@ -213,6 +213,6 @@ func TestUnsubscribeClosesStream(t *testing.T) {
 	if _, ok := <-sub.Events(); ok {
 		t.Fatal("stream still open after unsubscribe")
 	}
-	st.Hub().Unsubscribe(sub) // idempotent
+	st.Hub().Unsubscribe(sub)                                  // idempotent
 	st.Add(rec("pod-a", 100, "v1", diagnosis.TypePFCStorm, 5)) // must not panic
 }

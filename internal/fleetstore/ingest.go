@@ -14,9 +14,10 @@ import (
 // do the store insertion, clustering, event publication and watermark
 // sweeping off the session goroutines.
 type Pipeline struct {
-	st *Store
-	ch chan Record
-	wg sync.WaitGroup
+	st      *Store
+	ch      chan Record
+	wg      sync.WaitGroup
+	workers int
 
 	dropped atomic.Uint64
 	// closeMu serializes Offer's enqueue against Close closing the
@@ -55,7 +56,7 @@ func newPipeline(st *Store, depth, workers int) *Pipeline {
 	if depth <= 0 {
 		depth = 1024
 	}
-	p := &Pipeline{st: st, ch: make(chan Record, depth)}
+	p := &Pipeline{st: st, ch: make(chan Record, depth), workers: workers}
 	p.pendCond = sync.NewCond(&p.pendMu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -126,8 +127,19 @@ func (p *Pipeline) advance(at sim.Time) {
 
 // Drain blocks until every record accepted so far has been processed.
 // The analyzer calls it before serving a query so operators read their
-// own writes.
+// own writes. On a manual (worker-less) pipeline, Drain processes the
+// queue itself — callers must not Offer concurrently in that mode.
 func (p *Pipeline) Drain() {
+	if p.workers == 0 {
+		for {
+			select {
+			case rec := <-p.ch:
+				p.process(rec)
+			default:
+				return
+			}
+		}
+	}
 	p.pendMu.Lock()
 	for p.pending > 0 {
 		p.pendCond.Wait()
@@ -137,6 +149,22 @@ func (p *Pipeline) Drain() {
 
 // Dropped counts records shed at the queue.
 func (p *Pipeline) Dropped() uint64 { return p.dropped.Load() }
+
+// Pending counts records accepted but not yet processed.
+func (p *Pipeline) Pending() int {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	return p.pending
+}
+
+// Cap is the queue depth.
+func (p *Pipeline) Cap() int { return cap(p.ch) }
+
+// Load is the queue fill fraction in [0,1] — the admission-control
+// signal analyzd's load-shedding tiers key off.
+func (p *Pipeline) Load() float64 {
+	return float64(p.Pending()) / float64(cap(p.ch))
+}
 
 // Close stops intake, drains anything still queued (synchronously when
 // the pipeline has no workers) and waits for the workers to exit.

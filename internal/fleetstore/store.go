@@ -13,9 +13,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleetstore/wal"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/topo"
 )
@@ -79,6 +81,24 @@ type Config struct {
 	// ResolvedKeep bounds how many resolved incidents are retained for
 	// queries after they close.
 	ResolvedKeep int
+
+	// The fields below only matter to durable stores (Open); New
+	// ignores them.
+
+	// SnapshotEvery checkpoints the store every this many admitted
+	// records (default 4096); segments the checkpoint covers are
+	// compacted away.
+	SnapshotEvery int
+	// SegmentBytes rolls WAL segments at this size (default 1 MiB).
+	SegmentBytes int64
+	// GroupWindow is the WAL group-commit gather window: 0 means the
+	// 200µs default, negative means synchronous per-append fsyncs.
+	GroupWindow time.Duration
+	// NoSync skips WAL fsyncs (benchmarks only).
+	NoSync bool
+	// ReadOnly opens for inspection: replay without repairing the log,
+	// and no WAL appends or snapshots afterwards.
+	ReadOnly bool
 }
 
 // DefaultConfig returns sizes suitable for tests and examples; a
@@ -106,27 +126,38 @@ func (c Config) withDefaults() Config {
 	if c.ResolvedKeep <= 0 {
 		c.ResolvedKeep = d.ResolvedKeep
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
+	}
 	return c
+}
+
+// entry is one retained record plus the incident it folded into, so
+// eviction can withdraw the membership.
+type entry struct {
+	rec Record
+	inc uint64
 }
 
 // shard is one lock stripe: a fixed-capacity ring of records in
 // admission order, oldest overwritten first.
 type shard struct {
 	mu   sync.Mutex
-	ring []Record
+	ring []entry
 	next int // ring slot the next record lands in once full
 }
 
-func (sh *shard) add(rec Record, capacity int) (evicted bool) {
+func (sh *shard) add(e entry, capacity int) (old entry, evicted bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if len(sh.ring) < capacity {
-		sh.ring = append(sh.ring, rec)
-		return false
+		sh.ring = append(sh.ring, e)
+		return entry{}, false
 	}
-	sh.ring[sh.next] = rec
+	old = sh.ring[sh.next]
+	sh.ring[sh.next] = e
 	sh.next = (sh.next + 1) % capacity
-	return true
+	return old, true
 }
 
 // snapshot appends the shard's records matching q to out.
@@ -134,14 +165,25 @@ func (sh *shard) snapshot(q Query, out []Record) []Record {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := range sh.ring {
-		if q.matches(&sh.ring[i]) {
-			out = append(out, sh.ring[i])
+		if q.matches(&sh.ring[i].rec) {
+			out = append(out, sh.ring[i].rec)
 		}
 	}
 	return out
 }
 
-// Store holds the fleet's diagnosis history.
+// export appends every retained entry to out (checkpointing).
+func (sh *shard) export(out []entry) []entry {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append(out, sh.ring...)
+}
+
+// Store holds the fleet's diagnosis history. Stores built with New are
+// purely in-memory; Open adds crash durability: every admitted record
+// is group-committed to a write-ahead log before insertion, the full
+// state is checkpointed periodically, and reopening the same directory
+// replays snapshot + log back to the pre-crash state.
 type Store struct {
 	cfg    Config
 	shards []shard
@@ -150,9 +192,28 @@ type Store struct {
 	seq      atomic.Uint64
 	ingested atomic.Uint64
 	evicted  atomic.Uint64
+	// lastAt is the highest trigger time admitted — the watermark a
+	// reopened store sweeps to, reproducing pre-crash resolutions.
+	lastAt atomic.Int64
 
 	cl  *clusterer
 	hub *Hub
+
+	// Durability state; log == nil for in-memory and read-only stores.
+	dir string
+	log *wal.Log
+	// gate serializes checkpoints (writers) against admissions
+	// (readers) so a snapshot is a consistent cut at one seq.
+	gate      sync.RWMutex
+	snapMu    sync.Mutex
+	closeOnce sync.Once
+	closeErr  error
+	aborted   atomic.Bool
+
+	recovery  wal.RecoveryStats
+	replayed  int
+	walErrors atomic.Uint64
+	snapshots atomic.Uint64
 }
 
 // New builds a store. cfg zero-values fall back to DefaultConfig.
@@ -172,6 +233,69 @@ func New(cfg Config) *Store {
 	return st
 }
 
+// Open builds a durable store backed by dir: it loads the newest intact
+// snapshot, replays WAL entries past it (truncating a torn tail instead
+// of failing), sweeps to the recovered watermark so incidents resolved
+// before the crash come back resolved, and leaves the log open for
+// appends. A directory that has never held a store starts empty. The
+// recovery contract: every record whose Add returned before the crash
+// is present after Open, exactly once, and incident IDs never repeat
+// across the restart.
+func Open(dir string, cfg Config) (*Store, error) {
+	st := New(cfg)
+	cfg = st.cfg // defaults applied
+	st.dir = dir
+
+	snapSeq, payload, ok, err := wal.LoadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := st.restore(payload); err != nil {
+			return nil, err
+		}
+	}
+	walOpts := wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		GroupWindow:  cfg.GroupWindow,
+		NoSync:       cfg.NoSync,
+		ReadOnly:     cfg.ReadOnly,
+	}
+	log, stats, err := wal.Open(walDir(dir), walOpts, func(seq uint64, payload []byte) error {
+		if seq <= snapSeq {
+			return nil // the snapshot already owns this entry
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		rec.Seq = seq
+		if seq > st.seq.Load() {
+			st.seq.Store(seq)
+		}
+		st.insert(rec)
+		st.ingested.Add(1)
+		st.replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.recovery = stats
+	if last := log.LastSeq(); last > st.seq.Load() {
+		st.seq.Store(last)
+	}
+	if !cfg.ReadOnly {
+		st.log = log
+	}
+	// Re-run the sweeps the pre-crash store had already performed: the
+	// watermark is the highest admitted trigger time.
+	if wm := st.lastAt.Load(); wm > 0 {
+		st.Sweep(sim.Time(wm))
+	}
+	return st, nil
+}
+
 // Hub exposes the store's subscription hub.
 func (st *Store) Hub() *Hub { return st.hub }
 
@@ -189,17 +313,46 @@ func (st *Store) shardFor(fabric string, at sim.Time) *shard {
 }
 
 // Add admits one record synchronously: stamps its sequence number,
-// inserts it into its shard ring, folds it into the incident clusters
-// and publishes any resulting lifecycle events. Safe for concurrent
-// use. Returns the stamped record.
+// logs it to the WAL when the store is durable (group-committed — when
+// Add returns, the record survives a crash), folds it into the incident
+// clusters, publishes any resulting lifecycle events, and inserts it
+// into its shard ring. Safe for concurrent use. Returns the stamped
+// record. A WAL write failure degrades the store to in-memory for that
+// record (counted in Counters.WALErrors) rather than shedding a
+// diagnosis.
 func (st *Store) Add(rec Record) Record {
+	st.gate.RLock()
 	rec.Seq = st.seq.Add(1)
-	if st.shardFor(rec.Fabric, rec.At).add(rec, st.cfg.ShardCapacity) {
-		st.evicted.Add(1)
+	if st.log != nil {
+		if payload, err := encodeRecord(&rec); err != nil {
+			st.walErrors.Add(1)
+		} else if err := st.log.Append(rec.Seq, payload); err != nil {
+			st.walErrors.Add(1)
+		}
 	}
-	st.ingested.Add(1)
-	st.cl.observe(rec)
+	st.insert(rec)
+	n := st.ingested.Add(1)
+	st.gate.RUnlock()
+	if st.log != nil && n%uint64(st.cfg.SnapshotEvery) == 0 {
+		st.Checkpoint()
+	}
 	return rec
+}
+
+// insert folds a stamped record into cluster and ring state. Shared by
+// Add and WAL replay — replay is exactly re-running the admissions.
+func (st *Store) insert(rec Record) {
+	incID := st.cl.observe(rec)
+	if old, evicted := st.shardFor(rec.Fabric, rec.At).add(entry{rec: rec, inc: incID}, st.cfg.ShardCapacity); evicted {
+		st.evicted.Add(1)
+		st.cl.evict(old.inc, &old.rec)
+	}
+	for {
+		cur := st.lastAt.Load()
+		if int64(rec.At) <= cur || st.lastAt.CompareAndSwap(cur, int64(rec.At)) {
+			break
+		}
+	}
 }
 
 // Sweep resolves open incidents whose join window has fully passed at
@@ -277,6 +430,11 @@ type Counters struct {
 	OpenIncidents int
 	// EventsDropped counts subscription events lost to slow subscribers.
 	EventsDropped uint64
+	// WALErrors counts records that could not be made durable and were
+	// kept in memory only.
+	WALErrors uint64
+	// Snapshots counts checkpoints written this session.
+	Snapshots uint64
 }
 
 // CountersSnapshot returns the store's activity counters.
@@ -287,5 +445,71 @@ func (st *Store) CountersSnapshot() Counters {
 		Incidents:     st.cl.opened.Load(),
 		OpenIncidents: st.cl.openCount(),
 		EventsDropped: st.hub.dropped.Load(),
+		WALErrors:     st.walErrors.Load(),
+		Snapshots:     st.snapshots.Load(),
+	}
+}
+
+// Durable reports whether the store writes a WAL.
+func (st *Store) Durable() bool { return st.log != nil }
+
+// Recovery reports what the last Open replayed and repaired; zero for
+// in-memory stores.
+func (st *Store) Recovery() wal.RecoveryStats { return st.recovery }
+
+// ReplayedRecords counts WAL entries re-admitted by Open (beyond the
+// snapshot).
+func (st *Store) ReplayedRecords() int { return st.replayed }
+
+// Checkpoint writes a snapshot of the full store state (a consistent
+// cut: admissions pause for the serialization) and compacts WAL
+// segments the snapshot covers. No-op for in-memory stores. Durable
+// stores checkpoint automatically every Config.SnapshotEvery records;
+// this is the manual handle (shutdown, operator request).
+func (st *Store) Checkpoint() error {
+	if st.log == nil {
+		return nil
+	}
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	st.gate.Lock()
+	seq := st.seq.Load()
+	payload, err := st.exportState()
+	st.gate.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := wal.WriteSnapshot(st.dir, seq, payload); err != nil {
+		return err
+	}
+	st.snapshots.Add(1)
+	_, err = st.log.Compact(seq)
+	return err
+}
+
+// Close flushes a final checkpoint and closes the WAL. Idempotent; nil
+// for in-memory stores. After an Abort, Close is a no-op — the crash
+// already happened.
+func (st *Store) Close() error {
+	st.closeOnce.Do(func() {
+		if st.log == nil || st.aborted.Load() {
+			return
+		}
+		err := st.Checkpoint()
+		if cerr := st.log.Close(); err == nil {
+			err = cerr
+		}
+		st.closeErr = err
+	})
+	return st.closeErr
+}
+
+// Abort simulates a crash for harnesses: WAL file handles drop with no
+// flush, no final checkpoint is written, and the store refuses further
+// durability work. Acknowledged records are already on disk.
+func (st *Store) Abort() {
+	st.aborted.Store(true)
+	if st.log != nil {
+		st.log.Abort()
 	}
 }

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Snapshot files sit beside the WAL segments: snap-<seq>.snap holds the
+// store state as of sequence number seq, so recovery is "load newest
+// intact snapshot, replay WAL entries with seq beyond it". Writes are
+// atomic (temp file, fsync, rename) and CRC-checked, so a crash during
+// snapshotting leaves the previous snapshot authoritative and a corrupt
+// snapshot is skipped in favor of an older one rather than trusted.
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	snapMagic  = "HWKSNAP1"
+	// snapKeep retains this many snapshots; older ones are pruned after
+	// a successful write.
+	snapKeep = 2
+)
+
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	var seq uint64
+	if _, err := fmt.Sscanf(hex, "%x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteSnapshot atomically persists one snapshot covering seq, then
+// prunes all but the newest snapKeep snapshot files.
+func WriteSnapshot(dir string, seq uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: snapshot dir: %w", err)
+	}
+	buf := make([]byte, len(snapMagic)+12+len(payload))
+	copy(buf, snapMagic)
+	binary.BigEndian.PutUint64(buf[len(snapMagic)+4:], seq)
+	copy(buf[len(snapMagic)+12:], payload)
+	binary.BigEndian.PutUint32(buf[len(snapMagic):], crc32.ChecksumIEEE(buf[len(snapMagic)+4:]))
+
+	final := filepath.Join(dir, snapName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	pruneSnapshots(dir)
+	return nil
+}
+
+// LoadSnapshot returns the newest intact snapshot's covered seq and
+// payload, or ok=false when none exists. Corrupt snapshots (bad magic,
+// CRC mismatch, truncation) are skipped, falling back to older ones.
+func LoadSnapshot(dir string) (seq uint64, payload []byte, ok bool, err error) {
+	names, err := snapshotNames(dir)
+	if err != nil || len(names) == 0 {
+		return 0, nil, false, err
+	}
+	// Newest first.
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue
+		}
+		if len(data) < len(snapMagic)+12 || string(data[:len(snapMagic)]) != snapMagic {
+			continue
+		}
+		crc := binary.BigEndian.Uint32(data[len(snapMagic):])
+		body := data[len(snapMagic)+4:]
+		if crc32.ChecksumIEEE(body) != crc {
+			continue
+		}
+		seq = binary.BigEndian.Uint64(body)
+		return seq, body[8:], true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// snapshotNames lists snapshot files sorted oldest-first by covered seq.
+func snapshotNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list snapshots: %w", err)
+	}
+	type named struct {
+		name string
+		seq  uint64
+	}
+	var snaps []named
+	for _, e := range ents {
+		if seq, ok := parseSnapName(e.Name()); ok && !e.IsDir() {
+			snaps = append(snaps, named{e.Name(), seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq < snaps[j].seq })
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.name
+	}
+	return out, nil
+}
+
+func pruneSnapshots(dir string) {
+	names, err := snapshotNames(dir)
+	if err != nil {
+		return
+	}
+	for len(names) > snapKeep {
+		os.Remove(filepath.Join(dir, names[0]))
+		names = names[1:]
+	}
+}

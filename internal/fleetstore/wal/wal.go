@@ -1,0 +1,542 @@
+// Package wal gives the fleet store crash durability. It is two
+// mechanisms behind one directory:
+//
+//   - a segmented write-ahead log: fixed-framed entries ([len][crc][seq]
+//     [payload], CRC-32 over seq+payload) appended to roll-over segment
+//     files, with group-commit batching so a storm of concurrent appends
+//     costs one fsync per batch, not per record;
+//   - atomic state snapshots: the store's full state serialized to a
+//     snap file (written to a temp name, fsynced, renamed), after which
+//     the segments the snapshot covers are compactable.
+//
+// Recovery is deliberately forgiving about the one corruption a crash
+// legitimately produces — a torn tail. Replay verifies every entry's
+// CRC; at the first bad entry it truncates the segment there, drops any
+// later segments (an fsync reorder can persist a later segment while
+// the earlier tail is torn), and reports what it cut. Everything before
+// the tear — every entry whose Append returned — survives.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// headerSize frames one entry: 4-byte payload length, 4-byte CRC-32
+	// (IEEE, over seq+payload), 8-byte sequence number.
+	headerSize = 16
+	// MaxEntry bounds one entry's payload; a fleet record is well under
+	// a kilobyte, so anything near this is corruption, not data.
+	MaxEntry = 16 << 20
+
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+)
+
+// ErrClosed reports an append against a closed (or aborted) log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options tunes the log.
+type Options struct {
+	// SegmentBytes rolls the active segment once it grows past this
+	// (default 1 MiB).
+	SegmentBytes int64
+	// GroupWindow is the group-commit gather window: the first append of
+	// a batch waits this long for companions before the batch is written
+	// and fsynced once. Zero defaults to 200µs; negative means fully
+	// synchronous appends (each Append writes and syncs inline — the
+	// deterministic mode tests and the crash harness use).
+	GroupWindow time.Duration
+	// MaxBatch caps entries per group commit (default 64).
+	MaxBatch int
+	// NoSync skips fsync (benchmarks only; forfeits the durability
+	// contract).
+	NoSync bool
+	// ReadOnly opens for replay only: no repair truncation, no appends.
+	ReadOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.GroupWindow == 0 {
+		o.GroupWindow = 200 * time.Microsecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	return o
+}
+
+// RecoveryStats reports what replay found and repaired.
+type RecoveryStats struct {
+	// Entries replayed successfully.
+	Entries int
+	// TornBytes truncated off the tail of the torn segment.
+	TornBytes int64
+	// DroppedSegments deleted because they followed a torn segment.
+	DroppedSegments int
+	// Torn is set when a tear was found (and, unless ReadOnly, repaired).
+	Torn bool
+}
+
+// segment is one on-disk log file; FirstSeq is baked into the name so a
+// directory listing orders the log.
+type segment struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64
+	size     int64
+}
+
+type appendReq struct {
+	seq     uint64
+	payload []byte
+	done    chan error
+}
+
+// Log is an open write-ahead log.
+type Log struct {
+	dir  string
+	opts Options
+
+	// stateMu guards closed against concurrent Append/Close/Abort.
+	stateMu sync.RWMutex
+	closed  bool
+
+	// mu guards the file and segment index.
+	mu       sync.Mutex
+	active   *os.File
+	actSize  int64
+	actSeg   int // index into segments of the active one
+	segments []segment
+
+	lastSeq atomic.Uint64
+	syncs   atomic.Uint64
+	appends atomic.Uint64
+
+	reqs        chan *appendReq
+	quit        chan struct{}
+	flusherDone chan struct{}
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	var seq uint64
+	if _, err := fmt.Sscanf(hex, "%x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open replays the log under dir (creating it if absent), invoking
+// replay for every intact entry in order, then leaves the log open for
+// appends. A torn tail is truncated (and segments past it dropped)
+// rather than failing the open; the stats say what was cut. With
+// Options.ReadOnly the directory is left untouched and the returned Log
+// only answers metadata queries.
+func Open(dir string, opts Options, replay func(seq uint64, payload []byte) error) (*Log, RecoveryStats, error) {
+	opts = opts.withDefaults()
+	var stats RecoveryStats
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, stats, fmt.Errorf("wal: create dir: %w", err)
+		}
+	}
+	l := &Log{dir: dir, opts: opts}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	torn := -1 // index of the segment where replay hit a tear
+	for i := range segs {
+		seg := &segs[i]
+		good, last, n, err := l.replaySegment(seg, replay)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Entries += n
+		if last > 0 {
+			seg.lastSeq = last
+			l.lastSeq.Store(last)
+		}
+		if good < seg.size { // tear inside this segment
+			stats.Torn = true
+			stats.TornBytes += seg.size - good
+			torn = i
+			if !opts.ReadOnly {
+				if err := os.Truncate(seg.path, good); err != nil {
+					return nil, stats, fmt.Errorf("wal: truncate torn tail: %w", err)
+				}
+			}
+			seg.size = good
+			break
+		}
+	}
+	if torn >= 0 && torn+1 < len(segs) {
+		// Segments past a tear are unreachable history: an fsync reorder
+		// persisted them ahead of the torn tail. Drop them.
+		for _, seg := range segs[torn+1:] {
+			stats.DroppedSegments++
+			if !opts.ReadOnly {
+				if err := os.Remove(seg.path); err != nil {
+					return nil, stats, fmt.Errorf("wal: drop post-tear segment: %w", err)
+				}
+			}
+		}
+		segs = segs[:torn+1]
+	}
+	l.segments = segs
+
+	if opts.ReadOnly {
+		l.closed = true
+		return l, stats, nil
+	}
+	if err := l.openActive(); err != nil {
+		return nil, stats, err
+	}
+	if opts.GroupWindow > 0 {
+		l.reqs = make(chan *appendReq, opts.MaxBatch*2)
+		l.quit = make(chan struct{})
+		l.flusherDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, stats, nil
+}
+
+func listSegments(dir string) ([]segment, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []segment
+	for _, e := range ents {
+		first, ok := parseSegName(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: stat segment: %w", err)
+		}
+		segs = append(segs, segment{
+			path:     filepath.Join(dir, e.Name()),
+			firstSeq: first,
+			size:     info.Size(),
+		})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// replaySegment scans one segment, invoking replay per intact entry.
+// It returns the byte offset of the last intact entry boundary, the
+// last seq replayed (0 when none) and the entry count.
+func (l *Log) replaySegment(seg *segment, replay func(uint64, []byte) error) (good int64, last uint64, n int, err error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: read segment: %w", err)
+	}
+	off := 0
+	for {
+		if len(data)-off < headerSize {
+			break // clean end, or torn header
+		}
+		length := binary.BigEndian.Uint32(data[off:])
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if length > MaxEntry || len(data)-off-headerSize < int(length) {
+			break // torn or garbage length
+		}
+		body := data[off+8 : off+headerSize+int(length)] // seq bytes + payload
+		if crc32.ChecksumIEEE(body) != crc {
+			break // torn write or bit rot: stop here
+		}
+		seq := binary.BigEndian.Uint64(data[off+8:])
+		payload := data[off+headerSize : off+headerSize+int(length)]
+		if replay != nil {
+			if err := replay(seq, payload); err != nil {
+				return 0, 0, 0, fmt.Errorf("wal: replay entry seq %d: %w", seq, err)
+			}
+		}
+		last = seq
+		n++
+		off += headerSize + int(length)
+	}
+	return int64(off), last, n, nil
+}
+
+// openActive opens the last segment for append, or creates the first.
+func (l *Log) openActive() error {
+	if len(l.segments) == 0 || l.segments[len(l.segments)-1].size >= l.opts.SegmentBytes {
+		return l.rollLocked()
+	}
+	seg := &l.segments[len(l.segments)-1]
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open active segment: %w", err)
+	}
+	l.active = f
+	l.actSize = seg.size
+	l.actSeg = len(l.segments) - 1
+	return nil
+}
+
+// rollLocked closes the active segment and starts a new one named after
+// the next sequence number. Callers hold mu (or are single-threaded in
+// Open).
+func (l *Log) rollLocked() error {
+	if l.active != nil {
+		if !l.opts.NoSync {
+			if err := l.active.Sync(); err != nil {
+				return fmt.Errorf("wal: sync on roll: %w", err)
+			}
+			l.syncs.Add(1)
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: close on roll: %w", err)
+		}
+	}
+	first := l.lastSeq.Load() + 1
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segments = append(l.segments, segment{path: path, firstSeq: first})
+	l.active = f
+	l.actSize = 0
+	l.actSeg = len(l.segments) - 1
+	return nil
+}
+
+func encodeEntry(seq uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint64(buf[8:], seq)
+	copy(buf[headerSize:], payload)
+	binary.BigEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+// Append durably logs one entry: when it returns nil, the entry has
+// been written and fsynced (alone in synchronous mode; as part of a
+// group-commit batch otherwise) and will survive a crash. seq must be
+// strictly increasing across appends; the store's admission sequence
+// provides that.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	if len(payload) > MaxEntry {
+		return fmt.Errorf("wal: entry %d bytes exceeds MaxEntry", len(payload))
+	}
+	l.stateMu.RLock()
+	if l.closed {
+		l.stateMu.RUnlock()
+		return ErrClosed
+	}
+	if l.reqs == nil { // synchronous mode
+		defer l.stateMu.RUnlock()
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.commitLocked([]*appendReq{{seq: seq, payload: payload}})
+	}
+	req := &appendReq{seq: seq, payload: payload, done: make(chan error, 1)}
+	l.reqs <- req
+	l.stateMu.RUnlock()
+	return <-req.done
+}
+
+// flusher is the group-commit loop: gather a batch over the window,
+// write it, fsync once, release every waiter.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	for {
+		var batch []*appendReq
+		select {
+		case req := <-l.reqs:
+			batch = append(batch, req)
+		case <-l.quit:
+			l.drainPending()
+			return
+		}
+		timer := time.NewTimer(l.opts.GroupWindow)
+	gather:
+		for len(batch) < l.opts.MaxBatch {
+			select {
+			case req := <-l.reqs:
+				batch = append(batch, req)
+			case <-timer.C:
+				break gather
+			case <-l.quit:
+				break gather
+			}
+		}
+		timer.Stop()
+		l.commitBatch(batch)
+	}
+}
+
+// drainPending commits whatever Close let through before flipping
+// closed; no new requests can arrive once quit is closed.
+func (l *Log) drainPending() {
+	for {
+		select {
+		case req := <-l.reqs:
+			l.commitBatch([]*appendReq{req})
+		default:
+			return
+		}
+	}
+}
+
+func (l *Log) commitBatch(batch []*appendReq) {
+	l.mu.Lock()
+	err := l.commitLocked(batch)
+	l.mu.Unlock()
+	for _, req := range batch {
+		req.done <- err
+	}
+}
+
+// commitLocked writes and fsyncs a batch under mu.
+func (l *Log) commitLocked(batch []*appendReq) error {
+	if l.active == nil {
+		return ErrClosed
+	}
+	for _, req := range batch {
+		buf := encodeEntry(req.seq, req.payload)
+		if _, err := l.active.Write(buf); err != nil {
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		l.actSize += int64(len(buf))
+		l.segments[l.actSeg].size = l.actSize
+		l.segments[l.actSeg].lastSeq = req.seq
+		l.lastSeq.Store(req.seq)
+		l.appends.Add(1)
+	}
+	if !l.opts.NoSync {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.syncs.Add(1)
+	}
+	if l.actSize >= l.opts.SegmentBytes {
+		return l.rollLocked()
+	}
+	return nil
+}
+
+// Compact removes segments fully covered by a snapshot at coveredSeq:
+// every entry in them has seq <= coveredSeq and is re-creatable from the
+// snapshot. The active segment is never removed.
+func (l *Log) Compact(coveredSeq uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segments[:0]
+	for i := range l.segments {
+		seg := l.segments[i]
+		if i != l.actSeg && seg.lastSeq > 0 && seg.lastSeq <= coveredSeq {
+			if err := os.Remove(seg.path); err != nil {
+				return removed, fmt.Errorf("wal: compact: %w", err)
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	l.actSeg = len(l.segments) - 1
+	return removed, nil
+}
+
+// Close flushes pending appends, fsyncs and closes the active segment.
+// Idempotent.
+func (l *Log) Close() error {
+	l.stateMu.Lock()
+	if l.closed {
+		l.stateMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.stateMu.Unlock()
+	if l.quit != nil {
+		close(l.quit)
+		<-l.flusherDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	var err error
+	if !l.opts.NoSync {
+		err = l.active.Sync()
+		l.syncs.Add(1)
+	}
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// Abort simulates a crash for harnesses: the file descriptor is closed
+// with no flush and no sync, so any batch not yet acknowledged is torn
+// exactly the way a kill -9 would tear it. Acknowledged entries are
+// already on disk and unaffected.
+func (l *Log) Abort() {
+	l.stateMu.Lock()
+	if l.closed {
+		l.stateMu.Unlock()
+		return
+	}
+	l.closed = true
+	l.stateMu.Unlock()
+	l.mu.Lock()
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.mu.Unlock()
+	if l.quit != nil {
+		close(l.quit)
+		<-l.flusherDone
+	}
+}
+
+// LastSeq is the highest sequence number durably appended or replayed.
+func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
+
+// Segments counts on-disk segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments)
+}
+
+// Syncs counts fsync calls — the group-commit batching dividend is
+// Appends()/Syncs().
+func (l *Log) Syncs() uint64 { return l.syncs.Load() }
+
+// Appends counts entries durably written this session.
+func (l *Log) Appends() uint64 { return l.appends.Load() }

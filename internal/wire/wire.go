@@ -50,12 +50,24 @@ const (
 	// MsgIncidentEvent is one pushed incident lifecycle transition:
 	// JSON IncidentEvent payload.
 	MsgIncidentEvent MsgType = 13
+	// MsgThrottle is the backpressure reply an overloaded analyzer
+	// returns instead of serving a sheddable request: JSON Throttle
+	// payload. Clients honor it with their existing backoff.
+	MsgThrottle MsgType = 14
+	// MsgHealth asks for the server's lifecycle state and load counters
+	// (empty payload); any session kind may send it.
+	MsgHealth MsgType = 15
+	// MsgHealthReply is the answer: JSON Health payload.
+	MsgHealthReply MsgType = 16
+	// MsgShutdown is the terminal event a draining server pushes to
+	// subscribed sessions before closing them (empty payload).
+	MsgShutdown MsgType = 17
 )
 
 // Known reports whether t is a frame type this protocol version
 // defines. Readers skip unknown types instead of failing the session,
 // so a newer peer can add frames without breaking older tails.
-func Known(t MsgType) bool { return t >= MsgHello && t <= MsgIncidentEvent }
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgShutdown }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.
@@ -148,6 +160,38 @@ type FleetIncident struct {
 	// by every complaint vs. dimensions that spread.
 	Constant map[string]string   `json:"constant,omitempty"`
 	Varying  map[string][]string `json:"varying,omitempty"`
+}
+
+// Throttle is the payload of a MsgThrottle backpressure reply: the
+// request was shed by the named tier; retry after the given delay.
+type Throttle struct {
+	// Tier names what was shed: "subscriptions" or "queries".
+	Tier string `json:"tier"`
+	// RetryAfterMs suggests when to retry.
+	RetryAfterMs int64 `json:"retryAfterMs"`
+}
+
+// Health is the payload of a MsgHealthReply: the server's lifecycle
+// state plus the load and shed counters an operator needs to judge it.
+type Health struct {
+	// State is the lifecycle phase: starting, replaying, serving,
+	// draining or stopped.
+	State string `json:"state"`
+	// Durable reports whether the fleet store writes a WAL.
+	Durable bool `json:"durable"`
+	// Load is the ingest queue fill fraction in [0,1].
+	Load      float64 `json:"load"`
+	Sessions  int     `json:"sessions"`
+	Diagnoses int     `json:"diagnoses"`
+	// Ingested/Dropped/OpenIncidents mirror the fleet store counters.
+	Ingested      uint64 `json:"ingested"`
+	Dropped       uint64 `json:"dropped"`
+	OpenIncidents int    `json:"openIncidents"`
+	// ShedSubscriptions/ShedQueries count requests refused per tier.
+	ShedSubscriptions uint64 `json:"shedSubscriptions"`
+	ShedQueries       uint64 `json:"shedQueries"`
+	// WALErrors counts records that failed to reach the log.
+	WALErrors uint64 `json:"walErrors,omitempty"`
 }
 
 // SubscribeRequest filters a live incident subscription; semantics
