@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fleet-race chaos-smoke recovery-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -41,5 +41,18 @@ recovery-smoke:
 	$(GO) test -race -run 'TestOpen|TestReopen|TestCheckpoint|TestSnapshot|TestEviction|TestReplay' ./internal/fleetstore
 	$(GO) test -race -run 'TestShed|TestThrottle|TestClose|TestDrain|TestHealth|TestServerRestart' ./internal/analyzd
 
+# bench is the perf gate: run the harness suite (sim hot paths,
+# telemetry extraction, serial + parallel EvalRun sweeps) and fail on a
+# >25% ns/op regression — or any new allocation on a zero-alloc path —
+# against the committed baseline. trials/sec and the parallel speedup
+# land in the printed report.
 bench:
+	$(GO) run ./cmd/hawkeye-perf -baseline BENCH_experiments.json -gate 0.25
+
+# bench-baseline re-measures and rewrites the committed baseline; run it
+# (on a quiet machine) when a deliberate perf change shifts the numbers.
+bench-baseline:
+	$(GO) run ./cmd/hawkeye-perf -out BENCH_experiments.json
+
+bench-fleet:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/fleetstore

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	hawkeye-bench -trials 5 -full
+//	hawkeye-bench -trials 5 -full -parallel 8
+//
+// Every sweep fans its trials across the parallel scheduler; the output
+// is byte-identical at any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hawkeye/internal/experiments"
@@ -22,6 +26,7 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per scenario")
 	full := flag.Bool("full", false, "run the full Fig 7 sweep (5 epochs x 4 thresholds)")
 	skipCases := flag.Bool("no-cases", false, "skip the Fig 12 case studies")
+	parallel := flag.Int("parallel", 0, "trial workers per sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -31,28 +36,37 @@ func main() {
 		}
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := experiments.NewRunner(workers)
 	start := time.Now()
+	nTrials := 0
 
 	fig7cfg := experiments.QuickFig7()
 	if *full {
 		fig7cfg = experiments.DefaultFig7()
 	}
 	fig7cfg.Trials = *trials
-	_, t7, err := experiments.Fig7(fig7cfg)
+	_, t7, err := r.Fig7(fig7cfg)
 	die(err)
 	fmt.Println(t7)
+	nTrials += len(experiments.AnomalyScenarios()) * len(fig7cfg.EpochBits) * len(fig7cfg.Factors) * *trials
 
-	run, err := experiments.RunEval(*trials)
+	run, err := r.RunEval(*trials)
 	die(err)
 	fmt.Println(run.Fig8())
 	fmt.Println(run.Fig9())
 	fmt.Println(run.Fig10())
 	fmt.Println(run.Fig11())
+	nTrials += len(experiments.EvalScenarios()) * *trials
 
 	if !*skipCases {
-		cases, err := experiments.Fig12()
+		cases, err := r.Fig12()
 		die(err)
 		fmt.Println(cases)
+		nTrials += len(experiments.EvalScenarios())
 	}
 
 	fmt.Println(resources.Fig13a())
@@ -60,22 +74,29 @@ func main() {
 	fmt.Println(run.Fig14())
 	fmt.Println(experiments.PollerLatency())
 
-	am, err := experiments.AblationMeterBits(*trials)
+	am, err := r.AblationMeterBits(*trials)
 	die(err)
 	fmt.Println(am)
-	ae, err := experiments.AblationEpochCount(*trials)
+	nTrials += len(experiments.AnomalyScenarios()) * *trials
+	ae, err := r.AblationEpochCount(*trials)
 	die(err)
 	fmt.Println(ae)
-	ad, err := experiments.AblationDedup(*trials)
+	nTrials += len(experiments.AnomalyScenarios()) * 3 * *trials
+	ad, err := r.AblationDedup(*trials)
 	die(err)
 	fmt.Println(ad)
+	nTrials += 2 * *trials
 
-	tb, err := experiments.TestbedTable(*trials)
+	tb, err := r.TestbedTable(*trials)
 	die(err)
 	fmt.Println(tb)
-	pd, err := experiments.PartialDeployment(*trials)
+	nTrials += 2 * *trials
+	pd, err := r.PartialDeployment(*trials)
 	die(err)
 	fmt.Println(pd)
+	nTrials += len(experiments.EvalScenarios()) * 2 * *trials
 
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("total: %d trials, %d workers, wall %v, %.2f trials/sec\n",
+		nTrials, workers, elapsed.Round(time.Millisecond), float64(nTrials)/elapsed.Seconds())
 }

@@ -1,0 +1,106 @@
+// Command hawkeye-perf is the regression-guarded performance harness:
+// it runs the hot-path and sweep benchmarks in-process, gates them
+// against a committed baseline (BENCH_experiments.json), and rewrites
+// the baseline on request.
+//
+//	hawkeye-perf -baseline BENCH_experiments.json          # run + gate
+//	hawkeye-perf -out BENCH_experiments.json               # run + write
+//	hawkeye-perf -bench 'sim/' -v                          # subset
+//
+// The gate fails (exit 1) when any benchmark's ns/op grew by more than
+// -gate vs the baseline, or when a zero-alloc path started allocating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+
+	"hawkeye/internal/perf"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "baseline report to gate against (skipped if missing)")
+		out      = flag.String("out", "", "write the measured report to this path")
+		gate     = flag.Float64("gate", 0.25, "fractional ns/op regression tolerance")
+		filter   = flag.String("bench", "", "regexp selecting benchmark names to run")
+		trials   = flag.Int("trials", 1, "seeds per scenario for the EvalRun sweeps")
+		workers  = flag.Int("parallel", 0, "pool size for the parallel sweep (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	cases := perf.Cases(perf.Options{EvalTrials: *trials, Workers: *workers})
+	if *list {
+		for _, c := range cases {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fatal("bad -bench regexp: %v", err)
+		}
+	}
+
+	rep := perf.NewReport()
+	fmt.Printf("hawkeye-perf: %s, GOMAXPROCS=%d\n", runtime.Version(), runtime.GOMAXPROCS(0))
+	for _, c := range cases {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		res := c.Run()
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("  %-32s %12.1f ns/op %8.0f allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
+		if tps := res.Metrics["trials_per_sec"]; tps > 0 {
+			fmt.Printf(" %8.2f trials/sec", tps)
+		}
+		fmt.Println()
+	}
+	perf.AddDerived(rep)
+	if p := rep.Find("experiments/eval_run_parallel"); p != nil {
+		if s := p.Metrics["speedup_vs_serial"]; s > 0 {
+			fmt.Printf("  parallel sweep speedup vs serial: %.2fx\n", s)
+		}
+	}
+
+	failed := false
+	if *baseline != "" {
+		base, err := perf.LoadReport(*baseline)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Printf("no baseline at %s; gate skipped\n", *baseline)
+		case err != nil:
+			fatal("%v", err)
+		default:
+			regs := perf.Compare(base, rep, *gate)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+			}
+			if len(regs) > 0 {
+				failed = true
+			} else {
+				fmt.Printf("gate passed (tolerance %.0f%%, baseline %s)\n", *gate*100, *baseline)
+			}
+		}
+	}
+	if *out != "" && !failed {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hawkeye-perf: "+format+"\n", args...)
+	os.Exit(1)
+}

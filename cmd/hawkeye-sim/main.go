@@ -6,18 +6,29 @@
 // Usage:
 //
 //	hawkeye-sim -scenario incast-backpressure -seed 1 -v
+//	hawkeye-sim -sweep eval -trials 3 -parallel 8
+//	hawkeye-sim -sweep fig7 -cpuprofile cpu.pprof
+//
+// With -sweep it runs a figure sweep on the parallel trial scheduler
+// instead of a single trial, printing the table plus wall-clock and
+// trials/sec. -cpuprofile / -memprofile capture pprof profiles of
+// whichever mode ran.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"hawkeye/internal/chaos"
 	"hawkeye/internal/core"
 	"hawkeye/internal/diagnosis"
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/metrics"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/workload"
 )
@@ -33,7 +44,45 @@ func main() {
 	dotPath := flag.String("dot", "", "write the scored provenance graph as Graphviz DOT to this file")
 	chaosSpec := flag.String("chaos", "", "fault schedule, e.g. poll-loss=0.1,tel-loss=0.3,collect-drop=0.2 (see internal/chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from -seed)")
+	sweep := flag.String("sweep", "", "run a figure sweep instead of one trial: eval, fig7, robustness, testbed")
+	trials := flag.Int("trials", 3, "trials (seeds) per sweep point")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			die(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	exit := func(code int) {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				die(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				die(err)
+			}
+			f.Close()
+		}
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(code)
+	}
+
+	if *sweep != "" {
+		runSweep(*sweep, *scenario, *seed, *trials, *parallel)
+		exit(0)
+	}
 
 	cfg := experiments.DefaultTrialConfig(*scenario, *seed)
 	if *load >= 0 {
@@ -49,7 +98,7 @@ func main() {
 		sched, err := chaos.ParseSchedule(*chaosSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hawkeye-sim: -chaos:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		cfg.Chaos = sched
 		cfg.ChaosSeed = *chaosSeed
@@ -58,7 +107,7 @@ func main() {
 	tr, err := experiments.RunTrial(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hawkeye-sim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	fmt.Printf("scenario %s (seed %d): anomaly at %v\n", *scenario, *seed, tr.GT.AnomalyAt)
@@ -97,12 +146,69 @@ func main() {
 		if *dotPath != "" {
 			if err := os.WriteFile(*dotPath, []byte(r.Graph.DOT(tr.Cl.Topo)), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "hawkeye-sim: dot:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Printf("provenance graph -> %s (render with: dot -Tsvg)\n", *dotPath)
 		}
 	}
 	if !tr.Score.Correct {
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
+}
+
+// runSweep fans one figure sweep across the trial scheduler and reports
+// throughput: the sweeps are embarrassingly parallel at trial
+// granularity, so trials/sec is the number that tracks core count.
+func runSweep(name, scenario string, seed uint64, trials, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := experiments.NewRunner(workers)
+	start := time.Now()
+	var (
+		out fmt.Stringer
+		n   int
+		err error
+	)
+	switch name {
+	case "eval":
+		var run *experiments.EvalRun
+		run, err = r.RunEval(trials)
+		n = len(experiments.EvalScenarios()) * trials
+		if err == nil {
+			out = run.Fig8()
+		}
+	case "fig7":
+		cfg := experiments.QuickFig7()
+		cfg.Trials = trials
+		n = len(experiments.AnomalyScenarios()) * len(cfg.EpochBits) * len(cfg.Factors) * trials
+		_, out, err = r.Fig7(cfg)
+	case "robustness":
+		rates := []float64{0, 0.1, 0.25, 0.5}
+		n = len(rates) * trials
+		var curve *metrics.RobustnessCurve
+		curve, err = r.RunRobustnessCurve(scenario, seed, rates, trials)
+		if err == nil {
+			out = curve.Table()
+		}
+	case "testbed":
+		n = 2 * trials
+		out, err = r.TestbedTable(trials)
+	default:
+		die(fmt.Errorf("unknown -sweep %q (want eval, fig7, robustness or testbed)", name))
+	}
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(out)
+	elapsed := time.Since(start)
+	fmt.Printf("sweep %s: %d trials, %d workers, wall %v, %.2f trials/sec\n",
+		name, n, workers, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "hawkeye-sim:", err)
+	os.Exit(1)
 }

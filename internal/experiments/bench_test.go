@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkEvalRunSerial is the paper's full evaluation sweep (one seed
+// per scenario) on the serial reference path — the denominator for the
+// parallel speedup.
+func BenchmarkEvalRunSerial(b *testing.B) {
+	r := NewRunner(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunEval(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalRunSpeedup times the same sweep serial then on a
+// full-width pool (one op covers both) and asserts the scaling contract
+// loosely: with 8+ cores the trial-level fan-out must be at least 3x
+// faster than serial (trials are coordination-free, so anything less
+// means the Runner is serializing). On smaller machines the ratio is
+// reported as a metric but not asserted.
+func BenchmarkEvalRunSpeedup(b *testing.B) {
+	procs := runtime.GOMAXPROCS(0)
+	r := NewRunner(procs)
+	serial := NewRunner(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := serial.RunEval(1); err != nil {
+			b.Fatal(err)
+		}
+		serialDur := time.Since(t0)
+		t0 = time.Now()
+		if _, err := r.RunEval(1); err != nil {
+			b.Fatal(err)
+		}
+		parallelDur := time.Since(t0)
+		speedup := float64(serialDur) / float64(parallelDur)
+		b.ReportMetric(speedup, "speedup")
+		if procs >= 8 && speedup < 3 {
+			b.Errorf("speedup = %.2fx with GOMAXPROCS=%d, want >= 3x", speedup, procs)
+		}
+	}
+}

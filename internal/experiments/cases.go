@@ -12,25 +12,33 @@ import (
 
 // Fig12 runs each scenario once and renders the diagnosis plus the
 // provenance graph — the paper's case studies.
-func Fig12() (string, error) {
-	var b strings.Builder
-	b.WriteString("== Fig 12: case-study provenance graphs ==\n")
-	for _, scen := range EvalScenarios() {
-		tr, err := RunTrial(DefaultTrialConfig(scen, 1))
+func Fig12() (string, error) { return NewRunner(0).Fig12() }
+
+// Fig12 renders the case studies, one trial per scenario, fanned out
+// across the pool and stitched back in scenario order.
+func (r *Runner) Fig12() (string, error) {
+	scens := EvalScenarios()
+	sections, err := mapOrdered(r, len(scens), func(i int) (string, error) {
+		tr, err := RunTrial(DefaultTrialConfig(scens[i], 1))
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "\n--- %s ---\n", scen)
+		var b strings.Builder
+		fmt.Fprintf(&b, "\n--- %s ---\n", scens[i])
 		if tr.Score.Result == nil {
 			b.WriteString("no diagnosis triggered\n")
-			continue
+			return b.String(), nil
 		}
 		fmt.Fprintf(&b, "trigger: %v at %v (%s)\n",
 			tr.Score.Result.Trigger.Victim, tr.Score.Result.Trigger.At, tr.Score.Result.Trigger.Reason)
 		b.WriteString(tr.Score.Result.Diagnosis.String())
 		b.WriteString(tr.Score.Result.Graph.String())
+		return b.String(), nil
+	})
+	if err != nil {
+		return "", err
 	}
-	return b.String(), nil
+	return "== Fig 12: case-study provenance graphs ==\n" + strings.Join(sections, ""), nil
 }
 
 // PollerLatency renders the §4.5 CPU-poller timing model.
@@ -51,19 +59,37 @@ func PollerLatency() *metrics.Table {
 // an ITSY-style 1-bit presence meter (§3.3 argues the byte counts are
 // what rank causal relevance).
 func AblationMeterBits(trials int) (*metrics.Table, error) {
+	return NewRunner(0).AblationMeterBits(trials)
+}
+
+// AblationMeterBits runs the meter ablation on this runner's pool; both
+// scores of a trial are computed inside its job so the heavyweight
+// trial state dies with the worker.
+func (r *Runner) AblationMeterBits(trials int) (*metrics.Table, error) {
+	scens := AnomalyScenarios()
+	type pair struct{ full, onebit metrics.TrialScore }
+	n := len(scens) * trials
+	pairs, err := mapOrdered(r, n, func(i int) (pair, error) {
+		scen := scens[i/trials]
+		seed := uint64(i%trials) + 1
+		tr, err := RunTrial(DefaultTrialConfig(scen, seed))
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{full: tr.Score, onebit: tr.ScoreWithBinaryMeter()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &metrics.Table{
 		Title:   "Ablation: byte-count vs 1-bit causality meter",
 		Headers: []string{"scenario", "meter", "precision", "recall"},
 	}
-	for _, scen := range AnomalyScenarios() {
+	for si, scen := range scens {
 		var full, onebit metrics.PR
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			tr, err := RunTrial(DefaultTrialConfig(scen, seed))
-			if err != nil {
-				return nil, err
-			}
-			full.Add(tr.Score)
-			onebit.Add(tr.ScoreWithBinaryMeter())
+		for t := 0; t < trials; t++ {
+			full.Add(pairs[si*trials+t].full)
+			onebit.Add(pairs[si*trials+t].onebit)
 		}
 		table.AddRow(scen, "bytes", fmt.Sprintf("%.2f", full.Precision()), fmt.Sprintf("%.2f", full.Recall()))
 		table.AddRow(scen, "1-bit", fmt.Sprintf("%.2f", onebit.Precision()), fmt.Sprintf("%.2f", onebit.Recall()))
@@ -74,21 +100,43 @@ func AblationMeterBits(trials int) (*metrics.Table, error) {
 // AblationEpochCount sweeps the telemetry ring depth: shallow rings lose
 // anomaly evidence before the complaint arrives.
 func AblationEpochCount(trials int) (*metrics.Table, error) {
+	return NewRunner(0).AblationEpochCount(trials)
+}
+
+// AblationEpochCount runs the ring-depth sweep on this runner's pool.
+func (r *Runner) AblationEpochCount(trials int) (*metrics.Table, error) {
+	depths := []int{2, 4, 8}
+	var cfgs []TrialConfig
+	for _, scen := range AnomalyScenarios() {
+		for _, n := range depths {
+			for seed := uint64(1); seed <= uint64(trials); seed++ {
+				tc := DefaultTrialConfig(scen, seed)
+				tc.NumEpochs = n
+				cfgs = append(cfgs, tc)
+			}
+		}
+	}
+	scores, err := mapOrdered(r, len(cfgs), func(i int) (metrics.TrialScore, error) {
+		tr, err := RunTrial(cfgs[i])
+		if err != nil {
+			return metrics.TrialScore{}, err
+		}
+		return tr.Score, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &metrics.Table{
 		Title:   "Ablation: telemetry ring depth",
 		Headers: []string{"scenario", "epochs", "precision", "recall"},
 	}
+	next := 0
 	for _, scen := range AnomalyScenarios() {
-		for _, n := range []int{2, 4, 8} {
+		for _, n := range depths {
 			var pr metrics.PR
-			for seed := uint64(1); seed <= uint64(trials); seed++ {
-				tc := DefaultTrialConfig(scen, seed)
-				tc.NumEpochs = n
-				tr, err := RunTrial(tc)
-				if err != nil {
-					return nil, err
-				}
-				pr.Add(tr.Score)
+			for t := 0; t < trials; t++ {
+				pr.Add(scores[next])
+				next++
 			}
 			table.AddRow(scen, fmt.Sprintf("%d", n),
 				fmt.Sprintf("%.2f", pr.Precision()), fmt.Sprintf("%.2f", pr.Recall()))
@@ -100,24 +148,43 @@ func AblationEpochCount(trials int) (*metrics.Table, error) {
 // AblationDedup compares polling dedup on/off by polls handled and
 // collections performed (the dedup exists purely to bound overhead).
 func AblationDedup(trials int) (*metrics.Table, error) {
+	return NewRunner(0).AblationDedup(trials)
+}
+
+// AblationDedup runs the dedup-window comparison on this runner's pool.
+func (r *Runner) AblationDedup(trials int) (*metrics.Table, error) {
+	windows := []sim.Time{0, sim.Millisecond}
+	type counts struct{ polls, colls float64 }
+	n := len(windows) * trials
+	rows, err := mapOrdered(r, n, func(i int) (counts, error) {
+		dedup := windows[i/trials]
+		seed := uint64(i%trials) + 1
+		tc := DefaultTrialConfig(workload.NameIncast, seed)
+		tr, err := runTrialWithDedup(tc, dedup)
+		if err != nil {
+			return counts{}, err
+		}
+		var handled uint64
+		for _, h := range tr.Sys.Handlers {
+			handled += h.Handled
+		}
+		return counts{
+			polls: float64(handled),
+			colls: float64(tr.Sys.Collector.Stats().Collections),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &metrics.Table{
 		Title:   "Ablation: polling dedup window",
 		Headers: []string{"dedup", "polls-handled", "collections"},
 	}
-	for _, dedup := range []sim.Time{0, sim.Millisecond} {
+	for wi, dedup := range windows {
 		var polls, colls []float64
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			tc := DefaultTrialConfig(workload.NameIncast, seed)
-			tr, err := runTrialWithDedup(tc, dedup)
-			if err != nil {
-				return nil, err
-			}
-			var handled uint64
-			for _, h := range tr.Sys.Handlers {
-				handled += h.Handled
-			}
-			polls = append(polls, float64(handled))
-			colls = append(colls, float64(tr.Sys.Collector.Stats().Collections))
+		for t := 0; t < trials; t++ {
+			polls = append(polls, rows[wi*trials+t].polls)
+			colls = append(colls, rows[wi*trials+t].colls)
 		}
 		table.AddRow(dedup.String(),
 			fmt.Sprintf("%.0f", metrics.Mean(polls)),
@@ -131,21 +198,42 @@ func AblationDedup(trials int) (*metrics.Table, error) {
 // Root causes at edge ports stay diagnosable; those on aggregation/core
 // ports lose their contributing-flow evidence.
 func PartialDeployment(trials int) (*metrics.Table, error) {
+	return NewRunner(0).PartialDeployment(trials)
+}
+
+// PartialDeployment runs the deployment comparison on this runner's pool.
+func (r *Runner) PartialDeployment(trials int) (*metrics.Table, error) {
+	var cfgs []TrialConfig
+	for _, scen := range EvalScenarios() {
+		for _, partial := range []bool{false, true} {
+			for seed := uint64(1); seed <= uint64(trials); seed++ {
+				tc := DefaultTrialConfig(scen, seed)
+				tc.EdgeFlowTelemetryOnly = partial
+				cfgs = append(cfgs, tc)
+			}
+		}
+	}
+	scores, err := mapOrdered(r, len(cfgs), func(i int) (metrics.TrialScore, error) {
+		tr, err := RunTrial(cfgs[i])
+		if err != nil {
+			return metrics.TrialScore{}, err
+		}
+		return tr.Score, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &metrics.Table{
 		Title:   "Discussion 5: partial deployment (flow telemetry on edges only)",
 		Headers: []string{"scenario", "deployment", "precision", "recall"},
 	}
+	next := 0
 	for _, scen := range EvalScenarios() {
 		for _, partial := range []bool{false, true} {
 			var pr metrics.PR
-			for seed := uint64(1); seed <= uint64(trials); seed++ {
-				tc := DefaultTrialConfig(scen, seed)
-				tc.EdgeFlowTelemetryOnly = partial
-				tr, err := RunTrial(tc)
-				if err != nil {
-					return nil, err
-				}
-				pr.Add(tr.Score)
+			for t := 0; t < trials; t++ {
+				pr.Add(scores[next])
+				next++
 			}
 			name := "full"
 			if partial {

@@ -56,26 +56,55 @@ type Fig7Cell struct {
 }
 
 // Fig7 runs the precision/recall sweep over epoch size and detection
-// threshold for each anomaly case.
+// threshold for each anomaly case, fanning trials out across the
+// default worker pool.
 func Fig7(cfg Fig7Config) ([]Fig7Cell, *metrics.Table, error) {
+	return NewRunner(0).Fig7(cfg)
+}
+
+// Fig7 runs the sweep on this runner's pool. Each (scenario, epoch,
+// threshold, seed) point is one independent trial; scores are folded
+// back per cell in seed order, so any worker count renders the same
+// table.
+func (r *Runner) Fig7(cfg Fig7Config) ([]Fig7Cell, *metrics.Table, error) {
+	var cfgs []TrialConfig
+	for _, scen := range AnomalyScenarios() {
+		for _, bits := range cfg.EpochBits {
+			for _, factor := range cfg.Factors {
+				for seed := uint64(1); seed <= uint64(cfg.Trials); seed++ {
+					tc := DefaultTrialConfig(scen, seed)
+					tc.EpochBits = bits
+					tc.RTTFactor = factor
+					cfgs = append(cfgs, tc)
+				}
+			}
+		}
+	}
+	// The sweep only needs the scores; returning them (not the trials)
+	// lets each finished cluster be reclaimed while the sweep runs.
+	scores, err := mapOrdered(r, len(cfgs), func(i int) (metrics.TrialScore, error) {
+		tr, err := RunTrial(cfgs[i])
+		if err != nil {
+			return metrics.TrialScore{}, err
+		}
+		return tr.Score, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var cells []Fig7Cell
 	table := &metrics.Table{
 		Title:   "Fig 7: precision & recall vs epoch size and detection threshold",
 		Headers: []string{"scenario", "epoch", "threshold", "precision", "recall"},
 	}
+	next := 0
 	for _, scen := range AnomalyScenarios() {
 		for _, bits := range cfg.EpochBits {
 			for _, factor := range cfg.Factors {
 				var pr metrics.PR
-				for seed := uint64(1); seed <= uint64(cfg.Trials); seed++ {
-					tc := DefaultTrialConfig(scen, seed)
-					tc.EpochBits = bits
-					tc.RTTFactor = factor
-					tr, err := RunTrial(tc)
-					if err != nil {
-						return nil, nil, err
-					}
-					pr.Add(tr.Score)
+				for t := 0; t < cfg.Trials; t++ {
+					pr.Add(scores[next])
+					next++
 				}
 				cells = append(cells, Fig7Cell{scen, bits, factor, pr})
 				table.AddRow(scen,
@@ -96,17 +125,28 @@ type EvalRun struct {
 }
 
 // RunEval executes `trials` traces per scenario at the default operating
-// point.
+// point, fanned out across the default worker pool.
 func RunEval(trials int) (*EvalRun, error) {
-	run := &EvalRun{Trials: make(map[string][]*Trial)}
+	return NewRunner(0).RunEval(trials)
+}
+
+// RunEval executes the evaluation pass on this runner's pool. Results
+// land in the map in scenario/seed order whatever the worker count, so
+// every downstream figure is identical to the serial pass.
+func (r *Runner) RunEval(trials int) (*EvalRun, error) {
+	var cfgs []TrialConfig
 	for _, scen := range EvalScenarios() {
 		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			tr, err := RunTrial(DefaultTrialConfig(scen, seed))
-			if err != nil {
-				return nil, err
-			}
-			run.Trials[scen] = append(run.Trials[scen], tr)
+			cfgs = append(cfgs, DefaultTrialConfig(scen, seed))
 		}
+	}
+	trs, err := r.runConfigs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	run := &EvalRun{Trials: make(map[string][]*Trial, len(EvalScenarios()))}
+	for i, tr := range trs {
+		run.Trials[cfgs[i].Scenario] = append(run.Trials[cfgs[i].Scenario], tr)
 	}
 	return run, nil
 }

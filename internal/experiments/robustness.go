@@ -22,24 +22,55 @@ func RobustnessSchedule(rate float64) *chaos.Schedule {
 // confidence the diagnoses claimed, and — the invariant that matters —
 // how often a wrong diagnosis was graded high-confidence.
 func RunRobustnessCurve(scenario string, seed uint64, rates []float64, trials int) (*metrics.RobustnessCurve, error) {
+	return NewRunner(0).RunRobustnessCurve(scenario, seed, rates, trials)
+}
+
+// robustnessSample is one trial's contribution to a curve point.
+type robustnessSample struct {
+	score         metrics.TrialScore
+	confidence    float64
+	hasResult     bool
+	highConfWrong bool
+}
+
+// RunRobustnessCurve runs the sweep on this runner's pool. Every
+// (rate, trial) point is an independent trial — the chaos seed derives
+// from the trial seed, not from sweep position — so the folded curve is
+// identical at any worker count.
+func (r *Runner) RunRobustnessCurve(scenario string, seed uint64, rates []float64, trials int) (*metrics.RobustnessCurve, error) {
+	n := len(rates) * trials
+	samples, err := mapOrdered(r, n, func(i int) (robustnessSample, error) {
+		rate := rates[i/trials]
+		cfg := DefaultTrialConfig(scenario, seed+uint64(i%trials))
+		cfg.Chaos = RobustnessSchedule(rate)
+		tr, err := RunTrial(cfg)
+		if err != nil {
+			return robustnessSample{}, err
+		}
+		s := robustnessSample{score: tr.Score}
+		if tr.Score.Result != nil {
+			d := tr.Score.Result.Diagnosis
+			s.hasResult = true
+			s.confidence = d.ConfidenceScore
+			s.highConfWrong = !tr.Score.Correct && d.Confidence == diagnosis.ConfHigh
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	curve := &metrics.RobustnessCurve{Name: scenario}
-	for _, rate := range rates {
+	for ri, rate := range rates {
 		pt := metrics.RobustnessPoint{FaultRate: rate}
 		confSum, confN := 0.0, 0
-		for i := 0; i < trials; i++ {
-			cfg := DefaultTrialConfig(scenario, seed+uint64(i))
-			cfg.Chaos = RobustnessSchedule(rate)
-			tr, err := RunTrial(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pt.PR.Add(tr.Score)
+		for t := 0; t < trials; t++ {
+			s := samples[ri*trials+t]
+			pt.PR.Add(s.score)
 			pt.Trials++
-			if tr.Score.Result != nil {
-				d := tr.Score.Result.Diagnosis
-				confSum += d.ConfidenceScore
+			if s.hasResult {
+				confSum += s.confidence
 				confN++
-				if !tr.Score.Correct && d.Confidence == diagnosis.ConfHigh {
+				if s.highConfWrong {
 					pt.HighConfWrong++
 				}
 			}

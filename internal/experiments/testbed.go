@@ -120,18 +120,27 @@ func RunTestbed(scenario string, seed uint64) (metrics.TrialScore, error) {
 // TestbedTable runs both testbed cases across seeds and renders the
 // validation rows.
 func TestbedTable(trials int) (*metrics.Table, error) {
+	return NewRunner(0).TestbedTable(trials)
+}
+
+// TestbedTable runs the leaf-spine validation on this runner's pool.
+func (r *Runner) TestbedTable(trials int) (*metrics.Table, error) {
+	scens := []string{"incast", "storm"}
+	n := len(scens) * trials
+	scores, err := mapOrdered(r, n, func(i int) (metrics.TrialScore, error) {
+		return RunTestbed(scens[i/trials], uint64(i%trials)+1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &metrics.Table{
 		Title:   "Testbed validation: leaf-spine (2 spines x 2 leaves x 4 hosts)",
 		Headers: []string{"scenario", "precision", "recall"},
 	}
-	for _, scen := range []string{"incast", "storm"} {
+	for si, scen := range scens {
 		var pr metrics.PR
-		for seed := uint64(1); seed <= uint64(trials); seed++ {
-			score, err := RunTestbed(scen, seed)
-			if err != nil {
-				return nil, err
-			}
-			pr.Add(score)
+		for t := 0; t < trials; t++ {
+			pr.Add(scores[si*trials+t])
 		}
 		table.AddRow(scen, fmt.Sprintf("%.2f", pr.Precision()), fmt.Sprintf("%.2f", pr.Recall()))
 	}

@@ -1,0 +1,193 @@
+package perf
+
+import (
+	"runtime"
+	"testing"
+
+	"hawkeye/internal/device"
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+)
+
+// Case is one harness benchmark: a body runnable under testing.B (so the
+// same code serves `go test -bench` and the hawkeye-perf binary via
+// testing.Benchmark). TrialsPerOp > 0 marks sweep benchmarks whose
+// throughput is reported as a trials_per_sec metric.
+type Case struct {
+	Name        string
+	TrialsPerOp int
+	Bench       func(b *testing.B)
+}
+
+// Options sizes the sweep benchmarks.
+type Options struct {
+	EvalTrials int // seeds per scenario for the EvalRun cases
+	Workers    int // pool size for the parallel case; <=0 means GOMAXPROCS
+}
+
+// DefaultOptions keeps the harness fast enough for CI: one seed per
+// scenario is ~5 trials per op, a few seconds of simulated fabric.
+func DefaultOptions() Options { return Options{EvalTrials: 1} }
+
+// Cases returns the harness suite. Names are stable identifiers — the
+// baseline gate matches on them, so renaming one silently drops its gate.
+func Cases(opts Options) []Case {
+	if opts.EvalTrials <= 0 {
+		opts.EvalTrials = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	evalTrialsPerOp := len(experiments.EvalScenarios()) * opts.EvalTrials
+	return []Case{
+		{Name: "sim/engine_schedule_run", Bench: benchEngineScheduleRun},
+		{Name: "sim/engine_churn", Bench: benchEngineChurn},
+		{Name: "telemetry/on_enqueue", Bench: benchTelemetryOnEnqueue},
+		{Name: "telemetry/snapshot_into", Bench: benchTelemetrySnapshotInto},
+		{
+			Name:        "experiments/eval_run_serial",
+			TrialsPerOp: evalTrialsPerOp,
+			Bench:       benchEvalRun(1, opts.EvalTrials),
+		},
+		{
+			Name:        "experiments/eval_run_parallel",
+			TrialsPerOp: evalTrialsPerOp,
+			Bench:       benchEvalRun(workers, opts.EvalTrials),
+		},
+	}
+}
+
+// benchEngineScheduleRun is the simulator's unit cost: schedule one
+// event and dispatch it. With the event free list the steady state must
+// not allocate.
+func benchEngineScheduleRun(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Microsecond, fn)
+		eng.RunAll()
+	}
+	if n != b.N {
+		b.Fatalf("ran %d events, want %d", n, b.N)
+	}
+}
+
+// benchEngineChurn is the mixed workload a trace produces: a standing
+// timer population with interleaved schedule/fire/cancel.
+func benchEngineChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	fn := func() { n++ }
+	var refs [64]sim.EventRef
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(refs)
+		refs[slot].Cancel()
+		refs[slot] = eng.After(sim.Time(1+i%7)*sim.Microsecond, fn)
+		if i%len(refs) == 0 {
+			eng.Run(eng.Now() + 3*sim.Microsecond)
+		}
+	}
+	eng.RunAll()
+}
+
+func benchTelemetryState(b *testing.B) *telemetry.State {
+	b.Helper()
+	var now sim.Time
+	s, err := telemetry.New(telemetry.DefaultConfig(), 1, "sw", 8, 100e9,
+		func() sim.Time { return now }, func(int) int { return 0 })
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchTelemetryOnEnqueue is the per-packet pipeline stage.
+func benchTelemetryOnEnqueue(b *testing.B) {
+	s := benchTelemetryState(b)
+	pkt := &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+		Flow: packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}}
+	ev := device.EnqueueEvent{Pkt: pkt, InPort: 0, OutPort: 1, QueueBytes: 20000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Now = sim.Time(i) * 100
+		ev.Pkt.Flow.SrcPort = uint16(i)
+		s.OnEnqueue(ev)
+	}
+}
+
+// benchTelemetrySnapshotInto is the poller's per-sync register read-out
+// on the buffer-reusing path; after warm-up it must not allocate.
+func benchTelemetrySnapshotInto(b *testing.B) {
+	s := benchTelemetryState(b)
+	for i := 0; i < 512; i++ {
+		s.OnEnqueue(device.EnqueueEvent{
+			Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+				Flow: packet.FiveTuple{SrcIP: uint32(i), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}},
+			InPort: 0, OutPort: 1, QueueBytes: 20000, Now: sim.Time(i) * 100,
+		})
+	}
+	var rep telemetry.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SnapshotInto(&rep, 4)
+	}
+}
+
+// benchEvalRun runs the paper's full evaluation sweep (every scenario x
+// EvalTrials seeds) on a pool of the given size. One op is one sweep.
+func benchEvalRun(workers, trials int) func(b *testing.B) {
+	return func(b *testing.B) {
+		r := experiments.NewRunner(workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunEval(trials); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Run executes a case via testing.Benchmark and converts the result.
+func (c Case) Run() Result {
+	br := testing.Benchmark(c.Bench)
+	res := Result{
+		Name:        c.Name,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		AllocsPerOp: float64(br.MemAllocs) / float64(br.N),
+		BytesPerOp:  float64(br.MemBytes) / float64(br.N),
+		Iterations:  br.N,
+	}
+	if c.TrialsPerOp > 0 && res.NsPerOp > 0 {
+		res.Metrics = map[string]float64{
+			"trials_per_op":  float64(c.TrialsPerOp),
+			"trials_per_sec": float64(c.TrialsPerOp) * 1e9 / res.NsPerOp,
+		}
+	}
+	return res
+}
+
+// AddDerived computes cross-benchmark metrics: the parallel sweep's
+// speedup over the serial one. The paper-scale target is >=3x on 8
+// cores; the gate stays informational because it is machine-dependent.
+func AddDerived(rep *Report) {
+	serial := rep.Find("experiments/eval_run_serial")
+	parallel := rep.Find("experiments/eval_run_parallel")
+	if serial == nil || parallel == nil || parallel.NsPerOp <= 0 {
+		return
+	}
+	if parallel.Metrics == nil {
+		parallel.Metrics = map[string]float64{}
+	}
+	parallel.Metrics["speedup_vs_serial"] = serial.NsPerOp / parallel.NsPerOp
+}

@@ -1,0 +1,129 @@
+// Package perf is the regression-guarded performance harness.
+//
+// It owns the benchmark bodies for the simulator's hot paths (event
+// scheduling, telemetry extraction) and for the trial-level parallel
+// sweep (experiments.Runner), exposes them both to `go test -bench` and
+// to the hawkeye-perf binary via testing.Benchmark, and defines the
+// machine-readable result format (BENCH_experiments.json) plus the
+// tolerance gate CI applies against the committed baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // e.g. trials_per_sec, speedup
+}
+
+// Report is the full harness output.
+type Report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the environment.
+func NewReport() *Report {
+	return &Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+}
+
+// Find returns the named result, or nil.
+func (rep *Report) Find(name string) *Result {
+	for i := range rep.Results {
+		if rep.Results[i].Name == name {
+			return &rep.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(b, rep); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Regression is one gate violation against the baseline.
+type Regression struct {
+	Name     string
+	Metric   string
+	Base     float64
+	Current  float64
+	Increase float64 // fractional, e.g. 0.31 = +31%
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (+%.0f%%, tolerance exceeded)",
+		r.Name, r.Metric, r.Base, r.Current, r.Increase*100)
+}
+
+// Compare gates the current report against a baseline: any benchmark
+// whose ns/op grew by more than tol (fractional, e.g. 0.25) regresses,
+// and so does any pooled path (baseline allocs/op < 0.5) that started
+// allocating — alloc counts are machine-independent, so those are held
+// exactly. Benchmarks present in only one report are ignored, which is
+// what lets the suite grow without invalidating old baselines.
+func Compare(base, cur *Report, tol float64) []Regression {
+	var regs []Regression
+	for _, b := range base.Results {
+		c := cur.Find(b.Name)
+		if c == nil {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			regs = append(regs, Regression{
+				Name: b.Name, Metric: "ns/op",
+				Base: b.NsPerOp, Current: c.NsPerOp,
+				Increase: c.NsPerOp/b.NsPerOp - 1,
+			})
+		}
+		switch {
+		case b.AllocsPerOp < 0.5 && c.AllocsPerOp >= 0.5:
+			regs = append(regs, Regression{
+				Name: b.Name, Metric: "allocs/op",
+				Base: b.AllocsPerOp, Current: c.AllocsPerOp,
+				Increase: c.AllocsPerOp - b.AllocsPerOp,
+			})
+		case b.AllocsPerOp >= 0.5 && c.AllocsPerOp > b.AllocsPerOp*(1+tol):
+			regs = append(regs, Regression{
+				Name: b.Name, Metric: "allocs/op",
+				Base: b.AllocsPerOp, Current: c.AllocsPerOp,
+				Increase: c.AllocsPerOp/b.AllocsPerOp - 1,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

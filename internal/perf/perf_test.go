@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func report(results ...Result) *Report {
+	return &Report{GoMaxProcs: 1, GoVersion: "test", Results: results}
+}
+
+func TestCompareGatesNsPerOp(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 100})
+	if regs := Compare(base, report(Result{Name: "a", NsPerOp: 124}), 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+	regs := Compare(base, report(Result{Name: "a", NsPerOp: 126}), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs = %v, want one ns/op regression", regs)
+	}
+	if regs[0].Increase < 0.25 || regs[0].Increase > 0.27 {
+		t.Fatalf("increase = %v, want ~0.26", regs[0].Increase)
+	}
+}
+
+func TestCompareHoldsZeroAllocPathsExactly(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 100, AllocsPerOp: 0})
+	// A pooled path that starts allocating fails regardless of tolerance.
+	regs := Compare(base, report(Result{Name: "a", NsPerOp: 100, AllocsPerOp: 2}), 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want one allocs/op regression", regs)
+	}
+	// Allocating paths get the fractional tolerance.
+	base = report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 10})
+	if regs := Compare(base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 12}), 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance allocs flagged: %v", regs)
+	}
+	if regs := Compare(base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 13}), 0.25); len(regs) != 1 {
+		t.Fatalf("regs = %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareIgnoresMissingBenchmarks(t *testing.T) {
+	base := report(Result{Name: "gone", NsPerOp: 1}, Result{Name: "kept", NsPerOp: 100})
+	cur := report(Result{Name: "kept", NsPerOp: 90}, Result{Name: "new", NsPerOp: 1e9})
+	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("suite growth flagged: %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := NewReport()
+	rep.Results = []Result{
+		{Name: "a", NsPerOp: 12.5, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 1000},
+		{Name: "b", NsPerOp: 4e9, Iterations: 1, Metrics: map[string]float64{"trials_per_sec": 1.25}},
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, rep)
+	}
+}
+
+func TestAddDerivedSpeedup(t *testing.T) {
+	rep := report(
+		Result{Name: "experiments/eval_run_serial", NsPerOp: 4e9},
+		Result{Name: "experiments/eval_run_parallel", NsPerOp: 1e9},
+	)
+	AddDerived(rep)
+	got := rep.Find("experiments/eval_run_parallel").Metrics["speedup_vs_serial"]
+	if got < 3.99 || got > 4.01 {
+		t.Fatalf("speedup = %v, want 4", got)
+	}
+}
+
+// BenchmarkHarness exposes the harness suite to `go test -bench` so the
+// same bodies hawkeye-perf measures are runnable interactively.
+func BenchmarkHarness(b *testing.B) {
+	for _, c := range Cases(DefaultOptions()) {
+		b.Run(c.Name, c.Bench)
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// TestEngineScheduleRunZeroAlloc pins the event free list's contract: once
+// the pool is warm, a schedule+dispatch cycle allocates nothing. This is
+// the regression guard behind BenchmarkEngineScheduleRun's allocs/op.
+func TestEngineScheduleRunZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		eng.After(Microsecond, fn)
+	}
+	eng.RunAll()
+	avg := testing.AllocsPerRun(1000, func() {
+		eng.After(Microsecond, fn)
+		eng.RunAll()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+run allocates %.2f objects/op, want 0 (event pool)", avg)
+	}
+}
+
+// TestEngineCancelledEventsRecycle pins that cancelled events also return
+// to the pool instead of leaking through the heap.
+func TestEngineCancelledEventsRecycle(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.After(Microsecond, fn).Cancel()
+	}
+	eng.RunAll()
+	avg := testing.AllocsPerRun(1000, func() {
+		eng.After(Microsecond, fn).Cancel()
+		eng.RunAll()
+	})
+	if avg != 0 {
+		t.Fatalf("cancel+drain allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestEventRefInertAfterRecycle guards the generation counter: a ref to a
+// fired event must stay inert even after the engine reuses the slot for a
+// newer event — cancelling through the stale ref must not kill the new one.
+func TestEventRefInertAfterRecycle(t *testing.T) {
+	eng := NewEngine()
+	stale := eng.At(1, func() {})
+	eng.RunAll()
+	fired := false
+	fresh := eng.At(2, func() { fired = true })
+	if stale.Pending() {
+		t.Fatal("stale ref reports pending after its event fired")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale ref cancelled a recycled slot")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost")
+	}
+	eng.RunAll()
+	if !fired {
+		t.Fatal("fresh event did not fire — stale ref leaked into the new generation")
+	}
+}
+
+// TestEngineHeapProperty stresses the 4-ary heap against a reference
+// ordering: random interleaved schedules must still fire in (time, seq)
+// order.
+func TestEngineHeapProperty(t *testing.T) {
+	eng := NewEngine()
+	r := NewRand(99)
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var fired []stamp
+	seq := 0
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		at := eng.Now() + Time(r.Intn(1000))
+		mySeq := seq
+		seq++
+		eng.At(at, func() {
+			fired = append(fired, stamp{eng.Now(), mySeq})
+			if depth < 3 && r.Intn(4) == 0 {
+				schedule(depth + 1)
+			}
+		})
+	}
+	for i := 0; i < 5000; i++ {
+		schedule(0)
+	}
+	eng.RunAll()
+	if len(fired) < 5000 {
+		t.Fatalf("fired %d events, want >= 5000", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i].at < fired[i-1].at {
+			t.Fatalf("event %d fired at %v after %v", i, fired[i].at, fired[i-1].at)
+		}
+	}
+	if int(eng.Processed) != len(fired) {
+		t.Fatalf("Processed = %d, fired = %d", eng.Processed, len(fired))
+	}
+}

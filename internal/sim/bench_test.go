@@ -4,14 +4,17 @@ import "testing"
 
 // BenchmarkEngineScheduleRun measures raw event throughput: schedule +
 // dispatch of one event (the simulator's unit cost; a packet-level trace
-// is tens of millions of these).
+// is tens of millions of these). The handler is hoisted so the measured
+// loop exercises only the scheduler; with the event free list the steady
+// state must not allocate at all.
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	eng := NewEngine()
+	n := 0
+	fn := func() { n++ }
 	b.ReportAllocs()
 	b.ResetTimer()
-	n := 0
 	for i := 0; i < b.N; i++ {
-		eng.After(Microsecond, func() { n++ })
+		eng.After(Microsecond, fn)
 		eng.RunAll()
 	}
 	if n != b.N {
@@ -23,13 +26,34 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 func BenchmarkEngineHeapDepth(b *testing.B) {
 	eng := NewEngine()
 	n := 0
+	fn := func() { n++ }
 	for i := 0; i < 10_000; i++ {
-		eng.At(Time(i)*Microsecond, func() { n++ })
+		eng.At(Time(i)*Microsecond, fn)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.At(Time(i%10_000)*Microsecond+Second, func() { n++ })
+		eng.At(Time(i%10_000)*Microsecond+Second, fn)
+	}
+	eng.RunAll()
+}
+
+// BenchmarkEngineChurn is the mixed workload a trace actually produces:
+// a standing population of timers with interleaved schedule/fire/cancel.
+func BenchmarkEngineChurn(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	var refs [64]EventRef
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(refs)
+		refs[slot].Cancel()
+		refs[slot] = eng.After(Time(1+i%7)*Microsecond, fn)
+		if i%len(refs) == 0 {
+			eng.Run(eng.Now() + 3*Microsecond)
+		}
 	}
 	eng.RunAll()
 }

@@ -37,7 +37,29 @@ func BenchmarkTelemetryOnEnqueue(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetrySnapshot measures the poller's per-sync register
+// read-out on the buffer-reusing path (SnapshotInto): after the first
+// sync warms the report's buffers, extraction must not allocate.
 func BenchmarkTelemetrySnapshot(b *testing.B) {
+	s := benchState(b)
+	for i := 0; i < 512; i++ {
+		s.OnEnqueue(device.EnqueueEvent{
+			Pkt: &packet.Packet{Type: packet.TypeData, Class: packet.ClassLossless, Size: 1078,
+				Flow: packet.FiveTuple{SrcIP: uint32(i), DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17}},
+			InPort: 0, OutPort: 1, QueueBytes: 20000, Now: sim.Time(i) * 100,
+		})
+	}
+	var rep Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SnapshotInto(&rep, 4)
+	}
+}
+
+// BenchmarkTelemetrySnapshotFresh is the allocating variant: one new
+// report per sync, the cost callers pay when the report is retained.
+func BenchmarkTelemetrySnapshotFresh(b *testing.B) {
 	s := benchState(b)
 	for i := 0; i < 512; i++ {
 		s.OnEnqueue(device.EnqueueEvent{

@@ -41,19 +41,37 @@ type Report struct {
 }
 
 // Snapshot extracts up to epochsWanted recent epochs, filtering zero
-// slots exactly as the controller poller does (§3.4, Fig. 14).
+// slots exactly as the controller poller does (§3.4, Fig. 14). The
+// returned report is freshly allocated and owned by the caller; hot
+// loops that discard each report should use SnapshotInto instead.
 func (s *State) Snapshot(epochsWanted int) *Report {
+	r := &Report{}
+	s.SnapshotInto(r, epochsWanted)
+	return r
+}
+
+// SnapshotInto extracts the same report as Snapshot but reuses r's
+// epoch/flow/port/meter/status buffers across calls instead of
+// re-making them, so a poller draining one switch every epoch settles
+// at zero allocations per sync. The caller owns r and must not retain
+// views into it across calls.
+func (s *State) SnapshotInto(r *Report, epochsWanted int) {
 	if epochsWanted <= 0 || epochsWanted > s.Cfg.NumEpochs {
 		epochsWanted = s.Cfg.NumEpochs
 	}
-	r := &Report{
-		Switch:    s.Switch,
-		Name:      s.Name,
-		Taken:     s.now(),
-		NumPorts:  s.numPorts,
-		NumEpochs: s.Cfg.NumEpochs,
-		FlowSlots: s.Cfg.FlowSlots,
-	}
+	// Previous epoch buffers stay reachable through the capacity of
+	// r.Epochs; hand their flow/port arrays to the entries of this sync.
+	prev := r.Epochs[:cap(r.Epochs)]
+	r.Switch = s.Switch
+	r.Name = s.Name
+	r.Taken = s.now()
+	r.NumPorts = s.numPorts
+	r.NumEpochs = s.Cfg.NumEpochs
+	r.FlowSlots = s.Cfg.FlowSlots
+	r.Epochs = r.Epochs[:0]
+	r.Meter = r.Meter[:0]
+	r.Status = r.Status[:0]
+	reused := 0
 	for _, ve := range s.validEpochs(epochsWanted) {
 		if s.faults != nil && s.faults.DropEpoch(s.Switch, ve.idx) {
 			// Epoch-ring read failure: the slot's data never reaches the
@@ -62,6 +80,11 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 		}
 		ep := &s.epochs[ve.idx]
 		data := EpochData{Ring: ve.idx, ID: ep.id, Start: ve.start}
+		if reused < len(prev) {
+			data.Flows = prev[reused].Flows[:0]
+			data.Ports = prev[reused].Ports[:0]
+			reused++
+		}
 		for i := range ep.flows {
 			if ep.flows[i].PktCount > 0 {
 				data.Flows = append(data.Flows, ep.flows[i])
@@ -81,7 +104,9 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 			if b := s.meterCur[i] + s.meterPrev[i]; b > 0 {
 				rec := MeterRecord{InPort: in, OutPort: out, Bytes: b}
 				if s.faults != nil {
-					s.faults.CorruptMeter(s.Switch, &rec)
+					// Out-of-line so &rec escapes only on fault-injected
+					// runs; inline it and every record heap-allocates.
+					rec = s.corruptMeter(rec)
 				}
 				if rec.Bytes > 0 {
 					r.Meter = append(r.Meter, rec)
@@ -100,7 +125,12 @@ func (s *State) Snapshot(epochsWanted int) *Report {
 			s.faults.CorruptStatus(s.Switch, &r.Status[i])
 		}
 	}
-	return r
+}
+
+//go:noinline
+func (s *State) corruptMeter(rec MeterRecord) MeterRecord {
+	s.faults.CorruptMeter(s.Switch, &rec)
+	return rec
 }
 
 // Wire sizes of each record kind (bytes), used both by the codec and by

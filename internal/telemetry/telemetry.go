@@ -16,7 +16,6 @@ package telemetry
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"hawkeye/internal/device"
 	"hawkeye/internal/packet"
@@ -178,6 +177,11 @@ type State struct {
 	idShift   uint
 	idxMask   uint64
 	Evictions uint64
+
+	// veScratch backs validEpochs so the per-poll recency checks and
+	// snapshot extraction do not allocate; the returned slices alias it
+	// and are only valid until the next call.
+	veScratch []validEpoch
 
 	// faults, when set, degrades snapshot extraction (chaos engine).
 	faults Faults
@@ -376,7 +380,10 @@ type validEpoch struct {
 }
 
 // validEpochs returns the ring slots holding self-consistent data,
-// newest first, up to maxN entries. A slot's (index, epoch-ID) pair
+// newest first, up to maxN entries. The result aliases a scratch buffer
+// owned by the State and is valid only until the next call — this runs
+// once per polling packet, so it must not allocate.
+// A slot's (index, epoch-ID) pair
 // reconstructs the epoch's start time, so stale slots are recognized
 // without any extra state — and, like real registers, a slot written
 // before a traffic freeze keeps its evidence until something overwrites
@@ -387,7 +394,7 @@ type validEpoch struct {
 func (s *State) validEpochs(maxN int) []validEpoch {
 	now := uint64(s.now())
 	idxBits := s.idShift - s.idxShift
-	var out []validEpoch
+	out := s.veScratch[:0]
 	for idx := 0; idx < s.Cfg.NumEpochs; idx++ {
 		id := s.epochs[idx].id
 		if id == epochIDInvalid {
@@ -399,7 +406,18 @@ func (s *State) validEpochs(maxN int) []validEpoch {
 		}
 		out = append(out, validEpoch{idx: idx, start: sim.Time(start)})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].start > out[j].start })
+	// Insertion sort, newest first: the ring holds at most NumEpochs
+	// entries (typically 4) and sort.Slice's closure would allocate.
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && out[j].start < v.start {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	s.veScratch = out[:0]
 	if maxN > 0 && len(out) > maxN {
 		out = out[:maxN]
 	}
