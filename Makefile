@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -40,6 +40,17 @@ recovery-smoke:
 	$(GO) test -race ./internal/fleetstore/wal
 	$(GO) test -race -run 'TestOpen|TestReopen|TestCheckpoint|TestSnapshot|TestEviction|TestReplay' ./internal/fleetstore
 	$(GO) test -race -run 'TestShed|TestThrottle|TestClose|TestDrain|TestHealth|TestServerRestart' ./internal/analyzd
+
+# fuzz-smoke runs every native fuzz target for 10s over the committed
+# corpora (testdata/fuzz/) plus fresh mutations — the hostile-input
+# gate. A finding is committed back as a corpus seed so it replays
+# deterministically forever after.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzReadFrame$$' -fuzztime=10s -run='^$$' ./internal/wire
+	$(GO) test -fuzz='^FuzzHello$$' -fuzztime=10s -run='^$$' ./internal/wire
+	$(GO) test -fuzz='^FuzzDecodeReport$$' -fuzztime=10s -run='^$$' ./internal/telemetry
+	$(GO) test -fuzz='^FuzzIncidentQuery$$' -fuzztime=10s -run='^$$' ./internal/analyzd
+	$(GO) test -fuzz='^FuzzWALRecord$$' -fuzztime=10s -run='^$$' ./internal/fleetstore/wal
 
 # bench is the perf gate: run the harness suite (sim hot paths,
 # telemetry extraction, serial + parallel EvalRun sweeps) and fail on a

@@ -31,9 +31,18 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9393", "TCP listen address")
 	dataDir := flag.String("data-dir", "", "durable fleet store directory (empty = in-memory)")
+	readTimeout := flag.Duration("read-timeout", 0,
+		"per-frame read deadline for fabric sessions (0 = no deadline)")
+	maxStrikes := flag.Int("max-strikes", 0,
+		fmt.Sprintf("malformed/rejected frames before a session is quarantined (0 = default %d, negative = never)",
+			analyzd.DefaultMaxStrikes))
 	flag.Parse()
 
-	s, err := analyzd.ListenOpts(*listen, analyzd.Options{DataDir: *dataDir})
+	s, err := analyzd.ListenOpts(*listen, analyzd.Options{
+		DataDir:     *dataDir,
+		ReadTimeout: *readTimeout,
+		MaxStrikes:  *maxStrikes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hawkeye-analyzer:", err)
 		os.Exit(1)
@@ -64,4 +73,6 @@ func main() {
 		st.Ingested, st.Dropped, st.Evicted, st.Incidents, st.OpenIncidents)
 	fmt.Printf("admission: shed %d subscriptions, %d queries; %d WAL errors\n",
 		st.ShedSubscriptions, st.ShedQueries, st.WALErrors)
+	fmt.Printf("hostile input: %d decode errors, %d rejected reports, %d clamped values, %d sessions quarantined\n",
+		st.DecodeErrors, st.RejectedReports, st.ClampedValues, st.QuarantinedSessions)
 }

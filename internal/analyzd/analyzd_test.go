@@ -158,16 +158,38 @@ func TestReportForUnknownSwitchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	// A report claiming a switch ID beyond the handshaken topology.
-	if err := wire.WriteFrame(c.conn, wire.MsgReport, garbageReport(t)); err != nil {
+	// Reports claiming a switch ID beyond the handshaken topology are
+	// rejected silently — a push has no reply slot — and charged against
+	// the strike budget. The session survives within the budget...
+	garbage := garbageReport(t)
+	for i := 0; i < DefaultMaxStrikes-1; i++ {
+		if err := wire.WriteFrame(c.conn, wire.MsgReport, garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("session dead before budget exhausted: %v", err)
+	}
+	if st := s.Stats(); st.RejectedReports != DefaultMaxStrikes-1 || st.QuarantinedSessions != 0 {
+		t.Fatalf("rejected=%d quarantined=%d before budget", st.RejectedReports, st.QuarantinedSessions)
+	}
+	// ...and the strike that exhausts it draws the quarantine MsgError
+	// and a dropped connection.
+	if err := wire.WriteFrame(c.conn, wire.MsgReport, garbage); err != nil {
 		t.Fatal(err)
 	}
-	mt, _, err := wire.ReadFrame(c.conn)
+	mt, payload, err := wire.ReadFrame(c.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mt != wire.MsgError {
-		t.Fatalf("reply type %d, want error", mt)
+	if mt != wire.MsgError || !strings.Contains(string(payload), "quarantined") {
+		t.Fatalf("reply type %d payload %q, want quarantine error", mt, payload)
+	}
+	if _, _, err := wire.ReadFrame(c.conn); err == nil {
+		t.Fatal("quarantined session still open")
+	}
+	if st := s.Stats(); st.QuarantinedSessions != 1 {
+		t.Fatalf("QuarantinedSessions = %d, want 1", st.QuarantinedSessions)
 	}
 }
 

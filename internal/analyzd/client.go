@@ -231,12 +231,14 @@ func (c *Client) request(mt wire.MsgType, payload []byte) (wire.MsgType, []byte,
 			lastErr = err
 			continue
 		}
+	read:
 		rt, rp, err := wire.ReadFrame(c.conn)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if rt == wire.MsgThrottle {
+		switch {
+		case rt == wire.MsgThrottle:
 			var th wire.Throttle
 			_ = json.Unmarshal(rp, &th)
 			lastErr = fmt.Errorf("analyzd: %s tier shed the request: %w", th.Tier, ErrThrottled)
@@ -245,6 +247,16 @@ func (c *Client) request(mt wire.MsgType, payload []byte) (wire.MsgType, []byte,
 			}
 			throttled = true
 			continue
+		case rt == wire.MsgShutdown:
+			// The server is draining: the session is over and a redial
+			// would only hit the same refusal. Surface the typed error so
+			// callers do not mistake the goodbye for their reply.
+			return 0, nil, ErrServerDraining
+		case !wire.Known(rt):
+			// A newer server may interleave frames we do not speak; our
+			// reply is still coming. Skipping keeps the reply attributed to
+			// the right request instead of failing on the stranger.
+			goto read
 		}
 		return rt, rp, nil
 	}

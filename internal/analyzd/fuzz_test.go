@@ -1,0 +1,38 @@
+package analyzd
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hawkeye/internal/fleetstore"
+	"hawkeye/internal/wire"
+)
+
+// FuzzIncidentQuery runs arbitrary operator query payloads through the
+// same path the server uses: JSON decode, wire→store conversion, then
+// the query itself against a store. Malformed payloads must come back
+// as errors, never as panics or as queries the store chokes on.
+func FuzzIncidentQuery(f *testing.F) {
+	f.Add([]byte(`{"fabric":"prod","type":"pfc-storm","node":3,"limit":10}`))
+	f.Add([]byte(`{"node":-1}`))
+	f.Add([]byte(`{"type":"no-such-type"}`))
+	f.Add([]byte(`{"fromNs":-9223372036854775808,"toNs":9223372036854775807}`))
+	f.Add([]byte(`{"limit":-40,"node":2147483647}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`not json`))
+
+	st := fleetstore.New(fleetstore.Config{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wq wire.IncidentQuery
+		if err := json.Unmarshal(data, &wq); err != nil {
+			return
+		}
+		q, err := queryFromWire(wq)
+		if err != nil {
+			return
+		}
+		// A query that passed conversion must be safe to execute.
+		_ = st.Incidents(q)
+	})
+}

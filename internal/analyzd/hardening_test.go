@@ -1,0 +1,233 @@
+package analyzd
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hawkeye/internal/chaos"
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/wire"
+	"hawkeye/internal/workload"
+)
+
+// fakeServer accepts one connection, answers the handshake, then hands
+// the session to script. It stands in for a server whose mid-query
+// behavior the client must survive.
+func fakeServer(t *testing.T, script func(conn net.Conn)) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			return
+		}
+		if err := wire.WriteFrame(conn, wire.MsgHelloOK, nil); err != nil {
+			return
+		}
+		script(conn)
+	}()
+	return lis.Addr().String()
+}
+
+// noRetry keeps these tests single-shot: a redial against the one-shot
+// fake server would just hang the test.
+func noRetry() RetryConfig {
+	rc := DefaultRetryConfig()
+	rc.MaxAttempts = 1
+	return rc
+}
+
+// TestClientShutdownMidQuery: a MsgShutdown frame arriving where the
+// reply should be is the server draining — the client must surface the
+// typed error, not hang and not parse the goodbye as a health reply.
+func TestClientShutdownMidQuery(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.MsgShutdown, nil)
+	})
+	c, err := DialOperatorRetry(addr, noRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Health()
+	if !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("health during drain: %v, want ErrServerDraining", err)
+	}
+}
+
+// TestClientErrorMidQuery: a MsgError reply must come back as a clean
+// error naming the server's complaint.
+func TestClientErrorMidQuery(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.MsgError, []byte("deliberate refusal"))
+	})
+	c, err := DialOperatorRetry(addr, noRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Health()
+	if err == nil || !strings.Contains(err.Error(), "deliberate refusal") {
+		t.Fatalf("error reply mangled: %v", err)
+	}
+}
+
+// TestClientSkipsUnknownFrameBeforeReply: a frame type from a newer
+// server interleaved before the reply must be skipped, with the real
+// reply still attributed to the request.
+func TestClientSkipsUnknownFrameBeforeReply(t *testing.T) {
+	addr := fakeServer(t, func(conn net.Conn) {
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			return
+		}
+		_ = wire.WriteFrame(conn, wire.MsgType(200), []byte("from the future"))
+		_ = wire.WriteFrame(conn, wire.MsgHealthReply, []byte(`{"state":"serving"}`))
+	})
+	c, err := DialOperatorRetry(addr, noRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != "serving" {
+		t.Fatalf("reply misattributed: %+v", h)
+	}
+}
+
+// TestReadTimeoutDropsStalledSession: with a read deadline configured, a
+// peer that never sends its next frame is cut loose instead of pinning a
+// handler goroutine.
+func TestReadTimeoutDropsStalledSession(t *testing.T) {
+	s, err := ListenOpts("127.0.0.1:0", Options{ReadTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, s.Addr())
+	h := helloFor(t, smallTopo(t))
+	if err := wire.WriteJSON(conn, wire.MsgHello, h); err != nil {
+		t.Fatal(err)
+	}
+	if mt, _, err := wire.ReadFrame(conn); err != nil || mt != wire.MsgHelloOK {
+		t.Fatalf("handshake: type=%d err=%v", mt, err)
+	}
+	// Send nothing. The server must hang up on its own.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("server kept the stalled session open")
+			}
+			return // closed by the server: the deadline fired
+		}
+	}
+}
+
+// TestCorruptedStreamDoesNotKillServer drives real telemetry through a
+// bit-flipping proxy. Wherever the flips land — length prefixes, type
+// bytes, payloads — the affected session may die, but the server must
+// absorb it and keep answering clean sessions.
+func TestCorruptedStreamDoesNotKillServer(t *testing.T) {
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t)
+	epochNS := int64(tr.Sys.Cfg.Telemetry.EpochSize())
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		p, err := chaos.NewFlakyProxy("127.0.0.1:0", s.Addr(),
+			chaos.FlakyConfig{CorruptEveryNth: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Errors anywhere here are expected — a flipped bit in the hello
+		// or a length prefix legitimately kills that session. What is
+		// never acceptable is the server going down with it.
+		if c, err := Dial(p.Addr(), tr.Cl.Topo, epochNS); err == nil {
+			for _, rep := range tr.View.Traced {
+				if err := c.SendReport(rep); err != nil {
+					break
+				}
+			}
+			c.Close()
+		}
+		p.Close()
+	}
+
+	c, err := Dial(s.Addr(), tr.Cl.Topo, epochNS)
+	if err != nil {
+		t.Fatalf("clean dial after corrupted sessions: %v", err)
+	}
+	defer c.Close()
+	h, err := c.Health()
+	if err != nil || h.State != "serving" {
+		t.Fatalf("server unhealthy after corrupted streams: %+v err=%v", h, err)
+	}
+}
+
+// TestRejectedReportDegradesDiagnosis wires the accounting end to end:
+// after honest telemetry plus one garbage report, the verdict still
+// stands but names the rejection and cannot be high-confidence.
+func TestRejectedReportDegradesDiagnosis(t *testing.T) {
+	tr, err := experiments.RunTrial(experiments.DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(t)
+	c, err := Dial(s.Addr(), tr.Cl.Topo, int64(tr.Sys.Cfg.Telemetry.EpochSize()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, rep := range tr.View.Traced {
+		if err := c.SendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wire.WriteFrame(c.conn, wire.MsgReport, garbageReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Diagnose(tr.Score.Result.Trigger.Victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != tr.Score.Result.Diagnosis.Type.String() {
+		t.Fatalf("verdict changed under rejection: %s", d.Type)
+	}
+	if d.Confidence == "high" {
+		t.Fatalf("rejected report left confidence high (%.2f)", d.Score)
+	}
+	found := false
+	for _, m := range d.Missing {
+		if strings.Contains(m, "rejected") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rejection invisible in diagnosis: %v", d.Missing)
+	}
+	if st := s.Stats(); st.RejectedReports != 1 {
+		t.Fatalf("RejectedReports = %d, want 1", st.RejectedReports)
+	}
+}

@@ -62,7 +62,20 @@ type Options struct {
 	ShedQueriesAt       float64
 	// RetryAfterMs is the delay hint in throttle replies (0 = 50).
 	RetryAfterMs int64
+	// ReadTimeout / WriteTimeout bound each frame read and write on a
+	// session; zero disables (operator sessions legitimately idle between
+	// queries, so the default is off and the daemon flag opts in).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxStrikes is the per-session decode-error budget: a session whose
+	// frames keep failing decode or admission validation is quarantined —
+	// told why with a MsgError and dropped (0 = default 8, <0 = never).
+	MaxStrikes int
 }
+
+// DefaultMaxStrikes is the per-session decode-error budget when Options
+// leaves MaxStrikes zero.
+const DefaultMaxStrikes = 8
 
 // Server accepts analyzer sessions.
 type Server struct {
@@ -95,9 +108,20 @@ type Server struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	maxStrikes   int
+
 	sessions  atomic.Uint64
 	reports   atomic.Uint64
 	diagnoses atomic.Uint64
+	// Hostile-input accounting: frames that failed decode, reports that
+	// failed admission validation, values sanitization clamped, and
+	// sessions dropped for exhausting their strike budget.
+	decodeErrors    atomic.Uint64
+	rejectedReports atomic.Uint64
+	clampedValues   atomic.Uint64
+	quarantined     atomic.Uint64
 }
 
 // Stats is a snapshot of server activity.
@@ -125,6 +149,15 @@ type Stats struct {
 	WALErrors uint64
 	// Replayed counts records recovered from the WAL at startup.
 	Replayed int
+	// Hostile-input counters. DecodeErrors are frames that failed binary
+	// decode; RejectedReports failed semantic admission against the
+	// session's own handshake topology; ClampedValues are implausible
+	// magnitudes sanitization pulled back; QuarantinedSessions exhausted
+	// their strike budget and were dropped.
+	DecodeErrors        uint64
+	RejectedReports     uint64
+	ClampedValues       uint64
+	QuarantinedSessions uint64
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") with a default
@@ -146,6 +179,12 @@ func ListenOpts(addr string, o Options) (*Server, error) {
 		DiagnosisConfig: diagnosis.DefaultConfig(),
 		adm:             newAdmission(o.ShedSubscriptionsAt, o.ShedQueriesAt, o.RetryAfterMs),
 		conns:           make(map[net.Conn]struct{}),
+		readTimeout:     o.ReadTimeout,
+		writeTimeout:    o.WriteTimeout,
+		maxStrikes:      o.MaxStrikes,
+	}
+	if s.maxStrikes == 0 {
+		s.maxStrikes = DefaultMaxStrikes
 	}
 	s.state.Store(int32(StateStarting))
 
@@ -209,6 +248,11 @@ func (s *Server) Stats() Stats {
 		ShedQueries:       s.adm.shedQueries.Load(),
 		WALErrors:         fc.WALErrors,
 		Replayed:          s.fleet.ReplayedRecords(),
+
+		DecodeErrors:        s.decodeErrors.Load(),
+		RejectedReports:     s.rejectedReports.Load(),
+		ClampedValues:       s.clampedValues.Load(),
+		QuarantinedSessions: s.quarantined.Load(),
 	}
 }
 
@@ -313,12 +357,28 @@ type session struct {
 	// writeMu serializes frames from the request/reply loop with
 	// asynchronously pushed incident events.
 	writeMu sync.Mutex
+	// writeTimeout bounds each frame write (zero = none).
+	writeTimeout time.Duration
 
 	// fabric names this session in the fleet store.
 	fabric string
 	// topo is nil for operator sessions (query/subscribe only).
 	topo    *topo.Topology
 	epochNS int64
+	// validator admits reports against the handshake-declared topology;
+	// lim bounds plausible magnitudes for sanitization. Both nil/zero on
+	// operator sessions.
+	validator *wire.Validator
+	lim       telemetry.Limits
+	// strikes counts decode/admission failures toward quarantine.
+	// rejected/rejectedUnknown and clamped carry the per-session hostile
+	// accounting into Coverage at diagnosis time, so a verdict says
+	// "switch 3 was heard from and disbelieved" instead of "switch 3 was
+	// silent".
+	strikes         int
+	rejected        map[topo.NodeID]int
+	rejectedUnknown int
+	clamped         int
 	// reports keeps the freshest report per switch.
 	reports map[topo.NodeID]*telemetry.Report
 	// history records completed diagnoses for incident grouping (trigger
@@ -331,6 +391,10 @@ type session struct {
 func (sess *session) write(t wire.MsgType, payload []byte) error {
 	sess.writeMu.Lock()
 	defer sess.writeMu.Unlock()
+	if sess.writeTimeout > 0 {
+		_ = sess.conn.SetWriteDeadline(time.Now().Add(sess.writeTimeout))
+		defer sess.conn.SetWriteDeadline(time.Time{})
+	}
 	return wire.WriteFrame(sess.conn, t, payload)
 }
 
@@ -343,11 +407,23 @@ func (sess *session) writeJSON(t wire.MsgType, v any) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	sess := &session{conn: conn}
+	sess := &session{conn: conn, writeTimeout: s.writeTimeout}
 	sendErr := func(msg string) { _ = sess.write(wire.MsgError, []byte(msg)) }
+	// readFrame applies the per-frame read deadline: a peer that stops
+	// mid-frame (or never sends one) is cut loose instead of pinning a
+	// handler goroutine forever.
+	readFrame := func() (wire.MsgType, []byte, error) {
+		// Subscribed sessions idle by design — their traffic flows the
+		// other way — so the per-frame deadline only polices sessions that
+		// owe us frames.
+		if s.readTimeout > 0 && sess.sub == nil {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		return wire.ReadFrame(conn)
+	}
 
 	// Handshake first: nothing else is meaningful without it.
-	t, payload, err := wire.ReadFrame(conn)
+	t, payload, err := readFrame()
 	if err != nil {
 		return
 	}
@@ -355,13 +431,9 @@ func (s *Server) handle(conn net.Conn) {
 		sendErr("expected hello")
 		return
 	}
-	var hello wire.Hello
-	if err := json.Unmarshal(payload, &hello); err != nil {
-		sendErr(fmt.Sprintf("bad hello: %v", err))
-		return
-	}
-	if hello.Version != wire.ProtocolVersion {
-		sendErr(fmt.Sprintf("protocol version %d, want %d", hello.Version, wire.ProtocolVersion))
+	hello, err := wire.ParseHello(payload)
+	if err != nil {
+		sendErr(err.Error())
 		return
 	}
 	sess.fabric = hello.Fabric
@@ -383,6 +455,9 @@ func (s *Server) handle(conn net.Conn) {
 		sess.topo = tp
 		sess.epochNS = hello.EpochNS
 		sess.reports = make(map[topo.NodeID]*telemetry.Report)
+		sess.validator = wire.NewValidator(tp)
+		sess.lim = telemetry.LimitsFor(tp.LinkBandwidth, hello.EpochNS)
+		sess.rejected = make(map[topo.NodeID]int)
 	}
 	if err := sess.write(wire.MsgHelloOK, nil); err != nil {
 		return
@@ -394,7 +469,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	for {
-		t, payload, err := wire.ReadFrame(conn)
+		t, payload, err := readFrame()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				sendErr(err.Error())
@@ -405,6 +480,23 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// strike charges one decode/admission failure against the session's
+// budget. Within budget the session survives — and, crucially, gets no
+// MsgError: report pushes have no reply slot, so an unsolicited error
+// frame would be misread as the answer to the session's next request.
+// Budget exhausted, the session is quarantined: told why, counted, and
+// dropped.
+func (s *Server) strike(sess *session) bool {
+	sess.strikes++
+	if s.maxStrikes > 0 && sess.strikes >= s.maxStrikes {
+		s.quarantined.Add(1)
+		_ = sess.write(wire.MsgError, []byte(fmt.Sprintf(
+			"session quarantined: %d malformed or rejected frames", sess.strikes)))
+		return false
+	}
+	return true
 }
 
 // throttle refuses a sheddable request with a backpressure reply; the
@@ -427,12 +519,22 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		}
 		rep := &telemetry.Report{}
 		if err := rep.UnmarshalBinary(payload); err != nil {
-			sendErr(fmt.Sprintf("bad report: %v", err))
-			return false
+			s.decodeErrors.Add(1)
+			return s.strike(sess)
 		}
-		if int(rep.Switch) >= len(sess.topo.Nodes) {
-			sendErr(fmt.Sprintf("report for unknown switch %d", rep.Switch))
-			return false
+		if err := sess.validator.CheckReport(rep); err != nil {
+			s.rejectedReports.Add(1)
+			var re *wire.ReportError
+			if errors.As(err, &re) && re.SwitchKnown {
+				sess.rejected[re.Switch]++
+			} else {
+				sess.rejectedUnknown++
+			}
+			return s.strike(sess)
+		}
+		if n := telemetry.SanitizeReport(rep, sess.lim); n > 0 {
+			s.clampedValues.Add(uint64(n))
+			sess.clamped += n
 		}
 		sess.reports[rep.Switch] = rep
 		s.reports.Add(1)
@@ -563,6 +665,18 @@ func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wir
 	sortReports(reports)
 	cfg := provenance.DefaultConfig(sess.topo.LinkBandwidth, sess.epochNS)
 	g := provenance.Build(cfg, reports, sess.topo)
+	// Fold this session's hostile-input history into Coverage before the
+	// verdict: a rejected switch was heard from and disbelieved, which
+	// reads very differently from a switch that never reported.
+	for sw, n := range sess.rejected {
+		for i := 0; i < n; i++ {
+			g.Coverage.NoteRejected(sw)
+		}
+	}
+	for i := 0; i < sess.rejectedUnknown; i++ {
+		g.Coverage.NoteRejected(-1)
+	}
+	g.Coverage.Clamped += sess.clamped
 	d := diagnosis.Diagnose(s.DiagnosisConfig, g, sess.topo, victim)
 	res := &core.Result{
 		Trigger:   host.Trigger{Victim: victim, At: sim.Time(atNS)},

@@ -2,6 +2,9 @@ package chaos
 
 import (
 	"bufio"
+	"bytes"
+	"io"
+	"math/bits"
 	"net"
 	"reflect"
 	"testing"
@@ -325,6 +328,77 @@ func TestFlakyProxyResets(t *testing.T) {
 	}
 	if p.Resets() != 2 {
 		t.Fatalf("Resets = %d, want 2", p.Resets())
+	}
+}
+
+// TestFlakyProxyCorruptsChunks: with CorruptEveryNth set, forwarded
+// data arrives altered — exactly one bit per due chunk — and the same
+// seed flips the same bits, so a corruption-triggered failure replays.
+func TestFlakyProxyCorruptsChunks(t *testing.T) {
+	run := func(seed uint64) []byte {
+		backend, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer backend.Close()
+		got := make(chan []byte, 1)
+		go func() {
+			c, err := backend.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			b, _ := io.ReadAll(c)
+			got <- b
+		}()
+
+		p, err := NewFlakyProxy("127.0.0.1:0", backend.Addr().String(),
+			FlakyConfig{CorruptEveryNth: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+
+		c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := bytes.Repeat([]byte("telemetry frame bytes "), 8)
+		if _, err := c.Write(sent); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		select {
+		case b := <-got:
+			if len(b) != len(sent) {
+				t.Fatalf("forwarded %d bytes, want %d", len(b), len(sent))
+			}
+			if bytes.Equal(b, sent) {
+				t.Fatal("CorruptEveryNth=1 forwarded the stream untouched")
+			}
+			if p.Corruptions() == 0 {
+				t.Fatal("Corruptions() = 0 after a corrupted chunk")
+			}
+			diff := 0
+			for i := range b {
+				diff += bits.OnesCount8(b[i] ^ sent[i])
+			}
+			if diff != p.Corruptions() {
+				t.Fatalf("%d bits flipped across %d corruptions, want one bit each", diff, p.Corruptions())
+			}
+			return b
+		case <-time.After(2 * time.Second):
+			t.Fatal("backend never saw the stream")
+		}
+		return nil
+	}
+
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if c := run(43); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruption")
 	}
 }
 

@@ -27,8 +27,16 @@ type FlakyConfig struct {
 	// ReadDelay stalls each client-to-server read by this much
 	// (slow-read fault; 0 disables).
 	ReadDelay time.Duration
-	// Seed drives any probabilistic decisions (reserved; resets above
-	// are deterministic counters so retry tests are exact).
+	// CorruptEveryNth flips one bit in every Nth client-to-server chunk
+	// the proxy forwards (0 disables). The flipped byte/bit positions
+	// come from Seed, so a corrupted run replays exactly. This is the
+	// frame-corruption channel: with length-prefixed framing a single
+	// bit flip lands in a length field, a type byte, or a payload, and
+	// the server's admission path must absorb all three.
+	CorruptEveryNth int
+	// Seed drives the probabilistic decisions (bit positions for
+	// CorruptEveryNth); resets above are deterministic counters so
+	// retry tests are exact.
 	Seed uint64
 }
 
@@ -43,8 +51,13 @@ type FlakyProxy struct {
 	lis     net.Listener
 	backend string
 
-	accepted atomic.Int64
-	resets   atomic.Int64
+	accepted  atomic.Int64
+	resets    atomic.Int64
+	chunks    atomic.Int64
+	corrupted atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *sim.Rand
 
 	mu     sync.Mutex
 	closed bool
@@ -59,7 +72,11 @@ func NewFlakyProxy(addr, backend string, cfg FlakyConfig) (*FlakyProxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: flaky proxy listen: %w", err)
 	}
-	p := &FlakyProxy{Cfg: cfg, lis: lis, backend: backend, conns: make(map[net.Conn]struct{})}
+	p := &FlakyProxy{
+		Cfg: cfg, lis: lis, backend: backend,
+		conns: make(map[net.Conn]struct{}),
+		rng:   sim.NewRand(cfg.Seed),
+	}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -74,6 +91,27 @@ func (p *FlakyProxy) Resets() int { return int(p.resets.Load()) }
 
 // Accepted returns how many connections the proxy has accepted so far.
 func (p *FlakyProxy) Accepted() int { return int(p.accepted.Load()) }
+
+// Corruptions returns how many forwarded chunks have had a bit flipped.
+func (p *FlakyProxy) Corruptions() int { return int(p.corrupted.Load()) }
+
+// maybeCorrupt flips one seeded-random bit in buf when this chunk (a
+// global 1-based count across all connections) is due per
+// CorruptEveryNth.
+func (p *FlakyProxy) maybeCorrupt(buf []byte) {
+	if p.Cfg.CorruptEveryNth <= 0 || len(buf) == 0 {
+		return
+	}
+	if p.chunks.Add(1)%int64(p.Cfg.CorruptEveryNth) != 0 {
+		return
+	}
+	p.rngMu.Lock()
+	i := p.rng.Intn(len(buf))
+	bit := p.rng.Intn(8)
+	p.rngMu.Unlock()
+	buf[i] ^= 1 << bit
+	p.corrupted.Add(1)
+}
 
 // Close stops the proxy and severs every live connection.
 func (p *FlakyProxy) Close() error {
@@ -154,6 +192,7 @@ func (p *FlakyProxy) serve(client net.Conn) {
 			n, err := client.Read(buf)
 			if n > 0 {
 				forwarded += int64(n)
+				p.maybeCorrupt(buf[:n])
 				if _, werr := server.Write(buf[:n]); werr != nil {
 					return
 				}

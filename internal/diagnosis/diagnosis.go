@@ -288,6 +288,29 @@ func (a *analyzer) assess() {
 					"telemetry epochs sparse: %.1f per report on average", avg))
 			}
 		}
+		// Rejected and clamped telemetry is worse than missing telemetry:
+		// something in the fabric is emitting garbage, and whatever shares
+		// a corruption source with it may be subtly wrong without tripping
+		// a check. Each rejected report compounds (capped at three), and
+		// any detected corruption in accepted evidence caps the grade below
+		// ConfHigh on its own.
+		if cov.Rejected > 0 {
+			n := cov.Rejected
+			if n > 3 {
+				n = 3
+			}
+			for i := 0; i < n; i++ {
+				score *= 0.6
+			}
+			r.Missing = append(r.Missing, fmt.Sprintf(
+				"%d telemetry reports rejected at admission; their switches were heard from and disbelieved", cov.Rejected))
+		}
+		if cov.Clamped > 0 || cov.Suspect > 0 {
+			score *= 0.7
+			r.Missing = append(r.Missing, fmt.Sprintf(
+				"accepted telemetry carried corruption: %d values clamped, %d records outside the topology",
+				cov.Clamped, cov.Suspect))
+		}
 	}
 	if len(r.VictimPausedAt) == 0 {
 		if len(a.g.Flows[r.Victim]) == 0 {

@@ -1,0 +1,89 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+
+	"hawkeye/internal/topo"
+)
+
+// Detected corruption must cap the grade: a diagnosis drawn from evidence
+// that admission had to reject or clamp can be right, but it cannot be
+// *confidently* right.
+
+func TestConfidenceCappedByRejectedReports(t *testing.T) {
+	tp := testTopo(t)
+	clean := contentionGraph()
+	setEvidence(clean, ref(0, 0), ref(1, 1), 6)
+	setCoverage(clean, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	cleanRep := Diagnose(DefaultConfig(), clean, tp, flowT(1))
+	if cleanRep.Confidence != ConfHigh {
+		t.Fatalf("baseline not high: %v", cleanRep.Confidence)
+	}
+
+	poisoned := contentionGraph()
+	setEvidence(poisoned, ref(0, 0), ref(1, 1), 6)
+	setCoverage(poisoned, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	poisoned.Coverage.NoteRejected(1)
+	rep := Diagnose(DefaultConfig(), poisoned, tp, flowT(1))
+	if rep.Confidence == ConfHigh {
+		t.Fatalf("rejected report left confidence high (%.2f)", rep.ConfidenceScore)
+	}
+	found := false
+	for _, m := range rep.Missing {
+		if strings.Contains(m, "rejected at admission") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rejection not named in Missing: %v", rep.Missing)
+	}
+
+	// More rejections sink the score further, down to a floor.
+	worse := contentionGraph()
+	setEvidence(worse, ref(0, 0), ref(1, 1), 6)
+	setCoverage(worse, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+	for i := 0; i < 5; i++ {
+		worse.Coverage.NoteRejected(1)
+	}
+	worseRep := Diagnose(DefaultConfig(), worse, tp, flowT(1))
+	if worseRep.ConfidenceScore >= rep.ConfidenceScore {
+		t.Fatalf("repeated rejections did not compound: %.2f vs %.2f",
+			worseRep.ConfidenceScore, rep.ConfidenceScore)
+	}
+	if worseRep.ConfidenceScore <= 0 {
+		t.Fatal("rejection penalty drove the score to zero")
+	}
+}
+
+func TestConfidenceCappedByClampedOrSuspectValues(t *testing.T) {
+	tp := testTopo(t)
+	for _, tc := range []struct {
+		name    string
+		clamped int
+		suspect int
+	}{
+		{"clamped", 3, 0},
+		{"suspect", 0, 2},
+	} {
+		g := contentionGraph()
+		setEvidence(g, ref(0, 0), ref(1, 1), 6)
+		setCoverage(g, []topo.NodeID{0, 1}, 4, []topo.NodeID{0, 1})
+		g.Coverage.Clamped = tc.clamped
+		g.Coverage.Suspect = tc.suspect
+		rep := Diagnose(DefaultConfig(), g, tp, flowT(1))
+		if rep.Confidence == ConfHigh {
+			t.Fatalf("%s: corruption in accepted evidence left confidence high (%.2f)",
+				tc.name, rep.ConfidenceScore)
+		}
+		found := false
+		for _, m := range rep.Missing {
+			if strings.Contains(m, "corruption") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: corruption not named in Missing: %v", tc.name, rep.Missing)
+		}
+	}
+}

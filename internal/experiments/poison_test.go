@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/packet"
+	"hawkeye/internal/provenance"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
+	"hawkeye/internal/workload"
+)
+
+// admitAndDiagnose replays the analyzer's full admission path — strict
+// decode, semantic validation, magnitude sanitization, provenance build,
+// coverage folding — over raw report blobs, exactly as analyzd does for
+// frames off the wire. Undecodable blobs are dropped (their switch goes
+// silent); validator rejections are noted per switch; clamps count
+// against confidence.
+func admitAndDiagnose(blobs [][]byte, tp *topo.Topology, epochNS int64, victim packet.FiveTuple) *diagnosis.Report {
+	v := wire.NewValidator(tp)
+	lim := telemetry.LimitsFor(tp.LinkBandwidth, epochNS)
+	var (
+		reports         []*telemetry.Report
+		rejected        = map[topo.NodeID]int{}
+		rejectedUnknown int
+		clamped         int
+	)
+	for _, b := range blobs {
+		r := &telemetry.Report{}
+		if err := r.UnmarshalBinary(b); err != nil {
+			continue
+		}
+		if err := v.CheckReport(r); err != nil {
+			var re *wire.ReportError
+			if errors.As(err, &re) && re.SwitchKnown {
+				rejected[re.Switch]++
+			} else {
+				rejectedUnknown++
+			}
+			continue
+		}
+		clamped += telemetry.SanitizeReport(r, lim)
+		reports = append(reports, r)
+	}
+	cfg := provenance.DefaultConfig(tp.LinkBandwidth, epochNS)
+	g := provenance.Build(cfg, reports, tp)
+	for sw, n := range rejected {
+		for i := 0; i < n; i++ {
+			g.Coverage.NoteRejected(sw)
+		}
+	}
+	for i := 0; i < rejectedUnknown; i++ {
+		g.Coverage.NoteRejected(-1)
+	}
+	g.Coverage.Clamped += clamped
+	return diagnosis.Diagnose(diagnosis.DefaultConfig(), g, tp, victim)
+}
+
+// TestPoisonedTelemetryNeverConfidentlyWrong is the containment property
+// behind the whole hardening layer: 200 independently seeded single-byte
+// corruptions of real telemetry, each pushed through the admission path.
+// None may panic, and none may yield a high-confidence verdict that
+// disagrees with the uncorrupted baseline — a poisoned report may cost
+// coverage or confidence, but never buy a confident lie.
+func TestPoisonedTelemetryNeverConfidentlyWrong(t *testing.T) {
+	tr, err := RunTrial(DefaultTrialConfig(workload.NameIncast, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := tr.Cl.Topo
+	epochNS := int64(tr.Sys.Cfg.Telemetry.EpochSize())
+	victim := tr.Score.Result.Trigger.Victim
+
+	// Traced is keyed by switch; fix an order so corruption trials are
+	// reproducible from the seed alone.
+	sws := make([]topo.NodeID, 0, len(tr.View.Traced))
+	for sw := range tr.View.Traced {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	blobs := make([][]byte, 0, len(sws))
+	for _, sw := range sws {
+		b, err := tr.View.Traced[sw].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+
+	base := admitAndDiagnose(blobs, tp, epochNS, victim)
+	if base.Confidence != diagnosis.ConfHigh {
+		t.Fatalf("baseline confidence %v (%.2f) — property would be vacuous", base.Confidence, base.ConfidenceScore)
+	}
+	if base.Type != tr.Score.Result.Diagnosis.Type {
+		t.Fatalf("in-process admission path diverges from trial verdict: %v vs %v",
+			base.Type, tr.Score.Result.Diagnosis.Type)
+	}
+
+	master := sim.NewRand(0xB10F11)
+	for trial := 0; trial < 200; trial++ {
+		rng := master.Fork()
+		ri := rng.Intn(len(blobs))
+		bi := rng.Intn(len(blobs[ri]))
+		delta := byte(rng.Intn(255) + 1) // never the identity
+
+		poisoned := make([][]byte, len(blobs))
+		copy(poisoned, blobs)
+		mut := append([]byte(nil), blobs[ri]...)
+		mut[bi] ^= delta
+		poisoned[ri] = mut
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d (report %d byte %d ^= %#x): admission path panicked: %v",
+						trial, ri, bi, delta, r)
+				}
+			}()
+			d := admitAndDiagnose(poisoned, tp, epochNS, victim)
+			if d.Confidence == diagnosis.ConfHigh && d.Type != base.Type {
+				t.Fatalf("trial %d (report %d byte %d ^= %#x): confidently wrong — %v at %.2f, baseline %v",
+					trial, ri, bi, delta, d.Type, d.ConfidenceScore, base.Type)
+			}
+		}()
+	}
+}

@@ -24,6 +24,11 @@ const (
 	// snapKeep retains this many snapshots; older ones are pruned after
 	// a successful write.
 	snapKeep = 2
+	// MaxSnapshot bounds the snapshot file size recovery will read into
+	// memory. A fleet store snapshot is MBs; a multi-GB file under the
+	// snapshot name is a disk fault or planted garbage, and trusting its
+	// size would let it OOM the recovery path.
+	MaxSnapshot = 1 << 30
 )
 
 func snapName(seq uint64) string {
@@ -92,7 +97,11 @@ func LoadSnapshot(dir string) (seq uint64, payload []byte, ok bool, err error) {
 	}
 	// Newest first.
 	for i := len(names) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		path := filepath.Join(dir, names[i])
+		if fi, err := os.Stat(path); err != nil || fi.Size() > MaxSnapshot {
+			continue
+		}
+		data, err := os.ReadFile(path)
 		if err != nil {
 			continue
 		}

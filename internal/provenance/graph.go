@@ -174,6 +174,31 @@ type Coverage struct {
 	Expected int
 	// MissingSwitches lists expected switches that never reported, sorted.
 	MissingSwitches []topo.NodeID
+	// Rejected counts reports that failed admission validation and never
+	// entered the graph; RejectedBySwitch attributes them where the switch
+	// ID itself was credible. A switch that is present here but absent
+	// from Switches was heard from and disbelieved — a different failure
+	// from never reporting at all.
+	Rejected         int
+	RejectedBySwitch map[topo.NodeID]int
+	// Clamped counts field values admission sanitization had to pull back
+	// into physical plausibility; Suspect counts records Build itself
+	// skipped because they referenced ports outside the topology. Either
+	// being non-zero means some accepted evidence was corrupt.
+	Clamped int
+	Suspect int
+}
+
+// NoteRejected records a report that failed admission validation. Pass
+// sw < 0 when the report could not be credibly attributed to any switch.
+func (c *Coverage) NoteRejected(sw topo.NodeID) {
+	c.Rejected++
+	if sw >= 0 {
+		if c.RejectedBySwitch == nil {
+			c.RejectedBySwitch = make(map[topo.NodeID]int)
+		}
+		c.RejectedBySwitch[sw]++
+	}
 }
 
 // SetExpected declares the switch set the analyzer wanted telemetry from
@@ -405,6 +430,22 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 	g := NewGraph(cfg)
 	views := make(map[topo.NodeID]*reportView, len(reports))
 	for _, rep := range reports {
+		// Reports normally arrive through wire.Validator, but Build must
+		// hold its own invariants: an out-of-range node or port index here
+		// would flow into PeerOf and panic the analyzer. Skip the record,
+		// count it, and let diagnosis discount the result.
+		if int(rep.Switch) < 0 || int(rep.Switch) >= len(t.Nodes) {
+			g.Coverage.Suspect++
+			continue
+		}
+		nports := len(t.Nodes[rep.Switch].Ports)
+		portOK := func(p int) bool {
+			if p < 0 || p >= nports {
+				g.Coverage.Suspect++
+				return false
+			}
+			return true
+		}
 		v := &reportView{rep: rep, meter: make(map[int]map[int]uint64)}
 		views[rep.Switch] = v
 		g.Coverage.Collected++
@@ -412,6 +453,9 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 		g.Coverage.EpochsCollected += len(rep.Epochs)
 		g.Coverage.EpochsBySwitch[rep.Switch] += len(rep.Epochs)
 		for _, m := range rep.Meter {
+			if !portOK(m.InPort) || !portOK(m.OutPort) {
+				continue
+			}
 			row, ok := v.meter[m.InPort]
 			if !ok {
 				row = make(map[int]uint64)
@@ -422,6 +466,9 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 		for ei := range rep.Epochs {
 			ep := &rep.Epochs[ei]
 			for _, pr := range ep.Ports {
+				if !portOK(pr.Port) {
+					continue
+				}
 				ref := topo.PortRef{Node: rep.Switch, Port: pr.Port}
 				info := g.Ports[ref]
 				if info == nil {
@@ -438,6 +485,9 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 				}
 			}
 			for _, fr := range ep.Flows {
+				if !portOK(fr.OutPort) {
+					continue
+				}
 				ref := topo.PortRef{Node: rep.Switch, Port: fr.OutPort}
 				byPort, ok := g.Flows[fr.Tuple]
 				if !ok {
@@ -467,6 +517,9 @@ func Build(cfg Config, reports []*telemetry.Report, t *topo.Topology) *Graph {
 		}
 		for _, st := range rep.Status {
 			if st.PausedUntil <= rep.Taken && st.QdepthBytes == 0 {
+				continue
+			}
+			if !portOK(st.Port) {
 				continue
 			}
 			ref := topo.PortRef{Node: rep.Switch, Port: st.Port}

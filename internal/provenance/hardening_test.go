@@ -1,0 +1,72 @@
+package provenance
+
+import (
+	"testing"
+
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// TestBuildSurvivesOutOfTopologyPorts reproduces the crash a hostile
+// report used to cause: a paused port record whose index exceeds the
+// switch's real port count flowed into PeerOf and panicked the analyzer.
+// Build must skip such records, count them as suspect, and keep the
+// honest evidence.
+func TestBuildSurvivesOutOfTopologyPorts(t *testing.T) {
+	tp, sws := chainTopo(t)
+	hostile := report(sws[0], 1000)
+	hostile.Epochs = []telemetry.EpochData{{
+		Ports: []telemetry.PortRecord{
+			// Paused, so buildPortEdges would chase its peer.
+			{Port: 99, PktCount: 10, PausedCount: 10, QdepthSum: 1000, Bytes: 1000},
+			{Port: 0, PktCount: 5, PausedCount: 0, QdepthSum: 5, Bytes: 500},
+		},
+		Flows: []telemetry.FlowRecord{
+			{Tuple: flowT(1), OutPort: -3, PktCount: 4, Bytes: 400},
+		},
+	}}
+	hostile.Meter = []telemetry.MeterRecord{{InPort: 50, OutPort: 0, Bytes: 100}}
+	hostile.Status = []telemetry.PortStatus{{Port: 77, PausedUntil: 2000}}
+
+	g := Build(testCfg(), []*telemetry.Report{hostile}, tp)
+	if g.Coverage.Suspect != 4 {
+		t.Fatalf("Suspect = %d, want 4 (port, flow, meter, status)", g.Coverage.Suspect)
+	}
+	if _, ok := g.Ports[topo.PortRef{Node: sws[0], Port: 99}]; ok {
+		t.Fatal("out-of-topology port entered the graph")
+	}
+	// The honest record on port 0 must survive alongside the garbage.
+	if info := g.Ports[topo.PortRef{Node: sws[0], Port: 0}]; info == nil || info.PktCount != 5 {
+		t.Fatalf("honest record lost: %+v", info)
+	}
+}
+
+// TestBuildSurvivesUnknownSwitch: a report claiming a node outside the
+// topology (or a negative ID) is dropped wholesale, not indexed.
+func TestBuildSurvivesUnknownSwitch(t *testing.T) {
+	tp, _ := chainTopo(t)
+	for _, sw := range []topo.NodeID{-1, topo.NodeID(len(tp.Nodes)), 1 << 30} {
+		bad := report(sw, 1000)
+		bad.Epochs = []telemetry.EpochData{{
+			Ports: []telemetry.PortRecord{{Port: 0, PktCount: 1, PausedCount: 1}},
+		}}
+		g := Build(testCfg(), []*telemetry.Report{bad}, tp)
+		if g.Coverage.Collected != 0 || g.Coverage.Suspect != 1 {
+			t.Fatalf("switch %d: collected=%d suspect=%d", sw, g.Coverage.Collected, g.Coverage.Suspect)
+		}
+		if len(g.Ports) != 0 {
+			t.Fatalf("switch %d: hostile report built ports %v", sw, g.Ports)
+		}
+	}
+}
+
+func TestCoverageNoteRejected(t *testing.T) {
+	g := NewGraph(testCfg())
+	g.Coverage.NoteRejected(3)
+	g.Coverage.NoteRejected(3)
+	g.Coverage.NoteRejected(-1) // unattributable
+	c := g.Coverage
+	if c.Rejected != 3 || c.RejectedBySwitch[3] != 2 || len(c.RejectedBySwitch) != 1 {
+		t.Fatalf("rejected=%d by-switch=%v", c.Rejected, c.RejectedBySwitch)
+	}
+}

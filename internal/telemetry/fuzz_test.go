@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReport exercises the strict report decoder. Invariants: no
+// panic, no allocation beyond what the payload paid for (enforced by
+// the count-vs-length checks), any accepted report re-encodes to the
+// identical bytes (the format has exactly one encoding per report), and
+// sanitization never panics on anything the decoder admits.
+func FuzzDecodeReport(f *testing.F) {
+	good, err := sanitizeFixture().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add(append(append([]byte{}, good...), 0xEE)) // trailing byte
+
+	// Header surgery: counts claiming far more records than the payload
+	// carries (the allocation-bomb shape the length checks exist for).
+	overMeter := append([]byte(nil), good...)
+	overMeter[24], overMeter[25] = 0xFF, 0xFF
+	f.Add(overMeter)
+	overFlow := append([]byte(nil), good...)
+	overFlow[43], overFlow[44], overFlow[45] = 0xFF, 0xFF, 0xFF
+	f.Add(overFlow)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Report
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted report refused re-encoding: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical encoding accepted: %d bytes in, %d out", len(data), len(out))
+		}
+		lim := LimitsFor(100e9, 131072)
+		n := SanitizeReport(&r, lim)
+		if SanitizeReport(&r, lim) != 0 {
+			t.Fatalf("sanitize not idempotent (first pass clamped %d)", n)
+		}
+	})
+}

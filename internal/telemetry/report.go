@@ -273,7 +273,15 @@ func (r *Report) UnmarshalBinary(b []byte) error {
 	if numEpochs > 1024 || numStatus > 65535 || numMeter > maxRecords {
 		return fmt.Errorf("%w: implausible counts", ErrBadReport)
 	}
+	// Claimed counts must fit the bytes actually present, so a hostile
+	// header cannot make the decoder allocate far beyond the payload it
+	// paid to send.
+	if numMeter*MeterRecordWire+numStatus*StatusRecordWire > len(b) {
+		return fmt.Errorf("%w: record counts exceed payload", ErrBadReport)
+	}
 	r.Epochs = make([]EpochData, 0, numEpochs)
+	r.Meter = r.Meter[:0]
+	r.Status = r.Status[:0]
 	for e := 0; e < numEpochs; e++ {
 		var ep EpochData
 		ep.Ring = int(read(2))
@@ -286,6 +294,9 @@ func (r *Report) UnmarshalBinary(b []byte) error {
 		}
 		if nf > maxRecords || np > maxRecords {
 			return fmt.Errorf("%w: implausible record counts", ErrBadReport)
+		}
+		if nf*FlowRecordWire+np*PortRecordWire > len(b)-off {
+			return fmt.Errorf("%w: epoch record counts exceed payload", ErrBadReport)
 		}
 		for i := 0; i < nf; i++ {
 			var f FlowRecord
@@ -332,5 +343,14 @@ func (r *Report) UnmarshalBinary(b []byte) error {
 		st.QdepthBytes = int(int32(read(4)))
 		r.Status = append(r.Status, st)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// A well-formed encoding is consumed exactly; trailing bytes mean the
+	// sender and receiver disagree about the format, and silently ignoring
+	// them would let smuggled data ride along inside accepted frames.
+	if off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadReport, len(b)-off)
+	}
+	return nil
 }

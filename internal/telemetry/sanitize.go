@@ -1,0 +1,104 @@
+package telemetry
+
+// Admission-time sanitization: the last line of defense between a decoded
+// report and provenance-graph construction. The wire validator rejects
+// reports that contradict the handshake topology outright; what remains
+// here are magnitudes — counters that decoded fine and reference real
+// ports but claim physically impossible values. Those are clamped rather
+// than rejected so one flipped bit in a byte counter degrades a report
+// instead of discarding the rest of its evidence; the clamp count flows
+// into provenance Coverage so diagnosis can discount the conclusion.
+
+// Limits bounds physically plausible magnitudes for a single report.
+type Limits struct {
+	// MaxEpochBytes caps the byte counter of one flow/port record: no
+	// record can carry more than the link could move in one epoch (with
+	// generous slack for epoch-boundary smear).
+	MaxEpochBytes uint64
+	// MaxMeterBytes caps one causality-meter cell, which aggregates the
+	// current and previous epoch windows.
+	MaxMeterBytes uint64
+	// MaxQdepthBytes caps queue-depth registers and per-packet averages:
+	// no real switch buffers more than this per port.
+	MaxQdepthBytes uint64
+}
+
+// LimitsFor derives limits from the fabric's link speed and epoch length.
+// The 4x slack absorbs epoch-boundary smear and burst drain; anything
+// beyond it is corruption, not traffic.
+func LimitsFor(linkBps float64, epochNS int64) Limits {
+	perEpoch := uint64(linkBps / 8 * float64(epochNS) / 1e9)
+	if perEpoch == 0 {
+		perEpoch = 1
+	}
+	return Limits{
+		MaxEpochBytes:  4 * perEpoch,
+		MaxMeterBytes:  8 * perEpoch,
+		MaxQdepthBytes: 64 << 20, // deep-buffer switches top out around 64 MB/port
+	}
+}
+
+// SanitizeReport clamps implausible magnitudes in place and returns how
+// many fields were touched. A zero return means the report was plausible
+// as received.
+func SanitizeReport(r *Report, lim Limits) int {
+	clamped := 0
+	clampU := func(v *uint64, max uint64) {
+		if *v > max {
+			*v = max
+			clamped++
+		}
+	}
+	for ei := range r.Epochs {
+		ep := &r.Epochs[ei]
+		for i := range ep.Flows {
+			f := &ep.Flows[i]
+			clampU(&f.Bytes, lim.MaxEpochBytes)
+			if f.PausedCount > f.PktCount {
+				f.PausedCount = f.PktCount
+				clamped++
+			}
+			if f.DeepCount > f.PktCount {
+				f.DeepCount = f.PktCount
+				clamped++
+			}
+			// QdepthSum is a per-packet accumulator: its average must stay
+			// within a real buffer.
+			if max := uint64(f.PktCount) * lim.MaxQdepthBytes; f.QdepthSum > max {
+				f.QdepthSum = max
+				clamped++
+			}
+		}
+		for i := range ep.Ports {
+			p := &ep.Ports[i]
+			clampU(&p.Bytes, lim.MaxEpochBytes)
+			if p.PausedCount > p.PktCount {
+				p.PausedCount = p.PktCount
+				clamped++
+			}
+			if max := uint64(p.PktCount) * lim.MaxQdepthBytes; p.QdepthSum > max {
+				p.QdepthSum = max
+				clamped++
+			}
+		}
+	}
+	for i := range r.Meter {
+		clampU(&r.Meter[i].Bytes, lim.MaxMeterBytes)
+	}
+	for i := range r.Status {
+		st := &r.Status[i]
+		if st.QdepthBytes < 0 {
+			st.QdepthBytes = 0
+			clamped++
+		}
+		if uint64(st.QdepthBytes) > lim.MaxQdepthBytes {
+			st.QdepthBytes = int(lim.MaxQdepthBytes)
+			clamped++
+		}
+		if st.PausedUntil < 0 {
+			st.PausedUntil = 0
+			clamped++
+		}
+	}
+	return clamped
+}

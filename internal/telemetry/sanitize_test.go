@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"errors"
+	"testing"
+
+	"hawkeye/internal/packet"
+)
+
+func sanitizeFixture() *Report {
+	return &Report{
+		Switch: 1, Taken: 5000, NumPorts: 4, NumEpochs: 4, FlowSlots: 64,
+		Epochs: []EpochData{{
+			Ring: 0, ID: 1, Start: 4000,
+			Flows: []FlowRecord{{
+				Tuple:    packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+				OutPort:  1,
+				PktCount: 10, PausedCount: 2, DeepCount: 1, QdepthSum: 1000, Bytes: 10000,
+			}},
+			Ports: []PortRecord{{Port: 1, PktCount: 10, PausedCount: 2, QdepthSum: 1000, Bytes: 10000}},
+		}},
+		Meter:  []MeterRecord{{InPort: 0, OutPort: 1, Bytes: 10000}},
+		Status: []PortStatus{{Port: 1, PausedUntil: 5500, QdepthBytes: 4096}},
+	}
+}
+
+func TestSanitizeNoopOnHonestReport(t *testing.T) {
+	lim := LimitsFor(100e9, 1e6) // 100 Gbps, 1 ms epochs
+	r := sanitizeFixture()
+	if n := SanitizeReport(r, lim); n != 0 {
+		t.Fatalf("honest report clamped %d values", n)
+	}
+}
+
+func TestSanitizeClampsImplausibleMagnitudes(t *testing.T) {
+	lim := LimitsFor(100e9, 1e6)
+	r := sanitizeFixture()
+	// A 100 Gbps link moves 12.5 MB per 1 ms epoch; claim exabytes.
+	r.Epochs[0].Flows[0].Bytes = 1 << 62
+	r.Epochs[0].Flows[0].PausedCount = 999 // > PktCount
+	r.Epochs[0].Flows[0].QdepthSum = 1 << 62
+	r.Epochs[0].Ports[0].Bytes = 1 << 62
+	r.Meter[0].Bytes = 1 << 62
+	r.Status[0].QdepthBytes = 1 << 40
+	n := SanitizeReport(r, lim)
+	if n != 6 {
+		t.Fatalf("clamped %d values, want 6", n)
+	}
+	f := &r.Epochs[0].Flows[0]
+	if f.Bytes > lim.MaxEpochBytes || f.PausedCount > f.PktCount {
+		t.Fatalf("flow record not clamped: %+v", f)
+	}
+	if f.QdepthSum > uint64(f.PktCount)*lim.MaxQdepthBytes {
+		t.Fatalf("qdepth sum not clamped: %d", f.QdepthSum)
+	}
+	if r.Meter[0].Bytes > lim.MaxMeterBytes {
+		t.Fatalf("meter not clamped: %d", r.Meter[0].Bytes)
+	}
+	if uint64(r.Status[0].QdepthBytes) > lim.MaxQdepthBytes {
+		t.Fatalf("status qdepth not clamped: %d", r.Status[0].QdepthBytes)
+	}
+	// Idempotent: a second pass finds nothing left to fix.
+	if n := SanitizeReport(r, lim); n != 0 {
+		t.Fatalf("second pass clamped %d more values", n)
+	}
+}
+
+func TestSanitizeClampsNegativeRegisters(t *testing.T) {
+	lim := LimitsFor(100e9, 1e6)
+	r := sanitizeFixture()
+	r.Status[0].QdepthBytes = -5
+	r.Status[0].PausedUntil = -1
+	if n := SanitizeReport(r, lim); n != 2 {
+		t.Fatalf("clamped %d values, want 2", n)
+	}
+	if r.Status[0].QdepthBytes != 0 || r.Status[0].PausedUntil != 0 {
+		t.Fatalf("negative registers survived: %+v", r.Status[0])
+	}
+}
+
+// TestUnmarshalRejectsTrailingBytes: extra bytes after a well-formed
+// encoding mean a format disagreement, not padding.
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	b, err := sanitizeFixture().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := r.UnmarshalBinary(b); err != nil {
+		t.Fatalf("clean round-trip failed: %v", err)
+	}
+	var r2 Report
+	if err := r2.UnmarshalBinary(append(b, 0xEE)); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// TestUnmarshalRejectsOverclaimedCounts: headers that promise more
+// records than the payload could physically hold are refused before the
+// decoder allocates for them.
+func TestUnmarshalRejectsOverclaimedCounts(t *testing.T) {
+	b, err := sanitizeFixture().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 24-27 is the meter count (header: switch 4, taken 8,
+	// numPorts 2, numEpochs 2, flowSlots 4, epochs 2 = 22).
+	hostile := append([]byte(nil), b...)
+	hostile[22+2], hostile[22+3] = 0xFF, 0xFF // claim 65535 meter records
+	var r Report
+	if err := r.UnmarshalBinary(hostile); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("overclaimed meter count accepted: %v", err)
+	}
+	// Same for the per-epoch flow count: find it by re-encoding a report
+	// whose only epoch claims 2^24-1 flows.
+	hostile2 := append([]byte(nil), b...)
+	// Epoch header starts at 28; flow count is at +14 (ring 2, id 4, start 8).
+	off := 28 + 14
+	hostile2[off], hostile2[off+1], hostile2[off+2], hostile2[off+3] = 0x00, 0xFF, 0xFF, 0xFF
+	var r2 Report
+	if err := r2.UnmarshalBinary(hostile2); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("overclaimed flow count accepted: %v", err)
+	}
+}
+
+// TestUnmarshalResetsReceiver: decoding into a reused Report must not
+// leak records from the previous decode.
+func TestUnmarshalResetsReceiver(t *testing.T) {
+	b, err := sanitizeFixture().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := r.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Meter) != 1 || len(r.Status) != 1 || len(r.Epochs) != 1 {
+		t.Fatalf("reused receiver accumulated records: meter=%d status=%d epochs=%d",
+			len(r.Meter), len(r.Status), len(r.Epochs))
+	}
+}

@@ -87,6 +87,13 @@ func FromSpec(s Spec) (*Topology, error) {
 		if l.APort < 0 || l.BPort < 0 {
 			return nil, fmt.Errorf("topo: link %d has negative port", i)
 		}
+		// A node's port indices are dense — every index below the highest
+		// must end up wired — so no valid spec can name a port at or above
+		// the link count. Checking here keeps a hostile spec from making
+		// growPorts allocate a multi-gigabyte port array for one link.
+		if l.APort >= len(s.Links) || l.BPort >= len(s.Links) {
+			return nil, fmt.Errorf("topo: link %d port index beyond what %d links could wire", i, len(s.Links))
+		}
 	}
 	// Materialize port arrays at the pinned indices.
 	for i, l := range s.Links {

@@ -389,6 +389,10 @@ func TestSpecRejectsMalformed(t *testing.T) {
 		{"negative port", func(s *Spec) { s.Links[0].APort = -2 }},
 		{"port reuse", func(s *Spec) { s.Links = append(s.Links, s.Links[0]) }},
 		{"port hole", func(s *Spec) { s.Links[0].APort = 5 }},
+		// A hostile spec naming a huge port index must be refused before
+		// growPorts materializes a multi-gigabyte port array.
+		{"giant port index", func(s *Spec) { s.Links[0].APort = 1 << 30 }},
+		{"giant peer port index", func(s *Spec) { s.Links[0].BPort = 1 << 30 }},
 	}
 	for _, c := range cases {
 		s := good()

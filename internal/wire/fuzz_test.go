@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hawkeye/internal/topo"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the frame reader. The
+// invariants: never panic, never hand back a payload beyond the
+// per-type cap, and anything accepted must survive a write/read round
+// trip unchanged.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(t MsgType, payload []byte) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, t, payload); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	f.Add(frame(MsgHealth, nil))
+	f.Add(frame(MsgDiagnose, []byte(`{"srcIp":167772161,"dstIp":167772162}`)))
+	f.Add(frame(MsgError, []byte("session quarantined")))
+	f.Add(frame(MsgType(200), []byte("unknown but well-framed")))
+	// A header claiming a body far beyond MaxFrame.
+	huge := []byte{0x80, 0, 0, 0, byte(MsgReport)}
+	f.Add(huge)
+	// A header claiming MaxFrame behind a 64-byte-capped type.
+	over := make([]byte, 5)
+	binary.BigEndian.PutUint32(over, MaxFrame)
+	over[4] = byte(MsgDiagnose)
+	f.Add(over)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mt, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > PayloadCap(mt) {
+			t.Fatalf("type %d: %d-byte payload beyond its %d cap", mt, len(payload), PayloadCap(mt))
+		}
+		var b bytes.Buffer
+		if err := WriteFrame(&b, mt, payload); err != nil {
+			t.Fatalf("accepted frame refused on re-write: %v", err)
+		}
+		mt2, payload2, err := ReadFrame(&b)
+		if err != nil || mt2 != mt || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip changed the frame: type %d->%d err=%v", mt, mt2, err)
+		}
+	})
+}
+
+// FuzzHello drives the whole handshake parse: ParseHello's structural
+// checks, then — exactly as the server does — the embedded topology
+// through ParseSpecJSON and into a Validator. No input may panic or
+// allocate absurdly (the giant-port-index seed reproduces a pre-bounds
+// OOM in topology reconstruction).
+func FuzzHello(f *testing.F) {
+	f.Add([]byte(`{"version":1,"epochNs":131072,"fabric":"prod"}`))
+	f.Add([]byte(`{"version":1,"epochNs":131072,"topo":{"bandwidthBps":100e9,"delayNs":2000,` +
+		`"nodes":[{"name":"h0","kind":"host"},{"name":"s0","kind":"switch"}],` +
+		`"links":[{"a":0,"aPort":0,"b":1,"bPort":0}]}}`))
+	// The hello that used to OOM: one link naming port 2^30.
+	f.Add([]byte(`{"version":1,"epochNs":131072,"topo":{"bandwidthBps":100e9,"delayNs":2000,` +
+		`"nodes":[{"name":"h0","kind":"host"},{"name":"s0","kind":"switch"}],` +
+		`"links":[{"a":0,"aPort":0,"b":1,"bPort":1073741824}]}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"epochNs":-5}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHello(data)
+		if err != nil {
+			return
+		}
+		if len(h.Topo) == 0 {
+			return // operator session: no topology to reconstruct
+		}
+		tp, err := topo.ParseSpecJSON(h.Topo)
+		if err != nil {
+			return
+		}
+		// A handshake that gets this far must yield a working validator.
+		if v := NewValidator(tp); v == nil {
+			t.Fatal("nil validator from accepted handshake")
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
+)
+
+// This file is the admission side of the protocol: everything a frame
+// must satisfy beyond "the length prefix was readable". The controller
+// ingests frames from every switch CPU and host agent in the fabric, so
+// one corrupted or adversarial peer must be containable per session —
+// payload caps bound what a frame may claim to carry before the body is
+// even allocated, and the Validator bounds what a decoded telemetry
+// report may claim about the fabric before provenance construction
+// trusts it.
+
+// Payload caps per message type. Client->server verbs (the hostile
+// direction) are tight: a MsgDiagnose is a 13-byte 5-tuple plus an
+// optional 8-byte timestamp and has no business approaching MaxFrame.
+// Server->client replies stay generous — incident lists and rendered
+// diagnoses legitimately grow with the fabric.
+const (
+	capEmpty   = 64       // nominally empty verbs; slack for future fields
+	capRequest = 64 << 10 // JSON request verbs (queries, subscriptions)
+	capHello   = 2 << 20  // topology spec of a large pod is a few hundred KB
+	capError   = 16 << 10 // error text
+)
+
+// payloadCaps maps each known message type to its maximum payload size.
+var payloadCaps = [...]int{
+	MsgHello:           capHello,
+	MsgHelloOK:         capEmpty,
+	MsgReport:          MaxFrame,
+	MsgDiagnose:        64,
+	MsgDiagnosis:       MaxFrame,
+	MsgError:           capError,
+	MsgIncidents:       capEmpty,
+	MsgIncidentList:    MaxFrame,
+	MsgQueryIncidents:  capRequest,
+	MsgIncidentMatches: MaxFrame,
+	MsgSubscribe:       capRequest,
+	MsgSubscribeOK:     capEmpty,
+	MsgIncidentEvent:   MaxFrame,
+	MsgThrottle:        capRequest,
+	MsgHealth:          capEmpty,
+	MsgHealthReply:     capRequest,
+	MsgShutdown:        capEmpty,
+}
+
+// PayloadCap returns the maximum payload size for t. Unknown types get
+// the global MaxFrame bound so newer peers can add frames without older
+// readers rejecting them harder than the framing itself would.
+func PayloadCap(t MsgType) int {
+	if Known(t) {
+		return payloadCaps[t]
+	}
+	return MaxFrame
+}
+
+// CapError reports a frame whose payload exceeds its type's cap. It
+// matches ErrFrameTooLarge under errors.Is so existing oversize handling
+// catches both.
+type CapError struct {
+	Type MsgType
+	Size int
+	Cap  int
+}
+
+func (e *CapError) Error() string {
+	return fmt.Sprintf("wire: %d-byte payload exceeds %d-byte cap for message type %d", e.Size, e.Cap, e.Type)
+}
+
+// Is makes errors.Is(err, ErrFrameTooLarge) hold for cap violations.
+func (e *CapError) Is(target error) bool { return target == ErrFrameTooLarge }
+
+// checkCap enforces the per-type payload cap.
+func checkCap(t MsgType, n int) error {
+	if c := PayloadCap(t); n > c {
+		return &CapError{Type: t, Size: n, Cap: c}
+	}
+	return nil
+}
+
+// ErrBadHello reports a structurally invalid handshake.
+var ErrBadHello = errors.New("wire: bad hello")
+
+// maxEpochNS bounds the declared telemetry epoch: an hour-long epoch is
+// a corrupted handshake, not a configuration.
+const maxEpochNS = int64(3600) * 1e9
+
+// maxFabricName bounds the fabric label.
+const maxFabricName = 128
+
+// ParseHello decodes and structurally validates a MsgHello payload:
+// version match, epoch within plausible bounds, fabric name and embedded
+// topology spec bounded. The topology itself still needs
+// topo.ParseSpecJSON — this only refuses payloads no parser should see.
+func ParseHello(payload []byte) (Hello, error) {
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadHello, err)
+	}
+	if h.Version != ProtocolVersion {
+		return h, fmt.Errorf("%w: protocol version %d, want %d", ErrBadHello, h.Version, ProtocolVersion)
+	}
+	if h.EpochNS < 0 || h.EpochNS > maxEpochNS {
+		return h, fmt.Errorf("%w: implausible epoch %dns", ErrBadHello, h.EpochNS)
+	}
+	if len(h.Fabric) > maxFabricName {
+		return h, fmt.Errorf("%w: fabric name %d bytes", ErrBadHello, len(h.Fabric))
+	}
+	if len(h.Topo) > capHello {
+		return h, fmt.Errorf("%w: topology spec %d bytes", ErrBadHello, len(h.Topo))
+	}
+	return h, nil
+}
+
+// ReportError is the typed rejection a Validator returns: the report
+// (attributed to Switch when the ID itself was credible) failed a
+// semantic admission check.
+type ReportError struct {
+	Switch topo.NodeID
+	// SwitchKnown is false when the switch ID itself was the problem, so
+	// rejection accounting must not attribute the report to a real node.
+	SwitchKnown bool
+	Reason      string
+}
+
+func (e *ReportError) Error() string {
+	if e.SwitchKnown {
+		return fmt.Sprintf("wire: report from switch %d rejected: %s", e.Switch, e.Reason)
+	}
+	return fmt.Sprintf("wire: report rejected: %s", e.Reason)
+}
+
+// Validator bounds limits for fields the handshake does not declare.
+const (
+	maxReportEpochs = 4096
+	maxFlowSlots    = 1 << 20
+	// maxPauseAheadNS bounds how far a live pause register may extend past
+	// the snapshot time; PFC pauses are microseconds, a pause a full
+	// second in the future is fabricated.
+	maxPauseAheadNS = int64(1e9)
+)
+
+// Validator performs semantic admission checks on decoded telemetry
+// reports against a session's handshake-declared topology: switch and
+// port IDs must exist in the fabric the peer itself declared, counters
+// must be non-negative, snapshot times must advance monotonically per
+// switch, and durations must be physically plausible. It is stateful
+// (per-session) and not safe for concurrent use — sessions are
+// single-reader.
+type Validator struct {
+	ports     []int // per-node port count from the handshake topology
+	isSwitch  []bool
+	lastTaken map[topo.NodeID]int64
+}
+
+// NewValidator builds a validator for the handshake-declared topology.
+func NewValidator(t *topo.Topology) *Validator {
+	v := &Validator{
+		ports:     make([]int, len(t.Nodes)),
+		isSwitch:  make([]bool, len(t.Nodes)),
+		lastTaken: make(map[topo.NodeID]int64),
+	}
+	for i, n := range t.Nodes {
+		v.ports[i] = len(n.Ports)
+		v.isSwitch[i] = n.Kind == topo.KindSwitch
+	}
+	return v
+}
+
+func reject(sw topo.NodeID, known bool, format string, args ...any) error {
+	return &ReportError{Switch: sw, SwitchKnown: known, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckReport admits or rejects one decoded report. On admission the
+// per-switch monotonicity watermark advances; a rejected report leaves
+// no state behind.
+func (v *Validator) CheckReport(r *telemetry.Report) error {
+	sw := r.Switch
+	if int(sw) < 0 || int(sw) >= len(v.ports) {
+		return reject(sw, false, "switch %d outside the handshake topology (%d nodes)", sw, len(v.ports))
+	}
+	if !v.isSwitch[sw] {
+		return reject(sw, false, "node %d is a host, not a switch", sw)
+	}
+	if r.Taken < 0 {
+		return reject(sw, true, "negative snapshot time %d", r.Taken)
+	}
+	declared := v.ports[sw]
+	if r.NumPorts <= 0 || r.NumPorts > declared {
+		return reject(sw, true, "port count %d disagrees with handshake topology (%d ports)", r.NumPorts, declared)
+	}
+	if r.NumEpochs <= 0 || r.NumEpochs > maxReportEpochs {
+		return reject(sw, true, "implausible epoch ring size %d", r.NumEpochs)
+	}
+	if r.FlowSlots < 0 || r.FlowSlots > maxFlowSlots {
+		return reject(sw, true, "implausible flow table size %d", r.FlowSlots)
+	}
+	if len(r.Epochs) > r.NumEpochs {
+		return reject(sw, true, "%d epoch payloads from a %d-slot ring", len(r.Epochs), r.NumEpochs)
+	}
+	if len(r.Status) > r.NumPorts {
+		return reject(sw, true, "%d status records for %d ports", len(r.Status), r.NumPorts)
+	}
+	prevStart := int64(1<<63 - 1)
+	for i := range r.Epochs {
+		ep := &r.Epochs[i]
+		if ep.Ring < 0 || ep.Ring >= r.NumEpochs {
+			return reject(sw, true, "epoch ring index %d outside [0,%d)", ep.Ring, r.NumEpochs)
+		}
+		if ep.Start < 0 || ep.Start > r.Taken {
+			return reject(sw, true, "epoch start %d outside [0, taken=%d]", ep.Start, r.Taken)
+		}
+		// Snapshot extracts epochs newest-first; an out-of-order payload
+		// did not come from the snapshot path.
+		if int64(ep.Start) > prevStart {
+			return reject(sw, true, "epoch starts not newest-first (%d after %d)", ep.Start, prevStart)
+		}
+		prevStart = int64(ep.Start)
+		for j := range ep.Flows {
+			f := &ep.Flows[j]
+			if f.OutPort < 0 || f.OutPort >= r.NumPorts {
+				return reject(sw, true, "flow record egress port %d outside [0,%d)", f.OutPort, r.NumPorts)
+			}
+			if f.PausedCount > f.PktCount || f.DeepCount > f.PktCount {
+				return reject(sw, true, "flow record counts paused=%d deep=%d exceed packets=%d",
+					f.PausedCount, f.DeepCount, f.PktCount)
+			}
+		}
+		for j := range ep.Ports {
+			p := &ep.Ports[j]
+			if p.Port < 0 || p.Port >= r.NumPorts {
+				return reject(sw, true, "port record port %d outside [0,%d)", p.Port, r.NumPorts)
+			}
+			if p.PausedCount > p.PktCount {
+				return reject(sw, true, "port record paused=%d exceeds packets=%d", p.PausedCount, p.PktCount)
+			}
+		}
+	}
+	for i := range r.Meter {
+		m := &r.Meter[i]
+		if m.InPort < 0 || m.InPort >= r.NumPorts || m.OutPort < 0 || m.OutPort >= r.NumPorts {
+			return reject(sw, true, "meter cell (%d,%d) outside [0,%d)^2", m.InPort, m.OutPort, r.NumPorts)
+		}
+	}
+	for i := range r.Status {
+		st := &r.Status[i]
+		if st.Port < 0 || st.Port >= r.NumPorts {
+			return reject(sw, true, "status record port %d outside [0,%d)", st.Port, r.NumPorts)
+		}
+		if st.PausedUntil < 0 {
+			return reject(sw, true, "negative pause deadline %d", st.PausedUntil)
+		}
+		if int64(st.PausedUntil)-int64(r.Taken) > maxPauseAheadNS {
+			return reject(sw, true, "pause deadline %dns past snapshot time", int64(st.PausedUntil)-int64(r.Taken))
+		}
+		if st.QdepthBytes < 0 {
+			return reject(sw, true, "negative queue depth %d", st.QdepthBytes)
+		}
+	}
+	// Cross-report monotonicity: a snapshot older than one already
+	// admitted for this switch is a replay or a corrupted timestamp —
+	// admitting it would let stale evidence overwrite fresh.
+	if last, ok := v.lastTaken[sw]; ok && int64(r.Taken) < last {
+		return reject(sw, true, "snapshot time %d regressed below admitted %d", r.Taken, last)
+	}
+	v.lastTaken[sw] = int64(r.Taken)
+	return nil
+}

@@ -209,10 +209,15 @@ type IncidentEvent struct {
 	Incident FleetIncident `json:"incident"`
 }
 
-// WriteFrame emits one frame.
+// WriteFrame emits one frame. Per-type payload caps are enforced on the
+// write side too, so a peer that would be rejected fails loudly at the
+// source instead of poisoning the session.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooLarge
+	}
+	if err := checkCap(t, len(payload)); err != nil {
+		return err
 	}
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -240,6 +245,12 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 	if n > MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
+	// Per-type caps are checked before the body is allocated: a hostile
+	// header claiming 8 MiB behind a 21-byte message type never costs
+	// more than the 5 bytes already read.
+	if err := checkCap(MsgType(hdr[4]), int(n)); err != nil {
+		return 0, nil, err
+	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: truncated frame body: %w", err)
@@ -266,16 +277,25 @@ func EncodeDiagnoseRequest(victim packet.FiveTuple, atNS int64) []byte {
 	return b
 }
 
+// ErrBadRequest reports a malformed request payload.
+var ErrBadRequest = errors.New("wire: malformed request")
+
 // DecodeDiagnoseRequest parses a MsgDiagnose payload. The timestamp is
 // optional for backward compatibility: a bare 13-byte tuple decodes with
-// atNS = 0.
+// atNS = 0. Any other length is rejected — the payload has exactly two
+// valid shapes, and trailing garbage means a corrupted or hostile frame,
+// not a newer client.
 func DecodeDiagnoseRequest(b []byte) (packet.FiveTuple, int64, error) {
 	var ft packet.FiveTuple
+	if len(b) != packet.FiveTupleLen && len(b) != packet.FiveTupleLen+8 {
+		return ft, 0, fmt.Errorf("%w: diagnose payload is %d bytes, want %d or %d",
+			ErrBadRequest, len(b), packet.FiveTupleLen, packet.FiveTupleLen+8)
+	}
 	if err := ft.UnmarshalBinary(b); err != nil {
 		return ft, 0, err
 	}
 	var at int64
-	if len(b) >= packet.FiveTupleLen+8 {
+	if len(b) == packet.FiveTupleLen+8 {
 		at = int64(binary.BigEndian.Uint64(b[packet.FiveTupleLen:]))
 	}
 	return ft, at, nil

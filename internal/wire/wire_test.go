@@ -12,18 +12,26 @@ import (
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7}, 10000)}
-	for i, p := range payloads {
-		if err := WriteFrame(&buf, MsgType(i+1), p); err != nil {
-			t.Fatal(err)
+	frames := []struct {
+		t MsgType
+		p []byte
+	}{
+		{MsgHello, nil},
+		{MsgHelloOK, []byte{}},
+		{MsgReport, []byte("x")},
+		{MsgReport, bytes.Repeat([]byte{7}, 10000)},
+	}
+	for i, fr := range frames {
+		if err := WriteFrame(&buf, fr.t, fr.p); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
 		}
 	}
-	for i, want := range payloads {
+	for i, fr := range frames {
 		mt, got, err := ReadFrame(&buf)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if mt != MsgType(i+1) || !bytes.Equal(got, want) {
+		if mt != fr.t || !bytes.Equal(got, fr.p) {
 			t.Fatalf("frame %d mismatch: type=%d len=%d", i, mt, len(got))
 		}
 	}
@@ -35,7 +43,12 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRoundTripQuick(t *testing.T) {
 	f := func(mt uint8, payload []byte) bool {
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, MsgType(mt), payload); err != nil {
+		err := WriteFrame(&buf, MsgType(mt), payload)
+		if len(payload) > PayloadCap(MsgType(mt)) {
+			// Over the type's cap: the writer must refuse.
+			return err != nil
+		}
+		if err != nil {
 			return false
 		}
 		got, data, err := ReadFrame(&buf)
