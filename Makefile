@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -52,11 +52,24 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzIncidentQuery$$' -fuzztime=10s -run='^$$' ./internal/analyzd
 	$(GO) test -fuzz='^FuzzWALRecord$$' -fuzztime=10s -run='^$$' ./internal/fleetstore/wal
 
+# rollup-smoke proves the summarization contract end to end: the
+# three-fabric example must produce a rollup stream >= 10x quieter than
+# the raw incident firehose with drill-down recovering the constituent
+# incidents (it exits non-zero otherwise), backed by the sketch
+# error-bound and memory-cap suites and the wire-level rollup tests.
+rollup-smoke:
+	$(GO) run ./examples/rollup
+	$(GO) test -race ./internal/rollup
+	$(GO) test -race -run 'TestRollup|TestResubscribe' ./internal/analyzd
+
 # bench is the perf gate: run the harness suite (sim hot paths,
-# telemetry extraction, serial + parallel EvalRun sweeps) and fail on a
-# >25% ns/op regression — or any new allocation on a zero-alloc path —
-# against the committed baseline. trials/sec and the parallel speedup
-# land in the printed report.
+# telemetry extraction, rollup ingest, serial + parallel EvalRun
+# sweeps) and fail on a >25% ns/op regression — or any new allocation
+# on a zero-alloc path — against the committed baseline. trials/sec and
+# the parallel speedup land in the printed report. The baseline records
+# its GOMAXPROCS and the gate refuses to compare across core counts;
+# run with GOMAXPROCS matching BENCH_experiments.json or re-record via
+# bench-baseline.
 bench:
 	$(GO) run ./cmd/hawkeye-perf -baseline BENCH_experiments.json -gate 0.25
 

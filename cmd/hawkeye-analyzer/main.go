@@ -71,8 +71,10 @@ func main() {
 		st.Sessions, st.Reports, st.Diagnoses)
 	fmt.Printf("fleet store: %d ingested, %d dropped, %d evicted; %d incidents (%d open)\n",
 		st.Ingested, st.Dropped, st.Evicted, st.Incidents, st.OpenIncidents)
-	fmt.Printf("admission: shed %d subscriptions, %d queries; %d WAL errors\n",
-		st.ShedSubscriptions, st.ShedQueries, st.WALErrors)
+	fmt.Printf("admission: shed %d subscriptions, %d queries, %d rollup subscriptions; %d WAL errors\n",
+		st.ShedSubscriptions, st.ShedQueries, st.ShedRollups, st.WALErrors)
+	fmt.Printf("rollups: %d windows closed (%d still open), %d sketch evictions, %d bytes in use\n",
+		st.RollupWindowsClosed, st.RollupWindowsOpen, st.RollupEvictions, st.RollupBytes)
 	fmt.Printf("hostile input: %d decode errors, %d rejected reports, %d clamped values, %d sessions quarantined\n",
 		st.DecodeErrors, st.RejectedReports, st.ClampedValues, st.QuarantinedSessions)
 }

@@ -11,8 +11,16 @@
 //	hawkeye-fleet -addr 127.0.0.1:9393 -from 1ms -to 5ms
 //	hawkeye-fleet -addr 127.0.0.1:9393 -tail           # live subscription
 //	hawkeye-fleet -addr 127.0.0.1:9393 -tail -n 10     # stop after 10 events
+//	hawkeye-fleet -addr 127.0.0.1:9393 -tail -summary  # live rollup summaries
 //	hawkeye-fleet -data-dir /var/lib/hawkeye           # offline inspection
 //	hawkeye-fleet health -addr 127.0.0.1:9393          # lifecycle + load probe
+//	hawkeye-fleet rollups -addr 127.0.0.1:9393         # windowed rollups
+//	hawkeye-fleet rollups -sliding 8 -level switch -prefix podA/pod1
+//
+// Tails survive analyzer restarts: on a drain notice or connection
+// loss the subscription is re-established with capped exponential
+// backoff, and the tail resumes on the new server. Events emitted
+// while disconnected are not replayed — query the store for the gap.
 package main
 
 import (
@@ -20,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"hawkeye/internal/analyzd"
 	"hawkeye/internal/diagnosis"
@@ -35,10 +45,16 @@ func main() {
 		healthCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "rollups" {
+		rollupsCmd(os.Args[2:])
+		return
+	}
 
 	addr := flag.String("addr", "127.0.0.1:9393", "analyzer address")
 	dataDir := flag.String("data-dir", "", "inspect a durable store directory offline instead of dialing a server")
 	tail := flag.Bool("tail", false, "subscribe and stream incident events instead of querying")
+	summary := flag.Bool("summary", false, "with -tail: stream live rollup summaries instead of the incident firehose")
+	closedOnly := flag.Bool("closed-only", false, "with -tail -summary: only final window summaries")
 	n := flag.Int("n", 0, "with -tail: exit after this many events (0 = forever)")
 	fabric := flag.String("fabric", "", "filter: fabric name")
 	typ := flag.String("type", "", "filter: anomaly type (e.g. pfc-storm)")
@@ -47,6 +63,7 @@ func main() {
 	to := flag.Duration("to", 0, "filter: span end (0 = unbounded)")
 	limit := flag.Int("limit", 0, "query: cap the incident count (0 = all)")
 	flag.Parse()
+	rejectPositional(flag.Args())
 
 	if *dataDir != "" {
 		if *tail {
@@ -55,30 +72,45 @@ func main() {
 		offlineQuery(*dataDir, *fabric, *typ, *node, int64(*from), int64(*to), *limit)
 		return
 	}
+	if *summary && !*tail {
+		fail(errors.New("-summary needs -tail (use the rollups subcommand for queries)"))
+	}
 
-	c, err := analyzd.DialOperator(*addr)
+	c, err := analyzd.DialOperatorRetry(*addr, tailRetryConfig())
 	if err != nil {
 		fail(err)
 	}
 	defer c.Close()
 
 	if *tail {
+		if *summary {
+			if err := c.SubscribeRollups(wire.RollupSubscribeRequest{ClosedOnly: *closedOnly}); err != nil {
+				fail(err)
+			}
+			fmt.Printf("tailing rollup summaries on %s (ctrl-c to stop)\n", *addr)
+			tailLoop(c, *n, func() error {
+				ev, err := c.NextRollup()
+				if err != nil {
+					return err
+				}
+				printRollupEvent(ev)
+				return nil
+			})
+			return
+		}
 		req := wire.SubscribeRequest{Fabric: *fabric, Type: *typ, Node: *node}
 		if err := c.Subscribe(req); err != nil {
 			fail(err)
 		}
 		fmt.Printf("tailing incidents on %s (ctrl-c to stop)\n", *addr)
-		for i := 0; *n == 0 || i < *n; i++ {
+		tailLoop(c, *n, func() error {
 			ev, err := c.NextEvent()
 			if err != nil {
-				if errors.Is(err, analyzd.ErrServerDraining) {
-					fmt.Println("server draining; tail closed")
-					return
-				}
-				fail(err)
+				return err
 			}
 			printEvent(ev)
-		}
+			return nil
+		})
 		return
 	}
 
@@ -104,11 +136,94 @@ func main() {
 	fmt.Printf("%d incident(s)\n", len(incs))
 }
 
+// tailRetryConfig is patient: a tail is a long-lived watch, so it
+// rides out an analyzer restart (drain + replay can take seconds)
+// instead of giving up on the reporting client's tight schedule.
+func tailRetryConfig() analyzd.RetryConfig {
+	rc := analyzd.DefaultRetryConfig()
+	rc.MaxAttempts = 20
+	rc.BaseBackoff = 100 * time.Millisecond
+	rc.MaxBackoff = 3 * time.Second
+	return rc
+}
+
+// tailLoop pumps events through next, resubscribing with backoff when
+// the server drains or the connection drops, so the tail survives an
+// analyzer restart. Only a failed resubscription ends the loop.
+func tailLoop(c *analyzd.Client, n int, next func() error) {
+	for i := 0; n == 0 || i < n; i++ {
+		if err := next(); err != nil {
+			if errors.Is(err, analyzd.ErrServerDraining) {
+				fmt.Println("server draining; reconnecting...")
+			} else {
+				fmt.Printf("tail interrupted (%v); reconnecting...\n", err)
+			}
+			if err := c.Resubscribe(); err != nil {
+				fail(fmt.Errorf("resubscribe: %w", err))
+			}
+			fmt.Println("subscription restored")
+			i-- // the failed read produced no event
+			continue
+		}
+	}
+}
+
+// rejectPositional fails on leftover arguments: subcommands go before
+// flags, so `hawkeye-fleet -addr X rollups` would otherwise silently
+// run the default incident query instead of the rollups command.
+func rejectPositional(rest []string) {
+	if len(rest) > 0 {
+		fail(fmt.Errorf("unexpected argument %q (subcommands go first: hawkeye-fleet %s -addr ...)", rest[0], rest[0]))
+	}
+}
+
+// rollupsCmd queries the analyzer's windowed rollups.
+func rollupsCmd(args []string) {
+	fs := flag.NewFlagSet("rollups", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9393", "analyzer address")
+	windows := fs.Int("windows", 0, "return only the most recent N windows (0 = all retained)")
+	sliding := fs.Int("sliding", 0, "also merge the last N windows into one sliding view")
+	level := fs.String("level", "", "drill down to one hierarchy level: fabric, pod, switch or port")
+	prefix := fs.String("prefix", "", "drill down to keys under this path prefix (e.g. fabA/pod2)")
+	closed := fs.Bool("closed-only", false, "exclude still-open windows")
+	fs.Parse(args)
+	rejectPositional(fs.Args())
+
+	c, err := analyzd.DialOperator(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+	res, err := c.QueryRollups(wire.RollupQuery{
+		Windows:    *windows,
+		Sliding:    *sliding,
+		Level:      *level,
+		Prefix:     *prefix,
+		ClosedOnly: *closed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if len(res.Windows) == 0 {
+		fmt.Println("no rollup windows")
+		return
+	}
+	for i := range res.Windows {
+		printSummary(&res.Windows[i])
+	}
+	fmt.Printf("%d window(s)\n", len(res.Windows))
+	if res.Sliding != nil {
+		fmt.Println("sliding view:")
+		printSummary(res.Sliding)
+	}
+}
+
 // healthCmd probes a server's lifecycle state and load counters.
 func healthCmd(args []string) {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9393", "analyzer address")
 	fs.Parse(args)
+	rejectPositional(fs.Args())
 
 	c, err := analyzd.DialOperator(*addr)
 	if err != nil {
@@ -128,7 +243,10 @@ func healthCmd(args []string) {
 	fmt.Printf("ingest load: %.0f%% (%d ingested, %d dropped)\n", h.Load*100, h.Ingested, h.Dropped)
 	fmt.Printf("sessions: %d, diagnoses: %d, open incidents: %d\n",
 		h.Sessions, h.Diagnoses, h.OpenIncidents)
-	fmt.Printf("shed: %d subscriptions, %d queries\n", h.ShedSubscriptions, h.ShedQueries)
+	fmt.Printf("shed: %d subscriptions, %d queries, %d rollup subscriptions\n",
+		h.ShedSubscriptions, h.ShedQueries, h.ShedRollups)
+	fmt.Printf("rollups: %d windows open, %d closed, %d sketch evictions, %d bytes\n",
+		h.RollupWindowsOpen, h.RollupWindowsClosed, h.RollupEvictions, h.RollupBytes)
 	if h.WALErrors > 0 {
 		fmt.Printf("WARNING: %d WAL errors (records kept in memory only)\n", h.WALErrors)
 	}
@@ -188,6 +306,62 @@ func offlineQuery(dir, fabric, typ string, node int, fromNS, toNS int64, limit i
 		printIncident(&w)
 	}
 	fmt.Printf("%d incident(s)\n", len(incs))
+}
+
+func printRollupEvent(ev *wire.RollupEvent) {
+	s := &ev.Summary
+	fmt.Printf("[%s] %v .. %v  %d record(s)  %s\n",
+		strings.ToUpper(ev.Kind), sim.Time(s.StartNS), sim.Time(s.EndNS), s.Records, s.Headline)
+}
+
+// printSummary renders one rollup window: headline, attribute counts,
+// per-level heavy hitters and the latency/confidence distributions.
+func printSummary(s *wire.RollupSummary) {
+	state := "open"
+	if s.Closed {
+		state = "closed"
+	}
+	fmt.Printf("window %v .. %v (%s) %d record(s)  %s\n",
+		sim.Time(s.StartNS), sim.Time(s.EndNS), state, s.Records, s.Headline)
+	printCounts("types", s.ByType)
+	printCounts("causes", s.ByCause)
+	printCounts("confidence", s.ByConfidence)
+	for _, level := range []string{"fabric", "pod", "switch", "port"} {
+		hits := s.Top[level]
+		if len(hits) == 0 {
+			continue
+		}
+		parts := make([]string, len(hits))
+		for i, h := range hits {
+			parts[i] = fmt.Sprintf("%s=%d(±%d)", h.Key, h.Count, h.Err)
+		}
+		fmt.Printf("    top %-6s %s\n", level, strings.Join(parts, " "))
+	}
+	if s.StallNS.Count > 0 {
+		fmt.Printf("    stall p50=%v p90=%v p99=%v max=%v\n",
+			time.Duration(s.StallNS.P50), time.Duration(s.StallNS.P90),
+			time.Duration(s.StallNS.P99), time.Duration(s.StallNS.Max))
+	}
+	if s.Score.Count > 0 {
+		fmt.Printf("    score p50=%.2f p90=%.2f max=%.2f\n", s.Score.P50, s.Score.P90, s.Score.Max)
+	}
+	fmt.Printf("    sketch: %d bytes, %d evictions\n", s.Bytes, s.Evictions)
+}
+
+func printCounts(label string, m map[string]uint64) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	fmt.Printf("    %-10s %s\n", label, strings.Join(parts, " "))
 }
 
 func printEvent(ev *wire.IncidentEvent) {

@@ -78,7 +78,10 @@ func main() {
 		case err != nil:
 			fatal("%v", err)
 		default:
-			regs := perf.Compare(base, rep, *gate)
+			regs, err := perf.Compare(base, rep, *gate)
+			if err != nil {
+				fatal("%v", err)
+			}
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
 			}

@@ -56,6 +56,7 @@ const (
 const (
 	TierSubscriptions = "subscriptions"
 	TierQueries       = "queries"
+	TierRollups       = "rollups"
 )
 
 // admission holds the shed thresholds and per-tier counters.
@@ -66,6 +67,7 @@ type admission struct {
 
 	shedSubscriptions atomic.Uint64
 	shedQueries       atomic.Uint64
+	shedRollups       atomic.Uint64
 }
 
 func newAdmission(subsAt, queriesAt float64, retryMs int64) *admission {
@@ -97,6 +99,17 @@ func (a *admission) admitSubscription(load float64) bool {
 func (a *admission) admitQuery(load float64) bool {
 	if load >= a.queriesAt {
 		a.shedQueries.Add(1)
+		return false
+	}
+	return true
+}
+
+// admitRollup gates live rollup subscriptions: same threshold as
+// incident subscriptions (both are tails a client can retry), but
+// counted separately so an operator can see which stream was refused.
+func (a *admission) admitRollup(load float64) bool {
+	if load >= a.subscriptionsAt {
+		a.shedRollups.Add(1)
 		return false
 	}
 	return true

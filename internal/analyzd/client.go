@@ -74,6 +74,12 @@ type Client struct {
 
 	// Redials counts successful reconnects after transport failures.
 	Redials int
+
+	// lastSub remembers the most recent successful subscription request
+	// (incident or rollup) so Resubscribe can restore the tail on a
+	// fresh session after the analyzer restarts.
+	lastSubType wire.MsgType
+	lastSubBody []byte
 }
 
 // Dial connects and performs the handshake: the fabric topology and the
@@ -389,7 +395,93 @@ func (c *Client) Subscribe(req wire.SubscribeRequest) error {
 	if mt != wire.MsgSubscribeOK {
 		return fmt.Errorf("analyzd: unexpected reply type %d", mt)
 	}
+	c.lastSubType, c.lastSubBody = wire.MsgSubscribe, body
 	return nil
+}
+
+// SubscribeRollups turns this session into a live rollup tail: the
+// server acknowledges, then pushes MsgRollupEvent frames as windows
+// open, update and close. After SubscribeRollups, NextRollup is the
+// only valid call. Same throttling contract as Subscribe.
+func (c *Client) SubscribeRollups(req wire.RollupSubscribeRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("analyzd: encode rollup subscribe: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgSubscribeRollups, body)
+	if err != nil {
+		return fmt.Errorf("analyzd: subscribe rollups: %w", err)
+	}
+	if mt == wire.MsgError {
+		return fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgSubscribeOK {
+		return fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	c.lastSubType, c.lastSubBody = wire.MsgSubscribeRollups, body
+	return nil
+}
+
+// ErrNoSubscription reports a Resubscribe with nothing to restore.
+var ErrNoSubscription = errors.New("analyzd: no subscription to restore")
+
+// Resubscribe re-establishes the session's last successful
+// subscription (incident or rollup) on a fresh connection, with the
+// client's capped exponential backoff between attempts. It is how a
+// tail survives an analyzer restart: on ErrServerDraining or a
+// connection error from NextEvent/NextRollup, call Resubscribe and
+// resume the event loop. Events emitted while disconnected are gone —
+// the rollup/incident stores retain the summaries, so a tail that
+// cares can query the gap.
+func (c *Client) Resubscribe() error {
+	if c.lastSubType == 0 {
+		return ErrNoSubscription
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			c.backoff(attempt - 1)
+		}
+		if err := c.reconnect(); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := wire.WriteFrame(c.conn, c.lastSubType, c.lastSubBody); err != nil {
+			lastErr = err
+			continue
+		}
+	read:
+		mt, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case mt == wire.MsgSubscribeOK:
+			return nil
+		case mt == wire.MsgThrottle:
+			var th wire.Throttle
+			_ = json.Unmarshal(payload, &th)
+			lastErr = fmt.Errorf("analyzd: %s tier shed the subscription: %w", th.Tier, ErrThrottled)
+			if th.RetryAfterMs > 0 {
+				c.sleepFor(time.Duration(th.RetryAfterMs) * time.Millisecond)
+			}
+			continue
+		case mt == wire.MsgShutdown:
+			// Mid-drain: keep backing off, the next attempt may land on
+			// the restarted server.
+			lastErr = ErrServerDraining
+			continue
+		case mt == wire.MsgError:
+			return fmt.Errorf("analyzd: server error: %s", payload)
+		case !wire.Known(mt):
+			goto read
+		default:
+			lastErr = fmt.Errorf("analyzd: unexpected reply type %d", mt)
+			continue
+		}
+	}
+	return lastErr
 }
 
 // Health asks the server for its lifecycle state and load counters.
@@ -411,6 +503,58 @@ func (c *Client) Health() (*wire.Health, error) {
 		return nil, fmt.Errorf("analyzd: decode health: %w", err)
 	}
 	return &h, nil
+}
+
+// QueryRollups asks the analyzer's summarizer for windowed rollup
+// summaries.
+func (c *Client) QueryRollups(q wire.RollupQuery) (*wire.RollupResult, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode rollup query: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgQueryRollups, body)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: query rollups: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgRollupList {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var out wire.RollupResult
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, fmt.Errorf("analyzd: decode rollups: %w", err)
+	}
+	return &out, nil
+}
+
+// NextRollup blocks for the next pushed rollup event; the NextEvent
+// contract (unknown frames skipped, MsgShutdown -> ErrServerDraining)
+// applies.
+func (c *Client) NextRollup() (*wire.RollupEvent, error) {
+	for {
+		mt, payload, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("analyzd: next rollup: %w", err)
+		}
+		switch {
+		case mt == wire.MsgRollupEvent:
+			var ev wire.RollupEvent
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				return nil, fmt.Errorf("analyzd: decode rollup event: %w", err)
+			}
+			return &ev, nil
+		case mt == wire.MsgShutdown:
+			return nil, ErrServerDraining
+		case mt == wire.MsgError:
+			return nil, fmt.Errorf("analyzd: server error: %s", payload)
+		case !wire.Known(mt):
+			continue
+		default:
+			return nil, fmt.Errorf("analyzd: unexpected frame type %d while tailing", mt)
+		}
+	}
 }
 
 // NextEvent blocks for the next pushed incident event. Unknown frame

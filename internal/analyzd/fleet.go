@@ -5,6 +5,7 @@ import (
 
 	"hawkeye/internal/diagnosis"
 	"hawkeye/internal/fleetstore"
+	"hawkeye/internal/rollup"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/topo"
 	"hawkeye/internal/wire"
@@ -81,5 +82,81 @@ func eventToWire(ev *fleetstore.Event) wire.IncidentEvent {
 	return wire.IncidentEvent{
 		Kind:     ev.Kind.String(),
 		Incident: incidentToWire(&ev.Incident),
+	}
+}
+
+// rollupQueryFromWire validates and maps a wire rollup query. Level is
+// checked against the known hierarchy so a typo returns an error
+// instead of a silently empty reply.
+func rollupQueryFromWire(wq wire.RollupQuery) (rollup.QueryOpts, error) {
+	if wq.Level != "" {
+		ok := false
+		for _, l := range rollup.Levels {
+			if l == wq.Level {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return rollup.QueryOpts{}, fmt.Errorf("unknown rollup level %q (want fabric, pod, switch or port)", wq.Level)
+		}
+	}
+	return rollup.QueryOpts{
+		Windows:    wq.Windows,
+		Sliding:    wq.Sliding,
+		Level:      wq.Level,
+		Prefix:     wq.Prefix,
+		ClosedOnly: wq.ClosedOnly,
+	}, nil
+}
+
+func quantilesToWire(q rollup.Quantiles) wire.RollupQuantiles {
+	return wire.RollupQuantiles{Count: q.Count, P50: q.P50, P90: q.P90, P99: q.P99, Max: q.Max}
+}
+
+func summaryToWire(sum *rollup.Summary) wire.RollupSummary {
+	out := wire.RollupSummary{
+		StartNS:      int64(sum.Start),
+		EndNS:        int64(sum.End),
+		Closed:       sum.Closed,
+		Records:      sum.Records,
+		ByType:       sum.ByType,
+		ByCause:      sum.ByCause,
+		ByConfidence: sum.ByConfidence,
+		StallNS:      quantilesToWire(sum.StallNS),
+		Score:        quantilesToWire(sum.Score),
+		Bytes:        sum.Bytes,
+		Evictions:    sum.Evictions,
+		Headline:     sum.Headline,
+	}
+	if len(sum.TopLevels) > 0 {
+		out.Top = make(map[string][]wire.RollupHitter, len(sum.TopLevels))
+		for level, hitters := range sum.TopLevels {
+			hs := make([]wire.RollupHitter, len(hitters))
+			for i, h := range hitters {
+				hs[i] = wire.RollupHitter{Key: h.Key, Count: h.Count, Err: h.Err}
+			}
+			out.Top[level] = hs
+		}
+	}
+	return out
+}
+
+func rollupResultToWire(res rollup.Result) wire.RollupResult {
+	out := wire.RollupResult{}
+	for i := range res.Panes {
+		out.Windows = append(out.Windows, summaryToWire(&res.Panes[i]))
+	}
+	if res.Sliding != nil {
+		sl := summaryToWire(res.Sliding)
+		out.Sliding = &sl
+	}
+	return out
+}
+
+func rollupEventToWire(ev *rollup.Event) wire.RollupEvent {
+	return wire.RollupEvent{
+		Kind:    ev.Kind.String(),
+		Summary: summaryToWire(&ev.Summary),
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/host"
 	"hawkeye/internal/provenance"
+	"hawkeye/internal/rollup"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/telemetry"
 	"hawkeye/internal/topo"
@@ -43,6 +44,9 @@ import (
 type Options struct {
 	// Fleet sizes the fleet store (zero value = DefaultConfig).
 	Fleet fleetstore.Config
+	// Rollup sizes the live rollup summarizer riding the fleet store's
+	// admission stream (zero value = rollup.DefaultConfig).
+	Rollup rollup.Config
 	// DataDir, when non-empty, makes the fleet store durable: Open
 	// replays the snapshot + WAL under this directory before the server
 	// starts serving, and every admitted diagnosis is logged.
@@ -85,10 +89,12 @@ type Server struct {
 	DiagnosisConfig diagnosis.Config
 
 	// fleet is the shared diagnosis history; pipe is its ingest front;
-	// adm is the tiered load shedder in front of the sheddable verbs.
+	// adm is the tiered load shedder in front of the sheddable verbs;
+	// roll summarizes the admission stream into windowed rollups.
 	fleet *fleetstore.Store
 	pipe  *fleetstore.Pipeline
 	adm   *admission
+	roll  *rollup.Summarizer
 
 	// state is the lifecycle phase (State values).
 	state atomic.Int32
@@ -158,6 +164,16 @@ type Stats struct {
 	RejectedReports     uint64
 	ClampedValues       uint64
 	QuarantinedSessions uint64
+	// Rollup summarizer counters: windows currently open / already
+	// closed, accuracy-losing sketch evictions, accounted bytes in use,
+	// rollup events lost to slow subscribers, and rollup subscriptions
+	// refused under load.
+	RollupWindowsOpen   int
+	RollupWindowsClosed uint64
+	RollupEvictions     uint64
+	RollupBytes         int
+	RollupEventsDropped uint64
+	ShedRollups         uint64
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") with a default
@@ -192,6 +208,10 @@ func ListenOpts(addr string, o Options) (*Server, error) {
 	if cfg == (fleetstore.Config{}) {
 		cfg = fleetstore.DefaultConfig()
 	}
+	// The summarizer observes the store's admission stream, so WAL
+	// replay rebuilds the rollup windows alongside the incidents.
+	s.roll = rollup.New(o.Rollup)
+	cfg.Observer = s.roll
 	var st *fleetstore.Store
 	if o.DataDir != "" {
 		s.state.Store(int32(StateReplaying))
@@ -231,9 +251,13 @@ func (s *Server) Fleet() *fleetstore.Store { return s.fleet }
 // State returns the lifecycle phase.
 func (s *Server) State() State { return State(s.state.Load()) }
 
+// Rollups exposes the server's summarizer (in-process consumers).
+func (s *Server) Rollups() *rollup.Summarizer { return s.roll }
+
 // Stats returns activity counters.
 func (s *Server) Stats() Stats {
 	fc := s.fleet.CountersSnapshot()
+	rs := s.roll.Stats()
 	return Stats{
 		Sessions:          int(s.sessions.Load()),
 		Reports:           int(s.reports.Load()),
@@ -253,6 +277,13 @@ func (s *Server) Stats() Stats {
 		RejectedReports:     s.rejectedReports.Load(),
 		ClampedValues:       s.clampedValues.Load(),
 		QuarantinedSessions: s.quarantined.Load(),
+
+		RollupWindowsOpen:   rs.WindowsOpen,
+		RollupWindowsClosed: rs.WindowsClosed,
+		RollupEvictions:     rs.Evictions,
+		RollupBytes:         rs.BytesInUse,
+		RollupEventsDropped: rs.EventsDropped,
+		ShedRollups:         s.adm.shedRollups.Load(),
 	}
 }
 
@@ -271,6 +302,12 @@ func (s *Server) health() wire.Health {
 		ShedSubscriptions: st.ShedSubscriptions,
 		ShedQueries:       st.ShedQueries,
 		WALErrors:         st.WALErrors,
+
+		RollupWindowsOpen:   st.RollupWindowsOpen,
+		RollupWindowsClosed: st.RollupWindowsClosed,
+		RollupEvictions:     st.RollupEvictions,
+		RollupBytes:         st.RollupBytes,
+		ShedRollups:         st.ShedRollups,
 	}
 }
 
@@ -290,12 +327,14 @@ func (s *Server) Close() error {
 		// this, the connection map only shrinks.
 		err := s.lis.Close()
 		s.acceptWG.Wait()
-		// 2. Close the hub: forwarders see their event channel end,
-		// push the terminal shutdown frame and exit. Every live
-		// connection gets a write deadline first, so a subscriber that
-		// stopped reading cannot wedge a forwarder mid-event and stall
-		// the drain.
+		// 2. Close the hub (and the rollup subscriber streams):
+		// forwarders see their event channel end, push the terminal
+		// shutdown frame and exit. Every live connection gets a write
+		// deadline first, so a subscriber that stopped reading cannot
+		// wedge a forwarder mid-event and stall the drain. The
+		// summarizer itself keeps folding until the ingest flush below.
 		s.fleet.Hub().Close()
+		s.roll.CloseSubscribers()
 		deadline := time.Now().Add(drainDeadline)
 		s.mu.Lock()
 		for c := range s.conns {
@@ -312,8 +351,11 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 		s.wg.Wait()
 		// 4. Flush: drain the ingest queue into the store, then close
-		// the store (fsyncs the WAL and writes a final snapshot).
+		// the store (fsyncs the WAL and writes a final snapshot) and
+		// finalize the rollup windows so exit-summary counters cover
+		// the flushed tail.
 		s.pipe.Close()
+		s.roll.Close()
 		if cerr := s.fleet.Close(); err == nil {
 			err = cerr
 		}
@@ -384,8 +426,10 @@ type session struct {
 	// history records completed diagnoses for incident grouping (trigger
 	// order, the order requests arrive).
 	history []*core.Result
-	// sub is the live subscription, once MsgSubscribe arrived.
-	sub *fleetstore.Sub
+	// sub is the live incident subscription, once MsgSubscribe arrived;
+	// rsub the live rollup subscription (MsgSubscribeRollups).
+	sub  *fleetstore.Sub
+	rsub *rollup.Sub
 }
 
 func (sess *session) write(t wire.MsgType, payload []byte) error {
@@ -416,7 +460,7 @@ func (s *Server) handle(conn net.Conn) {
 		// Subscribed sessions idle by design — their traffic flows the
 		// other way — so the per-frame deadline only polices sessions that
 		// owe us frames.
-		if s.readTimeout > 0 && sess.sub == nil {
+		if s.readTimeout > 0 && sess.sub == nil && sess.rsub == nil {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}
 		return wire.ReadFrame(conn)
@@ -465,6 +509,9 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		if sess.sub != nil {
 			s.fleet.Hub().Unsubscribe(sess.sub)
+		}
+		if sess.rsub != nil {
+			s.roll.Unsubscribe(sess.rsub)
 		}
 	}()
 
@@ -619,6 +666,47 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		}
 		s.fwdWG.Add(1)
 		go s.forwardEvents(sess)
+	case wire.MsgQueryRollups:
+		// Rollup queries shed with the incident-query tier: both are
+		// operator reads against settled state.
+		if !s.adm.admitQuery(s.pipe.Load()) {
+			return s.throttle(sess, TierQueries)
+		}
+		var wq wire.RollupQuery
+		if err := json.Unmarshal(payload, &wq); err != nil {
+			sendErr(fmt.Sprintf("bad rollup query: %v", err))
+			return false
+		}
+		q, err := rollupQueryFromWire(wq)
+		if err != nil {
+			sendErr(err.Error())
+			return false
+		}
+		// Read-your-writes: settle the ingest queue before answering.
+		s.pipe.Drain()
+		res := s.roll.Query(q)
+		if err := sess.writeJSON(wire.MsgRollupList, rollupResultToWire(res)); err != nil {
+			return false
+		}
+	case wire.MsgSubscribeRollups:
+		if !s.adm.admitRollup(s.pipe.Load()) {
+			return s.throttle(sess, TierRollups)
+		}
+		var req wire.RollupSubscribeRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			sendErr(fmt.Sprintf("bad rollup subscribe request: %v", err))
+			return false
+		}
+		if sess.rsub != nil {
+			sendErr("already subscribed to rollups")
+			return false
+		}
+		sess.rsub = s.roll.Subscribe(req.ClosedOnly, 0)
+		if err := sess.write(wire.MsgSubscribeOK, nil); err != nil {
+			return false
+		}
+		s.fwdWG.Add(1)
+		go s.forwardRollups(sess)
 	case wire.MsgHealth:
 		// Health is answered in every lifecycle state and on every
 		// session kind: it is how supervisors watch the drain.
@@ -647,6 +735,24 @@ func (s *Server) forwardEvents(sess *session) {
 	}
 	if s.State() == StateDraining {
 		// Bound the goodbye: a wedged subscriber must not stall Close.
+		_ = sess.conn.SetWriteDeadline(time.Now().Add(drainDeadline))
+		_ = sess.write(wire.MsgShutdown, nil)
+		_ = sess.conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// forwardRollups is forwardEvents for the rollup stream: it pushes
+// window summaries until the subscription closes (session teardown or
+// server drain), then tells a draining tail goodbye.
+func (s *Server) forwardRollups(sess *session) {
+	defer s.fwdWG.Done()
+	for ev := range sess.rsub.Events() {
+		if err := sess.writeJSON(wire.MsgRollupEvent, rollupEventToWire(&ev)); err != nil {
+			sess.conn.Close() // unblock the read loop; it unsubscribes
+			return
+		}
+	}
+	if s.State() == StateDraining {
 		_ = sess.conn.SetWriteDeadline(time.Now().Add(drainDeadline))
 		_ = sess.write(wire.MsgShutdown, nil)
 		_ = sess.conn.SetWriteDeadline(time.Time{})
@@ -684,8 +790,13 @@ func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wir
 	}
 	sess.history = append(sess.history, res)
 	// Feed the fleet store; a full queue sheds the record (counted)
-	// rather than stalling this session.
-	s.pipe.Offer(fleetstore.NewRecord(sess.fabric, res))
+	// rather than stalling this session. The pod label rides along so
+	// rollups can key their hierarchy without re-deriving topology.
+	rec := fleetstore.NewRecord(sess.fabric, res)
+	if n := int(rec.Node); n >= 0 && n < len(sess.topo.Nodes) {
+		rec.Pod = topo.PodLabel(sess.topo.Nodes[n].Name)
+	}
+	s.pipe.Offer(rec)
 	cause := d.PrimaryCause()
 	reply := wire.Diagnosis{
 		Type:        d.Type.String(),

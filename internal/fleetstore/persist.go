@@ -148,8 +148,14 @@ func (st *Store) restore(payload []byte) error {
 	// Re-insert retained records in admission order. Cluster state came
 	// from the snapshot, so this only rebuilds the rings — including
 	// evicting (with membership withdrawal) if the new config retains
-	// less than the snapshot held.
-	for _, pe := range ps.Entries {
+	// less than the snapshot held. The observer sees each record again
+	// so observer-side state (rollup windows) recovers with the store;
+	// WAL entries past the snapshot flow through insert as usual.
+	for i := range ps.Entries {
+		pe := &ps.Entries[i]
+		if st.cfg.Observer != nil {
+			st.cfg.Observer.ObserveRecord(&pe.Rec)
+		}
 		if old, evicted := st.shardFor(pe.Rec.Fabric, pe.Rec.At).add(entry{rec: pe.Rec, inc: pe.Inc}, st.cfg.ShardCapacity); evicted {
 			st.evicted.Add(1)
 			st.cl.evict(old.inc, &old.rec)

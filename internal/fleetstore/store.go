@@ -45,6 +45,15 @@ type Record struct {
 	Culprits []string
 	// Loop is the deadlock cycle, when one was found.
 	Loop []topo.PortRef
+	// Pod names the congestion point's pod tier ("pod2"), empty when
+	// the topology has none. Rollups key their hierarchy on it.
+	Pod string
+	// Confidence/Score grade the evidence behind the verdict.
+	Confidence diagnosis.Confidence
+	Score      float64
+	// StallNS is the victim's offending RTT sample in ns (zero for
+	// timeout-triggered complaints).
+	StallNS int64
 }
 
 // NewRecord projects a completed diagnosis into a store record.
@@ -52,14 +61,17 @@ func NewRecord(fabric string, r *core.Result) Record {
 	d := r.Diagnosis
 	cause := d.PrimaryCause()
 	rec := Record{
-		Fabric: fabric,
-		At:     r.Trigger.At,
-		Victim: r.Trigger.Victim.String(),
-		Type:   d.Type,
-		Cause:  cause.Kind,
-		Node:   cause.Port.Node,
-		Port:   cause.Port.Port,
-		Loop:   d.Loop,
+		Fabric:     fabric,
+		At:         r.Trigger.At,
+		Victim:     r.Trigger.Victim.String(),
+		Type:       d.Type,
+		Cause:      cause.Kind,
+		Node:       cause.Port.Node,
+		Port:       cause.Port.Port,
+		Loop:       d.Loop,
+		Confidence: d.Confidence,
+		Score:      d.ConfidenceScore,
+		StallNS:    int64(r.Trigger.RTT),
 	}
 	for _, f := range cause.Flows {
 		rec.Culprits = append(rec.Culprits, f.String())
@@ -99,6 +111,24 @@ type Config struct {
 	// ReadOnly opens for inspection: replay without repairing the log,
 	// and no WAL appends or snapshots afterwards.
 	ReadOnly bool
+
+	// Observer, when set, sees every admitted record (live Adds and WAL
+	// replay alike, in admission order) and every watermark advance —
+	// the hook the rollup summarizer rides. Calls run on the admitting
+	// goroutine and must not block.
+	Observer RecordObserver
+}
+
+// RecordObserver taps the store's admission stream. Implementations
+// must be safe for concurrent calls (admissions are) and fast — the
+// store invokes them synchronously.
+type RecordObserver interface {
+	// ObserveRecord sees one admitted record after sequence stamping.
+	// The pointer is only valid for the duration of the call.
+	ObserveRecord(*Record)
+	// AdvanceWatermark mirrors Store.Sweep: all records at or before
+	// the watermark have been observed.
+	AdvanceWatermark(sim.Time)
 }
 
 // DefaultConfig returns sizes suitable for tests and examples; a
@@ -342,6 +372,9 @@ func (st *Store) Add(rec Record) Record {
 // insert folds a stamped record into cluster and ring state. Shared by
 // Add and WAL replay — replay is exactly re-running the admissions.
 func (st *Store) insert(rec Record) {
+	if st.cfg.Observer != nil {
+		st.cfg.Observer.ObserveRecord(&rec)
+	}
 	incID := st.cl.observe(rec)
 	if old, evicted := st.shardFor(rec.Fabric, rec.At).add(entry{rec: rec, inc: incID}, st.cfg.ShardCapacity); evicted {
 		st.evicted.Add(1)
@@ -358,7 +391,12 @@ func (st *Store) insert(rec Record) {
 // Sweep resolves open incidents whose join window has fully passed at
 // the given watermark time, publishing Resolved events. Callers feed it
 // the highest trigger time seen (ingest workers do this automatically).
-func (st *Store) Sweep(watermark sim.Time) { st.cl.sweep(watermark) }
+func (st *Store) Sweep(watermark sim.Time) {
+	st.cl.sweep(watermark)
+	if st.cfg.Observer != nil {
+		st.cfg.Observer.AdvanceWatermark(watermark)
+	}
+}
 
 // Query filters records and incidents. Zero values mean "any":
 // Fabric == "", Types == nil, Node < 0 (use AnyNode), To == 0.

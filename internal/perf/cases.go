@@ -5,10 +5,14 @@ import (
 	"testing"
 
 	"hawkeye/internal/device"
+	"hawkeye/internal/diagnosis"
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/packet"
+	"hawkeye/internal/rollup"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/telemetry"
+	"hawkeye/internal/topo"
 )
 
 // Case is one harness benchmark: a body runnable under testing.B (so the
@@ -47,6 +51,7 @@ func Cases(opts Options) []Case {
 		{Name: "sim/engine_churn", Bench: benchEngineChurn},
 		{Name: "telemetry/on_enqueue", Bench: benchTelemetryOnEnqueue},
 		{Name: "telemetry/snapshot_into", Bench: benchTelemetrySnapshotInto},
+		{Name: "rollup/observe", Bench: benchRollupObserve},
 		{
 			Name:        "experiments/eval_run_serial",
 			TrialsPerOp: evalTrialsPerOp,
@@ -140,6 +145,36 @@ func benchTelemetrySnapshotInto(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.SnapshotInto(&rep, 4)
+	}
+}
+
+// benchRollupObserve is the rollup summarizer's per-record fold — the
+// cost every admitted diagnosis pays on the analyzer's ingest path. The
+// record stream cycles through more distinct culprits than the sketches
+// retain, so the steady state exercises eviction, and time advances so
+// panes open, close and retire continuously.
+func benchRollupObserve(b *testing.B) {
+	s := rollup.New(rollup.DefaultConfig())
+	pane := s.Config().Pane
+	rec := fleetstore.Record{
+		Type:       diagnosis.TypePFCStorm,
+		Cause:      diagnosis.CauseHostInjection,
+		Confidence: diagnosis.ConfHigh,
+		Score:      0.9,
+	}
+	fabrics := [4]string{"fab0", "fab1", "fab2", "fab3"}
+	pods := [4]string{"pod0", "pod1", "pod2", "pod3"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.At = sim.Time(i) * (pane / 256)
+		rec.Fabric = fabrics[i%len(fabrics)]
+		rec.Pod = pods[(i/3)%len(pods)]
+		rec.Node = topo.NodeID(i % 64)
+		rec.Port = i % 16
+		rec.StallNS = int64(i%1000) * 100
+		s.ObserveRecord(&rec)
+		s.AdvanceWatermark(rec.At)
 	}
 }
 

@@ -90,7 +90,22 @@ func (r Regression) String() string {
 // allocating — alloc counts are machine-independent, so those are held
 // exactly. Benchmarks present in only one report are ignored, which is
 // what lets the suite grow without invalidating old baselines.
-func Compare(base, cur *Report, tol float64) []Regression {
+//
+// Reports recorded at different GOMAXPROCS are not comparable — the
+// parallel sweep's timings scale with core count, so gating a 1-core CI
+// run against an 8-core baseline yields phantom regressions (or worse,
+// phantom passes). Compare refuses the comparison outright; re-record
+// the baseline on a machine matching CI instead. A baseline predating
+// the stamp (GoMaxProcs == 0) is also refused: it was recorded before
+// the field was honest.
+func Compare(base, cur *Report, tol float64) ([]Regression, error) {
+	if base.GoMaxProcs == 0 {
+		return nil, fmt.Errorf("perf: baseline has no gomaxprocs stamp; re-record it")
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		return nil, fmt.Errorf("perf: baseline recorded at GOMAXPROCS=%d, current run at %d: timings are not comparable, re-record the baseline",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
 	var regs []Regression
 	for _, b := range base.Results {
 		c := cur.Find(b.Name)
@@ -125,5 +140,5 @@ func Compare(base, cur *Report, tol float64) []Regression {
 		}
 		return regs[i].Metric < regs[j].Metric
 	})
-	return regs
+	return regs, nil
 }

@@ -10,12 +10,41 @@ func report(results ...Result) *Report {
 	return &Report{GoMaxProcs: 1, GoVersion: "test", Results: results}
 }
 
+func mustCompare(t *testing.T, base, cur *Report, tol float64) []Regression {
+	t.Helper()
+	regs, err := Compare(base, cur, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+// TestCompareRefusesCoreCountMismatch pins the honesty rule: timings
+// recorded at different GOMAXPROCS never gate each other, and a
+// baseline without the stamp is rejected rather than trusted.
+func TestCompareRefusesCoreCountMismatch(t *testing.T) {
+	base := report(Result{Name: "a", NsPerOp: 100})
+	cur := report(Result{Name: "a", NsPerOp: 100})
+	cur.GoMaxProcs = 8
+	if _, err := Compare(base, cur, 0.25); err == nil {
+		t.Fatal("cross-core-count comparison accepted")
+	}
+	unstamped := report(Result{Name: "a", NsPerOp: 100})
+	unstamped.GoMaxProcs = 0
+	if _, err := Compare(unstamped, base, 0.25); err == nil {
+		t.Fatal("unstamped baseline accepted")
+	}
+	if _, err := Compare(base, report(Result{Name: "a", NsPerOp: 100}), 0.25); err != nil {
+		t.Fatalf("matched core counts refused: %v", err)
+	}
+}
+
 func TestCompareGatesNsPerOp(t *testing.T) {
 	base := report(Result{Name: "a", NsPerOp: 100})
-	if regs := Compare(base, report(Result{Name: "a", NsPerOp: 124}), 0.25); len(regs) != 0 {
+	if regs := mustCompare(t, base, report(Result{Name: "a", NsPerOp: 124}), 0.25); len(regs) != 0 {
 		t.Fatalf("within-tolerance run flagged: %v", regs)
 	}
-	regs := Compare(base, report(Result{Name: "a", NsPerOp: 126}), 0.25)
+	regs := mustCompare(t, base, report(Result{Name: "a", NsPerOp: 126}), 0.25)
 	if len(regs) != 1 || regs[0].Metric != "ns/op" {
 		t.Fatalf("regs = %v, want one ns/op regression", regs)
 	}
@@ -27,16 +56,16 @@ func TestCompareGatesNsPerOp(t *testing.T) {
 func TestCompareHoldsZeroAllocPathsExactly(t *testing.T) {
 	base := report(Result{Name: "a", NsPerOp: 100, AllocsPerOp: 0})
 	// A pooled path that starts allocating fails regardless of tolerance.
-	regs := Compare(base, report(Result{Name: "a", NsPerOp: 100, AllocsPerOp: 2}), 0.25)
+	regs := mustCompare(t, base, report(Result{Name: "a", NsPerOp: 100, AllocsPerOp: 2}), 0.25)
 	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
 		t.Fatalf("regs = %v, want one allocs/op regression", regs)
 	}
 	// Allocating paths get the fractional tolerance.
 	base = report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 10})
-	if regs := Compare(base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 12}), 0.25); len(regs) != 0 {
+	if regs := mustCompare(t, base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 12}), 0.25); len(regs) != 0 {
 		t.Fatalf("within-tolerance allocs flagged: %v", regs)
 	}
-	if regs := Compare(base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 13}), 0.25); len(regs) != 1 {
+	if regs := mustCompare(t, base, report(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 13}), 0.25); len(regs) != 1 {
 		t.Fatalf("regs = %v, want one allocs/op regression", regs)
 	}
 }
@@ -44,7 +73,7 @@ func TestCompareHoldsZeroAllocPathsExactly(t *testing.T) {
 func TestCompareIgnoresMissingBenchmarks(t *testing.T) {
 	base := report(Result{Name: "gone", NsPerOp: 1}, Result{Name: "kept", NsPerOp: 100})
 	cur := report(Result{Name: "kept", NsPerOp: 90}, Result{Name: "new", NsPerOp: 1e9})
-	if regs := Compare(base, cur, 0.25); len(regs) != 0 {
+	if regs := mustCompare(t, base, cur, 0.25); len(regs) != 0 {
 		t.Fatalf("suite growth flagged: %v", regs)
 	}
 }

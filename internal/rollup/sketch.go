@@ -1,0 +1,303 @@
+package rollup
+
+import (
+	"math"
+	"sort"
+)
+
+// Bounded-memory sketches for the rollup layer, sized for switch-style
+// budgets (the "Lean Algorithms" discipline): a SpaceSaving heavy-hitter
+// summary for the top-K culprit keys per hierarchy level, and a
+// DDSketch-style log-bucketed quantile sketch for stall-duration and
+// confidence-score distributions. Both have hard capacity caps fixed at
+// construction; overflow evicts (counted) instead of growing.
+
+// HeavyHitter is one reported top-K entry. Count is the SpaceSaving
+// estimate: an overestimate by at most Err (Count-Err <= true <= Count),
+// and every key whose true count exceeds N/capacity is guaranteed to be
+// present in the summary.
+type HeavyHitter struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// ssEntry is one monitored counter.
+type ssEntry struct {
+	count uint64
+	err   uint64
+}
+
+// TopK is a SpaceSaving heavy-hitter sketch over string keys: at most
+// cap monitored counters, each key bounded to maxKeyBytes. Not safe for
+// concurrent use; the Summarizer serializes access.
+type TopK struct {
+	capacity int
+	items    map[string]*ssEntry
+	keyBytes int // sum of stored key lengths (byte accounting)
+	// evictions counts monitored-key replacements — the sketch's
+	// error-introducing events.
+	evictions uint64
+	observed  uint64
+}
+
+// maxKeyBytes truncates hierarchy keys so a hostile fabric name cannot
+// inflate a sketch past its byte budget.
+const maxKeyBytes = 96
+
+// NewTopK builds a SpaceSaving sketch with the given capacity (min 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{capacity: capacity, items: make(map[string]*ssEntry, capacity)}
+}
+
+// Observe folds one occurrence of key. Keys longer than maxKeyBytes are
+// truncated. Allocation-free on the hot path for already-monitored keys.
+func (t *TopK) Observe(key []byte) {
+	if len(key) > maxKeyBytes {
+		key = key[:maxKeyBytes]
+	}
+	t.observed++
+	// map[string] lookup keyed by []byte: the compiler elides the copy.
+	if e, ok := t.items[string(key)]; ok {
+		e.count++
+		return
+	}
+	if len(t.items) < t.capacity {
+		t.items[string(key)] = &ssEntry{count: 1}
+		t.keyBytes += len(key)
+		return
+	}
+	// Replace the minimum counter (SpaceSaving eviction). Ties break on
+	// the lexicographically smallest key so the sketch is deterministic.
+	minKey, minE := "", (*ssEntry)(nil)
+	for k, e := range t.items {
+		if minE == nil || e.count < minE.count || (e.count == minE.count && k < minKey) {
+			minKey, minE = k, e
+		}
+	}
+	delete(t.items, minKey)
+	t.keyBytes += len(key) - len(minKey)
+	t.items[string(key)] = &ssEntry{count: minE.count + 1, err: minE.count}
+	t.evictions++
+}
+
+// ObserveString is Observe for callers holding a string.
+func (t *TopK) ObserveString(key string) {
+	b := []byte(key)
+	t.Observe(b)
+}
+
+// Estimate returns the sketch's count bound for key (0 if unmonitored).
+func (t *TopK) Estimate(key string) (count, err uint64, ok bool) {
+	if e, found := t.items[key]; found {
+		return e.count, e.err, true
+	}
+	return 0, 0, false
+}
+
+// Top returns the monitored entries, count-descending (key ascending on
+// ties), truncated to n when n > 0.
+func (t *TopK) Top(n int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(t.items))
+	for k, e := range t.items {
+		out = append(out, HeavyHitter{Key: k, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Merge folds other into t (pane merges for sliding windows): counts of
+// shared keys add, new keys are admitted, and the union is trimmed back
+// to capacity by dropping the smallest counters (counted as evictions).
+func (t *TopK) Merge(other *TopK) {
+	for k, oe := range other.items {
+		if e, ok := t.items[k]; ok {
+			e.count += oe.count
+			e.err += oe.err
+			continue
+		}
+		t.items[k] = &ssEntry{count: oe.count, err: oe.err}
+		t.keyBytes += len(k)
+	}
+	t.observed += other.observed
+	t.evictions += other.evictions
+	if len(t.items) <= t.capacity {
+		return
+	}
+	all := t.Top(0)
+	for _, hh := range all[t.capacity:] {
+		delete(t.items, hh.Key)
+		t.keyBytes -= len(hh.Key)
+		t.evictions++
+	}
+}
+
+// Len is the monitored-key count (<= capacity).
+func (t *TopK) Len() int { return len(t.items) }
+
+// Observed is the total number of Observe calls folded in.
+func (t *TopK) Observed() uint64 { return t.observed }
+
+// Evictions counts monitored-key replacements.
+func (t *TopK) Evictions() uint64 { return t.evictions }
+
+// ssEntryBytes approximates the per-entry overhead of the counter map
+// (bucket slot, pointer, entry struct); key bytes are accounted exactly.
+const ssEntryBytes = 48
+
+// Bytes is the sketch's accounted size.
+func (t *TopK) Bytes() int { return len(t.items)*ssEntryBytes + t.keyBytes }
+
+// Quantile is a DDSketch-style log-bucketed quantile sketch: values land
+// in bucket ceil(log_gamma(v)), so any reported quantile is within
+// relative error (gamma-1)/(gamma+1) of a true value at that rank, using
+// at most maxBuckets buckets. Overflowing the bucket budget collapses
+// the two lowest buckets (counted), degrading accuracy only at the
+// distribution's low end. Not safe for concurrent use.
+type Quantile struct {
+	gamma      float64
+	lnGamma    float64
+	maxBuckets int
+	buckets    map[int]uint64
+	zero       uint64 // values below minIndexable
+	count      uint64
+	max        float64
+	collapses  uint64
+}
+
+// minIndexable floors indexable values; anything smaller lands in the
+// zero bucket. 1e-9 keeps sub-nanosecond noise and exact zeros together.
+const minIndexable = 1e-9
+
+// NewQuantile builds a sketch with the given relative accuracy
+// (gamma > 1, e.g. 1.02 for ~2%) and bucket cap (min 8).
+func NewQuantile(gamma float64, maxBuckets int) *Quantile {
+	if gamma <= 1 {
+		gamma = 1.02
+	}
+	if maxBuckets < 8 {
+		maxBuckets = 8
+	}
+	return &Quantile{
+		gamma:      gamma,
+		lnGamma:    math.Log(gamma),
+		maxBuckets: maxBuckets,
+		buckets:    make(map[int]uint64, maxBuckets),
+	}
+}
+
+// Observe folds one value (negatives count as zero).
+func (q *Quantile) Observe(v float64) {
+	q.count++
+	if v > q.max {
+		q.max = v
+	}
+	if v < minIndexable {
+		q.zero++
+		return
+	}
+	idx := int(math.Ceil(math.Log(v) / q.lnGamma))
+	q.buckets[idx]++
+	if len(q.buckets) > q.maxBuckets {
+		q.collapseLowest()
+	}
+}
+
+// collapseLowest merges the lowest bucket into the next-lowest,
+// preserving total count while shedding one bucket.
+func (q *Quantile) collapseLowest() {
+	lo, lo2 := math.MaxInt, math.MaxInt
+	for idx := range q.buckets {
+		if idx < lo {
+			lo2 = lo
+			lo = idx
+		} else if idx < lo2 {
+			lo2 = idx
+		}
+	}
+	if lo2 == math.MaxInt {
+		return
+	}
+	q.buckets[lo2] += q.buckets[lo]
+	delete(q.buckets, lo)
+	q.collapses++
+}
+
+// value maps a bucket index back to its representative value (the
+// gamma-midpoint of the bucket's range).
+func (q *Quantile) value(idx int) float64 {
+	return 2 * math.Pow(q.gamma, float64(idx)) / (q.gamma + 1)
+}
+
+// Query returns the approximate p-quantile (p in [0,1]). Zero count
+// returns 0.
+func (q *Quantile) Query(p float64) float64 {
+	if q.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(q.count-1))
+	if rank < q.zero {
+		return 0
+	}
+	cum := q.zero
+	idxs := make([]int, 0, len(q.buckets))
+	for idx := range q.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		cum += q.buckets[idx]
+		if cum > rank {
+			return q.value(idx)
+		}
+	}
+	return q.max
+}
+
+// Merge folds other into q, then re-collapses to the bucket cap.
+func (q *Quantile) Merge(other *Quantile) {
+	for idx, c := range other.buckets {
+		q.buckets[idx] += c
+	}
+	q.zero += other.zero
+	q.count += other.count
+	q.collapses += other.collapses
+	if other.max > q.max {
+		q.max = other.max
+	}
+	for len(q.buckets) > q.maxBuckets {
+		q.collapseLowest()
+	}
+}
+
+// Count is the number of observed values.
+func (q *Quantile) Count() uint64 { return q.count }
+
+// Max is the exact maximum observed value.
+func (q *Quantile) Max() float64 { return q.max }
+
+// Collapses counts bucket merges forced by the budget.
+func (q *Quantile) Collapses() uint64 { return q.collapses }
+
+// bucketBytes approximates one map[int]uint64 entry.
+const bucketBytes = 16
+
+// Bytes is the sketch's accounted size.
+func (q *Quantile) Bytes() int { return len(q.buckets) * bucketBytes }

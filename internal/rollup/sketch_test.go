@@ -1,0 +1,279 @@
+package rollup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator so the property tests never
+// depend on math/rand's seed plumbing.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 17)
+}
+
+// skewedStream draws n keys from a skewed distribution over universe
+// distinct keys (low IDs are hot) and returns the true counts.
+func skewedStream(n, universe int, seed uint64) (keys []string, truth map[string]uint64) {
+	r := lcg(seed)
+	truth = make(map[string]uint64)
+	keys = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		// Two draws, keep the smaller: a cheap skew toward low IDs.
+		a, b := r.next()%uint64(universe), r.next()%uint64(universe)
+		if b < a {
+			a = b
+		}
+		k := fmt.Sprintf("key-%03d", a)
+		keys = append(keys, k)
+		truth[k]++
+	}
+	return keys, truth
+}
+
+// TestTopKSpaceSavingBounds pins the SpaceSaving guarantees the
+// HeavyHitter doc promises: for every monitored key the estimate is an
+// overestimate by at most Err (Count-Err <= true <= Count), and every
+// key whose true frequency exceeds N/capacity is present.
+func TestTopKSpaceSavingBounds(t *testing.T) {
+	const capacity = 8
+	keys, truth := skewedStream(20000, 100, 42)
+	tk := NewTopK(capacity)
+	for _, k := range keys {
+		tk.ObserveString(k)
+	}
+	if tk.Len() > capacity {
+		t.Fatalf("monitored %d keys, capacity %d", tk.Len(), capacity)
+	}
+	if tk.Observed() != uint64(len(keys)) {
+		t.Fatalf("observed = %d, want %d", tk.Observed(), len(keys))
+	}
+	for _, hh := range tk.Top(0) {
+		true_ := truth[hh.Key]
+		if hh.Count < true_ {
+			t.Fatalf("%s: estimate %d below true count %d", hh.Key, hh.Count, true_)
+		}
+		if hh.Count-hh.Err > true_ {
+			t.Fatalf("%s: estimate-err %d exceeds true count %d", hh.Key, hh.Count-hh.Err, true_)
+		}
+	}
+	// Guaranteed heavy hitters: true frequency > N/capacity.
+	threshold := uint64(len(keys) / capacity)
+	for k, c := range truth {
+		if c <= threshold {
+			continue
+		}
+		if _, _, ok := tk.Estimate(k); !ok {
+			t.Fatalf("heavy hitter %s (count %d > %d) missing from sketch", k, c, threshold)
+		}
+	}
+}
+
+// TestTopKExactUnderCapacity: a stream whose key cardinality fits the
+// sketch is counted exactly, with zero error and zero evictions.
+func TestTopKExactUnderCapacity(t *testing.T) {
+	tk := NewTopK(16)
+	for i := 0; i < 1000; i++ {
+		tk.ObserveString(fmt.Sprintf("k%d", i%10))
+	}
+	if tk.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0 under capacity", tk.Evictions())
+	}
+	for _, hh := range tk.Top(0) {
+		if hh.Count != 100 || hh.Err != 0 {
+			t.Fatalf("%s: count=%d err=%d, want exact 100/0", hh.Key, hh.Count, hh.Err)
+		}
+	}
+}
+
+// TestTopKDeterministicTieBreaks: equal counts sort key-ascending in
+// Top, and eviction picks the lexicographically smallest minimum, so
+// identical streams produce identical sketches.
+func TestTopKDeterministicTieBreaks(t *testing.T) {
+	build := func() []HeavyHitter {
+		tk := NewTopK(4)
+		for _, k := range []string{"d", "c", "b", "a", "d", "c", "e", "f"} {
+			tk.ObserveString(k)
+		}
+		return tk.Top(0)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Count < a[i].Count {
+			t.Fatalf("Top not count-descending: %+v", a)
+		}
+		if a[i-1].Count == a[i].Count && a[i-1].Key >= a[i].Key {
+			t.Fatalf("tie not key-ascending: %+v", a)
+		}
+	}
+}
+
+// TestTopKMergePreservesBounds: merging pane sketches (the sliding
+// window path) keeps the overestimate-within-Err guarantee against the
+// combined true counts.
+func TestTopKMergePreservesBounds(t *testing.T) {
+	keysA, truthA := skewedStream(8000, 60, 7)
+	keysB, truthB := skewedStream(8000, 60, 99)
+	a, b := NewTopK(8), NewTopK(8)
+	for _, k := range keysA {
+		a.ObserveString(k)
+	}
+	for _, k := range keysB {
+		b.ObserveString(k)
+	}
+	a.Merge(b)
+	if a.Len() > 8 {
+		t.Fatalf("merged sketch holds %d keys, capacity 8", a.Len())
+	}
+	if a.Observed() != 16000 {
+		t.Fatalf("merged observed = %d, want 16000", a.Observed())
+	}
+	for _, hh := range a.Top(0) {
+		true_ := truthA[hh.Key] + truthB[hh.Key]
+		if hh.Count < true_ {
+			t.Fatalf("%s: merged estimate %d below true %d", hh.Key, hh.Count, true_)
+		}
+		if hh.Count-hh.Err > true_ {
+			t.Fatalf("%s: merged estimate-err %d exceeds true %d", hh.Key, hh.Count-hh.Err, true_)
+		}
+	}
+}
+
+// TestTopKKeyTruncationAndBytes: hostile long keys are truncated to the
+// byte budget and the accounted size stays proportional to capacity.
+func TestTopKKeyTruncationAndBytes(t *testing.T) {
+	tk := NewTopK(4)
+	long := strings.Repeat("x", 4*maxKeyBytes)
+	tk.ObserveString(long)
+	hs := tk.Top(0)
+	if len(hs) != 1 || len(hs[0].Key) != maxKeyBytes {
+		t.Fatalf("long key stored at %d bytes, want %d", len(hs[0].Key), maxKeyBytes)
+	}
+	for i := 0; i < 100; i++ {
+		tk.ObserveString(strings.Repeat("y", maxKeyBytes) + fmt.Sprint(i))
+	}
+	if max := 4 * (ssEntryBytes + maxKeyBytes); tk.Bytes() > max {
+		t.Fatalf("bytes = %d, want <= %d", tk.Bytes(), max)
+	}
+}
+
+// TestQuantileRankError feeds a known distribution and checks every
+// queried quantile lands within the sketch's relative accuracy
+// (gamma-1)/(gamma+1) of the true order statistic.
+func TestQuantileRankError(t *testing.T) {
+	const gamma = 1.02
+	q := NewQuantile(gamma, 1024) // roomy: no collapses, pure gamma error
+	n := 10000
+	vals := make([]float64, n)
+	r := lcg(5)
+	for i := range vals {
+		// Long-tailed positive values spanning ~5 decades.
+		vals[i] = math.Exp(float64(r.next()%12000) / 1000.0)
+		q.Observe(vals[i])
+	}
+	if q.Collapses() != 0 {
+		t.Fatalf("collapses = %d, want 0 with a roomy bucket cap", q.Collapses())
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	relBound := (gamma - 1) / (gamma + 1)
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		got := q.Query(p)
+		want := sorted[int(p*float64(n-1))]
+		if rel := math.Abs(got-want) / want; rel > relBound+1e-9 {
+			t.Fatalf("p%v: got %v want %v, relative error %v > %v", p, got, want, rel, relBound)
+		}
+	}
+	if q.Max() != sorted[n-1] {
+		t.Fatalf("max = %v, want exact %v", q.Max(), sorted[n-1])
+	}
+	if q.Count() != uint64(n) {
+		t.Fatalf("count = %d, want %d", q.Count(), n)
+	}
+}
+
+// TestQuantileZeroBucket: zeros and negatives land in the zero bucket
+// and low quantiles report 0 exactly.
+func TestQuantileZeroBucket(t *testing.T) {
+	q := NewQuantile(1.02, 64)
+	for i := 0; i < 90; i++ {
+		q.Observe(0)
+	}
+	q.Observe(-5)
+	for i := 0; i < 9; i++ {
+		q.Observe(1000)
+	}
+	if got := q.Query(0.5); got != 0 {
+		t.Fatalf("p50 over mostly-zero stream = %v, want 0", got)
+	}
+	if got := q.Query(0.99); got < 900 || got > 1100 {
+		t.Fatalf("p99 = %v, want ~1000", got)
+	}
+}
+
+// TestQuantileCollapseDegradesLowEndOnly: a tiny bucket budget forces
+// collapses, which are counted, preserve the total count, and leave the
+// upper quantiles accurate (the budget sheds low buckets first).
+func TestQuantileCollapseDegradesLowEndOnly(t *testing.T) {
+	const gamma = 1.02
+	q := NewQuantile(gamma, 8)
+	n := 0
+	for v := 1e-3; v <= 1e6; v *= 1.5 {
+		q.Observe(v)
+		n++
+	}
+	if q.Collapses() == 0 {
+		t.Fatal("expected collapses under an 8-bucket budget")
+	}
+	if q.Count() != uint64(n) {
+		t.Fatalf("count = %d, want %d (collapses must not lose mass)", q.Count(), n)
+	}
+	relBound := (gamma - 1) / (gamma + 1)
+	if got, want := q.Query(1), q.Max(); math.Abs(got-want)/want > relBound+1e-9 {
+		t.Fatalf("p100 = %v, want ~%v", got, want)
+	}
+}
+
+// TestQuantileMerge: merged sketches cover both streams within the same
+// accuracy, and bucket budgets still hold afterwards.
+func TestQuantileMerge(t *testing.T) {
+	const gamma = 1.02
+	a, b := NewQuantile(gamma, 1024), NewQuantile(gamma, 1024)
+	var vals []float64
+	for i := 1; i <= 1000; i++ {
+		v := float64(i)
+		a.Observe(v)
+		vals = append(vals, v)
+	}
+	for i := 1; i <= 1000; i++ {
+		v := float64(i * 10)
+		b.Observe(v)
+		vals = append(vals, v)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d, want 2000", a.Count())
+	}
+	sort.Float64s(vals)
+	relBound := (gamma - 1) / (gamma + 1)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		got := a.Query(p)
+		want := vals[int(p*float64(len(vals)-1))]
+		if rel := math.Abs(got-want) / want; rel > relBound+1e-9 {
+			t.Fatalf("merged p%v: got %v want %v (rel %v)", p, got, want, rel)
+		}
+	}
+}

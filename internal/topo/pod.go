@@ -1,0 +1,47 @@
+package topo
+
+// PodLabel derives the pod-tier label of a node from the builder
+// naming convention: fat-tree aggregation and edge switches encode
+// their pod as "agg<P>-<i>" / "edge<P>-<i>", and fat-tree hosts as
+// "h<P>-<e>-<h>". Core switches and flat topologies (chain "sw<N>",
+// leaf-spine "leaf<N>"/"spine<N>") have no pod tier and return "".
+func PodLabel(name string) string {
+	var digits string
+	switch {
+	case len(name) > 3 && name[:3] == "agg":
+		digits = leadingDigits(name[3:])
+	case len(name) > 4 && name[:4] == "edge":
+		digits = leadingDigits(name[4:])
+	case len(name) > 1 && name[0] == 'h':
+		// Only fat-tree hosts ("h<P>-<e>-<h>", two dashes) carry a pod;
+		// chain/leaf-spine hosts ("h<N>-<M>") do not.
+		if countByte(name, '-') != 2 {
+			return ""
+		}
+		digits = leadingDigits(name[1:])
+	default:
+		return ""
+	}
+	if digits == "" {
+		return ""
+	}
+	return "pod" + digits
+}
+
+func leadingDigits(s string) string {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	return s[:i]
+}
+
+func countByte(s string, b byte) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package topo
+
+import "testing"
+
+func TestPodLabel(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"agg2-1", "pod2"},
+		{"agg10-0", "pod10"},
+		{"edge0-3", "pod0"},
+		{"h3-1-2", "pod3"},   // fat-tree host: pod 3
+		{"h12-0-7", "pod12"}, // multi-digit pod
+		{"core1", ""},        // core tier has no pod
+		{"sw4", ""},          // chain switch
+		{"leaf2", ""},        // leaf-spine
+		{"spine0", ""},
+		{"h1-2", ""},  // chain/leaf-spine host: one dash, no pod tier
+		{"h5", ""},    // bare host name
+		{"agg-1", ""}, // malformed: no digits after the tier prefix
+		{"edge", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := PodLabel(c.name); got != c.want {
+			t.Errorf("PodLabel(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestPodLabelMatchesFatTreeBuilder pins the convention against the
+// builder itself: every non-core switch and every host in a fat-tree
+// carries a pod label, and core switches never do.
+func TestPodLabelMatchesFatTreeBuilder(t *testing.T) {
+	d, err := NewFatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := 0
+	for _, n := range d.Topology.Nodes {
+		label := PodLabel(n.Name)
+		if len(n.Name) >= 4 && n.Name[:4] == "core" {
+			if label != "" {
+				t.Fatalf("core switch %s labeled %q", n.Name, label)
+			}
+			continue
+		}
+		if label == "" {
+			t.Fatalf("fat-tree node %s has no pod label", n.Name)
+		}
+		labeled++
+	}
+	if labeled == 0 {
+		t.Fatal("no labeled nodes in fat-tree")
+	}
+}

@@ -28,27 +28,35 @@ const (
 	capRequest = 64 << 10 // JSON request verbs (queries, subscriptions)
 	capHello   = 2 << 20  // topology spec of a large pod is a few hundred KB
 	capError   = 16 << 10 // error text
+	// capRollupEvent bounds one pushed window summary: sketch sizes are
+	// capped server-side, so a rendered summary is a few KB and a frame
+	// approaching MaxFrame is corrupt, not big.
+	capRollupEvent = 256 << 10
 )
 
 // payloadCaps maps each known message type to its maximum payload size.
 var payloadCaps = [...]int{
-	MsgHello:           capHello,
-	MsgHelloOK:         capEmpty,
-	MsgReport:          MaxFrame,
-	MsgDiagnose:        64,
-	MsgDiagnosis:       MaxFrame,
-	MsgError:           capError,
-	MsgIncidents:       capEmpty,
-	MsgIncidentList:    MaxFrame,
-	MsgQueryIncidents:  capRequest,
-	MsgIncidentMatches: MaxFrame,
-	MsgSubscribe:       capRequest,
-	MsgSubscribeOK:     capEmpty,
-	MsgIncidentEvent:   MaxFrame,
-	MsgThrottle:        capRequest,
-	MsgHealth:          capEmpty,
-	MsgHealthReply:     capRequest,
-	MsgShutdown:        capEmpty,
+	MsgHello:            capHello,
+	MsgHelloOK:          capEmpty,
+	MsgReport:           MaxFrame,
+	MsgDiagnose:         64,
+	MsgDiagnosis:        MaxFrame,
+	MsgError:            capError,
+	MsgIncidents:        capEmpty,
+	MsgIncidentList:     MaxFrame,
+	MsgQueryIncidents:   capRequest,
+	MsgIncidentMatches:  MaxFrame,
+	MsgSubscribe:        capRequest,
+	MsgSubscribeOK:      capEmpty,
+	MsgIncidentEvent:    MaxFrame,
+	MsgThrottle:         capRequest,
+	MsgHealth:           capEmpty,
+	MsgHealthReply:      capRequest,
+	MsgShutdown:         capEmpty,
+	MsgQueryRollups:     capRequest,
+	MsgRollupList:       MaxFrame,
+	MsgSubscribeRollups: capRequest,
+	MsgRollupEvent:      capRollupEvent,
 }
 
 // PayloadCap returns the maximum payload size for t. Unknown types get

@@ -62,12 +62,23 @@ const (
 	// MsgShutdown is the terminal event a draining server pushes to
 	// subscribed sessions before closing them (empty payload).
 	MsgShutdown MsgType = 17
+	// MsgQueryRollups asks for windowed rollup summaries: JSON
+	// RollupQuery payload.
+	MsgQueryRollups MsgType = 18
+	// MsgRollupList is the reply: JSON RollupResult payload.
+	MsgRollupList MsgType = 19
+	// MsgSubscribeRollups turns the session into a live rollup tail:
+	// JSON RollupSubscribeRequest payload (acked with MsgSubscribeOK).
+	MsgSubscribeRollups MsgType = 20
+	// MsgRollupEvent is one pushed rollup window transition: JSON
+	// RollupEvent payload.
+	MsgRollupEvent MsgType = 21
 )
 
 // Known reports whether t is a frame type this protocol version
 // defines. Readers skip unknown types instead of failing the session,
 // so a newer peer can add frames without breaking older tails.
-func Known(t MsgType) bool { return t >= MsgHello && t <= MsgShutdown }
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgRollupEvent }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.
@@ -192,6 +203,14 @@ type Health struct {
 	ShedQueries       uint64 `json:"shedQueries"`
 	// WALErrors counts records that failed to reach the log.
 	WALErrors uint64 `json:"walErrors,omitempty"`
+	// Rollup summarizer gauges: windows open / closed, accuracy-losing
+	// sketch evictions, accounted bytes in use, and rollup
+	// subscriptions refused under load.
+	RollupWindowsOpen   int    `json:"rollupWindowsOpen,omitempty"`
+	RollupWindowsClosed uint64 `json:"rollupWindowsClosed,omitempty"`
+	RollupEvictions     uint64 `json:"rollupEvictions,omitempty"`
+	RollupBytes         int    `json:"rollupBytes,omitempty"`
+	ShedRollups         uint64 `json:"shedRollups,omitempty"`
 }
 
 // SubscribeRequest filters a live incident subscription; semantics
@@ -207,6 +226,88 @@ type IncidentEvent struct {
 	// Kind is "opened", "grew" or "resolved".
 	Kind     string        `json:"kind"`
 	Incident FleetIncident `json:"incident"`
+}
+
+// RollupQuery selects rollup windows from the analyzer's summarizer.
+// Zero values mean "all": Windows <= 0 returns every retained window,
+// Sliding <= 0 skips the merged view, Level/Prefix empty return the
+// full hierarchy.
+type RollupQuery struct {
+	// Windows bounds how many of the most recent windows are returned.
+	Windows int `json:"windows,omitempty"`
+	// Sliding additionally merges the last Sliding windows into one.
+	Sliding int `json:"sliding,omitempty"`
+	// Level restricts heavy hitters to one hierarchy level ("fabric",
+	// "pod", "switch", "port").
+	Level string `json:"level,omitempty"`
+	// Prefix restricts heavy-hitter keys to a path prefix, the
+	// drill-down handle (e.g. "fabA/pod2").
+	Prefix string `json:"prefix,omitempty"`
+	// ClosedOnly excludes still-open windows.
+	ClosedOnly bool `json:"closedOnly,omitempty"`
+}
+
+// RollupHitter is one heavy-hitter entry: Count overestimates the true
+// count by at most Err.
+type RollupHitter struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err,omitempty"`
+}
+
+// RollupQuantiles is a rendered quantile-sketch snapshot.
+type RollupQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// RollupSummary is one rendered rollup window.
+type RollupSummary struct {
+	StartNS int64  `json:"startNs"`
+	EndNS   int64  `json:"endNs"`
+	Closed  bool   `json:"closed"`
+	Records uint64 `json:"records"`
+	// ByType/ByCause/ByConfidence count records per diagnosis attribute.
+	ByType       map[string]uint64 `json:"byType,omitempty"`
+	ByCause      map[string]uint64 `json:"byCause,omitempty"`
+	ByConfidence map[string]uint64 `json:"byConfidence,omitempty"`
+	// Top holds the heavy hitters per hierarchy level.
+	Top map[string][]RollupHitter `json:"top,omitempty"`
+	// StallNS/Score summarize stall-duration and confidence-score
+	// distributions.
+	StallNS RollupQuantiles `json:"stallNs"`
+	Score   RollupQuantiles `json:"score"`
+	// Bytes/Evictions report the window's accounted footprint and its
+	// accuracy-losing sketch events.
+	Bytes     int    `json:"bytes"`
+	Evictions uint64 `json:"evictions,omitempty"`
+	// Headline is the one-line operator rendering.
+	Headline string `json:"headline,omitempty"`
+}
+
+// RollupResult is the MsgRollupList reply.
+type RollupResult struct {
+	Windows []RollupSummary `json:"windows,omitempty"`
+	// Sliding is the merged view of the most recent windows, when the
+	// query asked for one.
+	Sliding *RollupSummary `json:"sliding,omitempty"`
+}
+
+// RollupSubscribeRequest configures a live rollup subscription.
+type RollupSubscribeRequest struct {
+	// ClosedOnly suppresses opened/updated events, delivering only
+	// final window summaries.
+	ClosedOnly bool `json:"closedOnly,omitempty"`
+}
+
+// RollupEvent is one pushed rollup window transition.
+type RollupEvent struct {
+	// Kind is "opened", "updated" or "closed".
+	Kind    string        `json:"kind"`
+	Summary RollupSummary `json:"summary"`
 }
 
 // WriteFrame emits one frame. Per-type payload caps are enforced on the
