@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke cluster-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -51,6 +51,21 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecodeReport$$' -fuzztime=10s -run='^$$' ./internal/telemetry
 	$(GO) test -fuzz='^FuzzIncidentQuery$$' -fuzztime=10s -run='^$$' ./internal/analyzd
 	$(GO) test -fuzz='^FuzzWALRecord$$' -fuzztime=10s -run='^$$' ./internal/fleetstore/wal
+	$(GO) test -fuzz='^FuzzReplicationRecord$$' -fuzztime=10s -run='^$$' ./internal/wire
+
+# cluster-smoke proves the scale-out contract: a 20-seed kill-loop over
+# a 3-shard cluster under the race detector — every shard a durable
+# primary with a live TCP follower, records routed by the
+# consistent-hash ring and acknowledged only when the follower holds
+# them durably, a seed-chosen primary killed and its follower promoted
+# every round — asserting no acked record lost, deterministic routing,
+# and front-door rollup merges identical to a single-store reference.
+# The ring/follower/frontdoor suites and the cluster example ride
+# along.
+cluster-smoke:
+	$(GO) test -race -run TestKillLoop ./internal/fleet -fleet.seeds=20
+	$(GO) test -race -run 'TestRing|TestFollower|TestFrontdoor' ./internal/fleet
+	$(GO) run ./examples/cluster
 
 # rollup-smoke proves the summarization contract end to end: the
 # three-fabric example must produce a rollup stream >= 10x quieter than

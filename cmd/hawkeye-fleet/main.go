@@ -17,6 +17,20 @@
 //	hawkeye-fleet rollups -addr 127.0.0.1:9393         # windowed rollups
 //	hawkeye-fleet rollups -sliding 8 -level switch -prefix podA/pod1
 //
+// Against a sharded cluster, -cluster replaces -addr with the shard
+// set (name=addr pairs, or bare addresses auto-named shard-0..) and
+// every mode fans out through the front door: incident queries merge
+// in first-seen order, rollup windows merge by sketch state, tails
+// interleave per-shard events, and health renders a per-shard table
+// with replication role, lag and last checkpoint:
+//
+//	hawkeye-fleet -cluster shard-a=host1:9401,shard-b=host2:9401
+//	hawkeye-fleet rollups -cluster host1:9401,host2:9401
+//	hawkeye-fleet health -cluster shard-a=host1:9401,shard-b=host2:9401
+//
+// -ring-seed/-vnodes must match what the writers routing fabrics used,
+// or fabric-scoped queries ask the wrong shard.
+//
 // Tails survive analyzer restarts: on a drain notice or connection
 // loss the subscription is re-established with capped exponential
 // backoff, and the tail resumes on the new server. Events emitted
@@ -34,6 +48,7 @@ import (
 
 	"hawkeye/internal/analyzd"
 	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleet"
 	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/topo"
@@ -51,6 +66,9 @@ func main() {
 	}
 
 	addr := flag.String("addr", "127.0.0.1:9393", "analyzer address")
+	cluster := flag.String("cluster", "", "shard set for fan-out: name=addr,... or bare addresses (replaces -addr)")
+	ringSeed := flag.Uint64("ring-seed", 0, "consistent-hash ring seed; must match the writers routing fabrics")
+	vnodes := flag.Int("vnodes", 0, "ring virtual nodes per shard (0 = default)")
 	dataDir := flag.String("data-dir", "", "inspect a durable store directory offline instead of dialing a server")
 	tail := flag.Bool("tail", false, "subscribe and stream incident events instead of querying")
 	summary := flag.Bool("summary", false, "with -tail: stream live rollup summaries instead of the incident firehose")
@@ -74,6 +92,36 @@ func main() {
 	}
 	if *summary && !*tail {
 		fail(errors.New("-summary needs -tail (use the rollups subcommand for queries)"))
+	}
+
+	if *cluster != "" {
+		fd := dialCluster(*cluster, *vnodes, *ringSeed)
+		defer fd.Close()
+		if *tail {
+			if *summary {
+				fail(errors.New("-summary tails are per-shard; use `rollups -cluster` for merged windows"))
+			}
+			clusterTail(fd, wire.SubscribeRequest{Fabric: *fabric, Type: *typ, Node: *node}, *n)
+			return
+		}
+		q := wire.IncidentQuery{
+			Fabric: *fabric, Type: *typ, Node: *node,
+			FromNS: int64(*from), ToNS: int64(*to), Limit: *limit,
+		}
+		incs, shardErrs, err := fd.QueryIncidents(q)
+		if err != nil {
+			fail(err)
+		}
+		warnShards(shardErrs)
+		if len(incs) == 0 {
+			fmt.Println("no incidents match")
+			return
+		}
+		for i := range incs {
+			printIncident(&incs[i])
+		}
+		fmt.Printf("%d incident(s) across %d shard(s)\n", len(incs), len(fd.Shards())-len(shardErrs))
+		return
 	}
 
 	c, err := analyzd.DialOperatorRetry(*addr, tailRetryConfig())
@@ -136,6 +184,74 @@ func main() {
 	fmt.Printf("%d incident(s)\n", len(incs))
 }
 
+// parseCluster turns "-cluster a=h1:9401,b=h2:9401" (or bare addresses,
+// auto-named shard-0.. in listed order) into shard specs.
+func parseCluster(s string) ([]fleet.ShardSpec, error) {
+	parts := strings.Split(s, ",")
+	specs := make([]fleet.ShardSpec, 0, len(parts))
+	named := false
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if name, addr, ok := strings.Cut(p, "="); ok {
+			named = true
+			specs = append(specs, fleet.ShardSpec{Name: name, Addr: addr})
+			continue
+		}
+		if named {
+			return nil, fmt.Errorf("mix of named and bare shards in %q", s)
+		}
+		specs = append(specs, fleet.ShardSpec{Name: fmt.Sprintf("shard-%d", i), Addr: p})
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("-cluster lists no shards")
+	}
+	return specs, nil
+}
+
+func dialCluster(cluster string, vnodes int, seed uint64) *fleet.Frontdoor {
+	specs, err := parseCluster(cluster)
+	if err != nil {
+		fail(err)
+	}
+	fd, err := fleet.NewFrontdoor(specs, vnodes, seed)
+	if err != nil {
+		fail(err)
+	}
+	return fd
+}
+
+// warnShards surfaces partial fan-out failures without failing the
+// query: the merged answer below it covers the shards that did reply.
+func warnShards(errs []fleet.ShardError) {
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "hawkeye-fleet: warning: shard %s unavailable: %v\n", e.Shard, e.Err)
+	}
+}
+
+// clusterTail streams the merged incident tail, each event tagged with
+// its source shard.
+func clusterTail(fd *fleet.Frontdoor, req wire.SubscribeRequest, n int) {
+	tail, shardErrs, err := fd.Subscribe(req, 256)
+	if err != nil {
+		fail(err)
+	}
+	defer tail.Close()
+	warnShards(shardErrs)
+	fmt.Printf("tailing incidents across %d shard(s) (ctrl-c to stop)\n", len(fd.Shards())-len(shardErrs))
+	i := 0
+	for ev := range tail.Events() {
+		fmt.Printf("[%s] ", ev.Shard)
+		printEvent(&ev.Event)
+		if i++; n > 0 && i >= n {
+			return
+		}
+	}
+	fmt.Println("every shard session ended")
+}
+
 // tailRetryConfig is patient: a tail is a long-lived watch, so it
 // rides out an analyzer restart (drain + replay can take seconds)
 // instead of giving up on the reporting client's tight schedule.
@@ -181,6 +297,9 @@ func rejectPositional(rest []string) {
 func rollupsCmd(args []string) {
 	fs := flag.NewFlagSet("rollups", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9393", "analyzer address")
+	cluster := fs.String("cluster", "", "shard set for fan-out: name=addr,... or bare addresses (replaces -addr)")
+	ringSeed := fs.Uint64("ring-seed", 0, "consistent-hash ring seed; must match the writers routing fabrics")
+	vnodes := fs.Int("vnodes", 0, "ring virtual nodes per shard (0 = default)")
 	windows := fs.Int("windows", 0, "return only the most recent N windows (0 = all retained)")
 	sliding := fs.Int("sliding", 0, "also merge the last N windows into one sliding view")
 	level := fs.String("level", "", "drill down to one hierarchy level: fabric, pod, switch or port")
@@ -189,20 +308,34 @@ func rollupsCmd(args []string) {
 	fs.Parse(args)
 	rejectPositional(fs.Args())
 
-	c, err := analyzd.DialOperator(*addr)
-	if err != nil {
-		fail(err)
-	}
-	defer c.Close()
-	res, err := c.QueryRollups(wire.RollupQuery{
+	q := wire.RollupQuery{
 		Windows:    *windows,
 		Sliding:    *sliding,
 		Level:      *level,
 		Prefix:     *prefix,
 		ClosedOnly: *closed,
-	})
-	if err != nil {
-		fail(err)
+	}
+	var res *wire.RollupResult
+	var err error
+	if *cluster != "" {
+		fd := dialCluster(*cluster, *vnodes, *ringSeed)
+		defer fd.Close()
+		var shardErrs []fleet.ShardError
+		res, shardErrs, err = fd.QueryRollups(q)
+		if err != nil {
+			fail(err)
+		}
+		warnShards(shardErrs)
+	} else {
+		c, err2 := analyzd.DialOperator(*addr)
+		if err2 != nil {
+			fail(err2)
+		}
+		defer c.Close()
+		res, err = c.QueryRollups(q)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if len(res.Windows) == 0 {
 		fmt.Println("no rollup windows")
@@ -222,8 +355,18 @@ func rollupsCmd(args []string) {
 func healthCmd(args []string) {
 	fs := flag.NewFlagSet("health", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9393", "analyzer address")
+	cluster := fs.String("cluster", "", "shard set: name=addr,... or bare addresses; renders a per-shard table")
+	ringSeed := fs.Uint64("ring-seed", 0, "consistent-hash ring seed")
+	vnodes := fs.Int("vnodes", 0, "ring virtual nodes per shard (0 = default)")
 	fs.Parse(args)
 	rejectPositional(fs.Args())
+
+	if *cluster != "" {
+		fd := dialCluster(*cluster, *vnodes, *ringSeed)
+		defer fd.Close()
+		clusterHealth(fd)
+		return
+	}
 
 	c, err := analyzd.DialOperator(*addr)
 	if err != nil {
@@ -249,6 +392,42 @@ func healthCmd(args []string) {
 		h.RollupWindowsOpen, h.RollupWindowsClosed, h.RollupEvictions, h.RollupBytes)
 	if h.WALErrors > 0 {
 		fmt.Printf("WARNING: %d WAL errors (records kept in memory only)\n", h.WALErrors)
+	}
+}
+
+// clusterHealth renders the per-shard table: identity, lifecycle
+// state, replication role and lag, and the last durable checkpoint. A
+// dead shard is a row, not an error — the table is how an operator
+// finds which follower to promote.
+func clusterHealth(fd *fleet.Frontdoor) {
+	rows := fd.Health()
+	w := func(cols ...string) {
+		fmt.Printf("%-12s %-22s %-9s %-9s %10s %10s %8s %10s %s\n",
+			cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], cols[7], cols[8])
+	}
+	w("SHARD", "ADDR", "STATE", "ROLE", "SEQ", "FOLLOWER", "LAG", "LASTCKPT", "LOAD")
+	healthy := 0
+	for _, row := range rows {
+		if row.Err != nil {
+			w(row.Spec.Name, row.Spec.Addr, "down", "-", "-", "-", "-", "-", row.Err.Error())
+			continue
+		}
+		healthy++
+		info := row.Info
+		load := fmt.Sprintf("%.0f%% (%d open inc)", row.Health.Load*100, row.Health.OpenIncidents)
+		follower := "-"
+		lag := "-"
+		if info.Replicas > 0 {
+			follower = fmt.Sprintf("%d", info.FollowerSeq)
+			lag = fmt.Sprintf("%d", info.Lag)
+		}
+		w(row.Spec.Name, row.Spec.Addr, row.Health.State, info.Role,
+			fmt.Sprintf("%d", info.Seq), follower, lag,
+			fmt.Sprintf("%d", info.LastSnapshotSeq), load)
+	}
+	fmt.Printf("%d/%d shard(s) healthy\n", healthy, len(rows))
+	if healthy < len(rows) {
+		os.Exit(1)
 	}
 }
 

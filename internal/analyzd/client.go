@@ -505,6 +505,27 @@ func (c *Client) Health() (*wire.Health, error) {
 	return &h, nil
 }
 
+// ShardInfo asks the server for its cluster identity: shard name, role
+// and replication watermarks. Unclustered servers answer with an empty
+// shard name and zero replicas.
+func (c *Client) ShardInfo() (*wire.ShardInfo, error) {
+	mt, payload, err := c.request(wire.MsgShardInfo, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: shard info: %w", err)
+	}
+	if mt == wire.MsgError {
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	}
+	if mt != wire.MsgShardInfoReply {
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+	var info wire.ShardInfo
+	if err := json.Unmarshal(payload, &info); err != nil {
+		return nil, fmt.Errorf("analyzd: decode shard info: %w", err)
+	}
+	return &info, nil
+}
+
 // QueryRollups asks the analyzer's summarizer for windowed rollup
 // summaries.
 func (c *Client) QueryRollups(q wire.RollupQuery) (*wire.RollupResult, error) {

@@ -1,6 +1,7 @@
 package analyzd
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"hawkeye/internal/diagnosis"
@@ -102,11 +103,12 @@ func rollupQueryFromWire(wq wire.RollupQuery) (rollup.QueryOpts, error) {
 		}
 	}
 	return rollup.QueryOpts{
-		Windows:    wq.Windows,
-		Sliding:    wq.Sliding,
-		Level:      wq.Level,
-		Prefix:     wq.Prefix,
-		ClosedOnly: wq.ClosedOnly,
+		Windows:         wq.Windows,
+		Sliding:         wq.Sliding,
+		Level:           wq.Level,
+		Prefix:          wq.Prefix,
+		ClosedOnly:      wq.ClosedOnly,
+		IncludeSketches: wq.IncludeSketches,
 	}, nil
 }
 
@@ -137,6 +139,13 @@ func summaryToWire(sum *rollup.Summary) wire.RollupSummary {
 				hs[i] = wire.RollupHitter{Key: h.Key, Count: h.Count, Err: h.Err}
 			}
 			out.Top[level] = hs
+		}
+	}
+	if sum.Sketches != nil {
+		// Marshaling our own in-memory state cannot fail; an error here
+		// would mean a corrupted sketch, which merging would catch anyway.
+		if b, err := json.Marshal(sum.Sketches); err == nil {
+			out.Sketches = b
 		}
 	}
 	return out

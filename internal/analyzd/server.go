@@ -75,6 +75,13 @@ type Options struct {
 	// frames keep failing decode or admission validation is quarantined —
 	// told why with a MsgError and dropped (0 = default 8, <0 = never).
 	MaxStrikes int
+	// Shard names this instance on a cluster's consistent-hash ring
+	// (reported in MsgShardInfoReply). Empty for unclustered servers.
+	Shard string
+	// ReplBuffer bounds each replication tap's live channel (0 = 1024):
+	// a follower that falls this many records behind is dropped and must
+	// re-sync from its own durable watermark.
+	ReplBuffer int
 }
 
 // DefaultMaxStrikes is the per-session decode-error budget when Options
@@ -117,6 +124,15 @@ type Server struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	maxStrikes   int
+
+	// Cluster identity and replication health: shard names this instance
+	// on the ring; repls tracks live replication streams (guarded by mu)
+	// so drain can detach them; followerSeq is the highest watermark any
+	// follower has acked.
+	shard       string
+	replBuffer  int
+	repls       map[*fleetstore.ReplicaSync]struct{}
+	followerSeq atomic.Uint64
 
 	sessions  atomic.Uint64
 	reports   atomic.Uint64
@@ -198,6 +214,9 @@ func ListenOpts(addr string, o Options) (*Server, error) {
 		readTimeout:     o.ReadTimeout,
 		writeTimeout:    o.WriteTimeout,
 		maxStrikes:      o.MaxStrikes,
+		shard:           o.Shard,
+		replBuffer:      o.ReplBuffer,
+		repls:           make(map[*fleetstore.ReplicaSync]struct{}),
 	}
 	if s.maxStrikes == 0 {
 		s.maxStrikes = DefaultMaxStrikes
@@ -335,6 +354,14 @@ func (s *Server) Close() error {
 		// summarizer itself keeps folding until the ingest flush below.
 		s.fleet.Hub().Close()
 		s.roll.CloseSubscribers()
+		// Detach replication taps: their forwarders see Done close, tell
+		// the follower goodbye and exit — the follower re-syncs from its
+		// durable watermark against whichever shard is promoted.
+		s.mu.Lock()
+		for r := range s.repls {
+			r.Close()
+		}
+		s.mu.Unlock()
 		deadline := time.Now().Add(drainDeadline)
 		s.mu.Lock()
 		for c := range s.conns {
@@ -430,6 +457,9 @@ type session struct {
 	// rsub the live rollup subscription (MsgSubscribeRollups).
 	sub  *fleetstore.Sub
 	rsub *rollup.Sub
+	// repl is the replication stream, once MsgReplicate turned this
+	// session into a follower feed.
+	repl *fleetstore.ReplicaSync
 }
 
 func (sess *session) write(t wire.MsgType, payload []byte) error {
@@ -457,10 +487,10 @@ func (s *Server) handle(conn net.Conn) {
 	// mid-frame (or never sends one) is cut loose instead of pinning a
 	// handler goroutine forever.
 	readFrame := func() (wire.MsgType, []byte, error) {
-		// Subscribed sessions idle by design — their traffic flows the
-		// other way — so the per-frame deadline only polices sessions that
-		// owe us frames.
-		if s.readTimeout > 0 && sess.sub == nil && sess.rsub == nil {
+		// Subscribed (and replicating) sessions idle by design — their
+		// traffic flows the other way — so the per-frame deadline only
+		// polices sessions that owe us frames.
+		if s.readTimeout > 0 && sess.sub == nil && sess.rsub == nil && sess.repl == nil {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}
 		return wire.ReadFrame(conn)
@@ -512,6 +542,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if sess.rsub != nil {
 			s.roll.Unsubscribe(sess.rsub)
+		}
+		if sess.repl != nil {
+			sess.repl.Close()
+			s.mu.Lock()
+			delete(s.repls, sess.repl)
+			s.mu.Unlock()
 		}
 	}()
 
@@ -713,6 +749,58 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		if err := sess.writeJSON(wire.MsgHealthReply, s.health()); err != nil {
 			return false
 		}
+	case wire.MsgReplicate:
+		var req wire.ReplicateRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			sendErr(fmt.Sprintf("bad replicate request: %v", err))
+			return false
+		}
+		if sess.repl != nil {
+			sendErr("already replicating")
+			return false
+		}
+		r, err := s.fleet.SyncReplica(req.FromSeq, s.replBuffer)
+		if err != nil {
+			sendErr(fmt.Sprintf("replicate: %v", err))
+			return false
+		}
+		// Catch-up inline, in order, before the live forwarder starts:
+		// the tap was registered under the same cut, so the follower
+		// sees exactly the admission sequence.
+		if r.Snapshot != nil {
+			if err := sess.write(wire.MsgReplSnapshot, wire.EncodeReplSnapshot(r.SnapshotSeq, r.Snapshot)); err != nil {
+				r.Close()
+				return false
+			}
+		}
+		for _, e := range r.Backlog {
+			if err := sess.write(wire.MsgReplRecord, wire.EncodeReplRecord(e.Seq, e.Payload)); err != nil {
+				r.Close()
+				return false
+			}
+		}
+		sess.repl = r
+		s.mu.Lock()
+		s.repls[r] = struct{}{}
+		s.mu.Unlock()
+		s.fwdWG.Add(1)
+		go s.forwardRepl(sess)
+	case wire.MsgReplAck:
+		var ack wire.ReplAck
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			s.decodeErrors.Add(1)
+			return s.strike(sess)
+		}
+		for {
+			cur := s.followerSeq.Load()
+			if ack.Seq <= cur || s.followerSeq.CompareAndSwap(cur, ack.Seq) {
+				break
+			}
+		}
+	case wire.MsgShardInfo:
+		if err := sess.writeJSON(wire.MsgShardInfoReply, s.shardInfo()); err != nil {
+			return false
+		}
 	default:
 		sendErr(fmt.Sprintf("unexpected message type %d", t))
 		return false
@@ -757,6 +845,55 @@ func (s *Server) forwardRollups(sess *session) {
 		_ = sess.write(wire.MsgShutdown, nil)
 		_ = sess.conn.SetWriteDeadline(time.Time{})
 	}
+}
+
+// forwardRepl streams the replication tap to the follower. It exits
+// when the tap dies (slow follower, or drain detaching it) or the
+// connection does; either way the follower reconnects and re-syncs
+// from its own durable watermark, so nothing is lost — only re-sent.
+func (s *Server) forwardRepl(sess *session) {
+	defer s.fwdWG.Done()
+	r := sess.repl
+	for {
+		select {
+		case e := <-r.Live:
+			mt := wire.MsgReplRecord
+			if e.Snapshot {
+				mt = wire.MsgReplSnapshot
+			}
+			if err := sess.write(mt, wire.EncodeReplRecord(e.Seq, e.Payload)); err != nil {
+				r.Close()
+				sess.conn.Close() // unblock the read loop; it detaches
+				return
+			}
+		case <-r.Done:
+			if s.State() == StateDraining {
+				_ = sess.conn.SetWriteDeadline(time.Now().Add(drainDeadline))
+				_ = sess.write(wire.MsgShutdown, nil)
+				_ = sess.conn.SetWriteDeadline(time.Time{})
+			}
+			sess.conn.Close()
+			return
+		}
+	}
+}
+
+// shardInfo is the wire view of this instance's cluster identity.
+func (s *Server) shardInfo() wire.ShardInfo {
+	seq := s.fleet.Seq()
+	fseq := s.followerSeq.Load()
+	info := wire.ShardInfo{
+		Shard:           s.shard,
+		Role:            "primary",
+		Seq:             seq,
+		FollowerSeq:     fseq,
+		LastSnapshotSeq: s.fleet.LastSnapshotSeq(),
+		Replicas:        s.fleet.Replicas(),
+	}
+	if info.Replicas > 0 && seq > fseq {
+		info.Lag = seq - fseq
+	}
+	return info
 }
 
 // incidentWindow groups diagnoses whose triggers fall within this span

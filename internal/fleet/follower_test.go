@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hawkeye/internal/analyzd"
+	"hawkeye/internal/diagnosis"
+	"hawkeye/internal/fleetstore"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/topo"
+)
+
+func testRec(fabric string, i int) fleetstore.Record {
+	return fleetstore.Record{
+		Fabric:  fabric,
+		At:      sim.Time(i+1) * 50 * sim.Microsecond,
+		Victim:  fmt.Sprintf("v%04d", i),
+		Type:    diagnosis.TypePFCStorm,
+		Node:    topo.NodeID(i % 3),
+		Port:    i % 2,
+		Score:   0.5,
+		StallNS: int64(1000 + i),
+	}
+}
+
+func testShard(t *testing.T, dir, shard string) *analyzd.Server {
+	t.Helper()
+	srv, err := analyzd.ListenOpts("127.0.0.1:0", analyzd.Options{
+		DataDir: dir,
+		Shard:   shard,
+		Fleet:   killLoopStoreCfg(),
+		Rollup:  killLoopRollupCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// A follower that joins after the primary checkpointed and compacted
+// must bootstrap from the shipped snapshot plus the WAL delta, and a
+// promotion from its directory must recover exactly the primary's
+// records.
+func TestFollowerSnapshotBootstrapAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	srv := testShard(t, filepath.Join(dir, "primary"), "s0")
+	defer srv.Close()
+
+	var last uint64
+	for i := 0; i < 20; i++ {
+		last = srv.Fleet().Add(testRec("fabA", i)).Seq
+	}
+	// Checkpoint + compact: the WAL no longer reaches back to seq 0, so
+	// a fresh follower cannot catch up by backlog alone.
+	if err := srv.Fleet().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 30; i++ {
+		last = srv.Fleet().Add(testRec("fabA", i)).Seq
+	}
+
+	fl, err := StartFollower(FollowerConfig{Addr: srv.Addr(), Dir: filepath.Join(dir, "follower")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Snapshots() == 0 {
+		t.Fatal("follower caught up without the snapshot the compacted WAL requires")
+	}
+	if fl.SnapshotSeq() == 0 {
+		t.Fatal("snapshot applied but SnapshotSeq not recorded")
+	}
+
+	// Live records keep streaming past the bootstrap.
+	last = srv.Fleet().Add(testRec("fabA", 30)).Seq
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the primary, promote the follower, and check exactly-once.
+	srv.Fleet().Abort()
+	srv.Close()
+	st, err := fl.Promote(killLoopStoreCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := st.Records(fleetstore.Query{Node: fleetstore.AnyNode})
+	if len(recs) != 31 {
+		t.Fatalf("promoted store has %d records, want 31", len(recs))
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Victim] {
+			t.Fatalf("victim %s recovered twice", r.Victim)
+		}
+		seen[r.Victim] = true
+	}
+	if st.Seq() != last {
+		t.Fatalf("promoted store at seq %d, want %d", st.Seq(), last)
+	}
+}
+
+// A primary restart severs the replication session; the follower must
+// re-sync from its durable watermark and the overlap re-sent by the
+// backlog must not duplicate anything.
+func TestFollowerReconnectWithoutDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	primaryDir := filepath.Join(dir, "primary")
+	srv := testShard(t, primaryDir, "s0")
+	addr := srv.Addr()
+
+	var last uint64
+	for i := 0; i < 12; i++ {
+		last = srv.Fleet().Add(testRec("fabB", i)).Seq
+	}
+
+	fl, err := StartFollower(FollowerConfig{Addr: addr, Dir: filepath.Join(dir, "follower")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean restart of the primary on the same address: the follower's
+	// session dies and its reconnect loop must re-establish replication.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := analyzd.ListenOpts(addr, analyzd.Options{
+		DataDir: primaryDir,
+		Shard:   "s0",
+		Fleet:   killLoopStoreCfg(),
+		Rollup:  killLoopRollupCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	for i := 12; i < 24; i++ {
+		last = srv2.Fleet().Add(testRec("fabB", i)).Seq
+	}
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Resyncs() == 0 {
+		t.Fatal("follower never re-synced across the primary restart")
+	}
+
+	srv2.Fleet().Abort()
+	srv2.Close()
+	st, err := fl.Promote(killLoopStoreCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	recs := st.Records(fleetstore.Query{Node: fleetstore.AnyNode})
+	if len(recs) != 24 {
+		t.Fatalf("promoted store has %d records, want 24", len(recs))
+	}
+	count := make(map[string]int, len(recs))
+	for _, r := range recs {
+		count[r.Victim]++
+	}
+	for v, n := range count {
+		if n != 1 {
+			t.Fatalf("victim %s recovered %d times after re-sync", v, n)
+		}
+	}
+}

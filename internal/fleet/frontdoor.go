@@ -1,0 +1,573 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hawkeye/internal/analyzd"
+	"hawkeye/internal/rollup"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/wire"
+)
+
+// ShardSpec names one shard and where its current primary answers.
+type ShardSpec struct {
+	Name string
+	Addr string
+}
+
+// ShardError is one shard's failure inside a fan-out: the front door
+// returns whatever the reachable shards answered plus this, so a dead
+// shard degrades a cluster query instead of failing it.
+type ShardError struct {
+	Shard string
+	Err   error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("shard %s: %v", e.Shard, e.Err) }
+
+// ShardStatus is one shard's row in a cluster health probe.
+type ShardStatus struct {
+	Spec   ShardSpec
+	Health *wire.Health
+	Info   *wire.ShardInfo
+	Err    error
+}
+
+// Frontdoor fans operator queries out across a cluster's shards and
+// merges the answers. Routing is the same consistent-hash ring every
+// shard and writer uses (fabric-scoped queries go to one shard); fleet-
+// wide queries hit every shard concurrently, and results are collected
+// in fixed shard order before merging — the submission-order discipline
+// the experiment runner uses, so a cluster query is as deterministic as
+// its shards' contents. Incidents merge by (first-seen, shard order);
+// rollup windows merge by sketch state, which is why the fan-out asks
+// every shard for sketches even when the caller did not.
+type Frontdoor struct {
+	specs []ShardSpec
+	ring  *Ring
+	retry analyzd.RetryConfig
+
+	mu      sync.Mutex
+	clients map[string]*analyzd.Client
+	closed  bool
+}
+
+// NewFrontdoor builds a front door over the shard set. The ring is
+// derived from the shard names with the given vnodes and seed — they
+// must match what the writers routing fabrics used, or Owner disagrees
+// with where the records actually live.
+func NewFrontdoor(specs []ShardSpec, vnodes int, seed uint64) (*Frontdoor, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fleet: frontdoor needs at least one shard")
+	}
+	names := make([]string, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for i, sp := range specs {
+		if sp.Name == "" || sp.Addr == "" {
+			return nil, fmt.Errorf("fleet: shard %d needs a name and an address", i)
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("fleet: duplicate shard %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		names[i] = sp.Name
+	}
+	ring, err := NewRing(names, vnodes, seed)
+	if err != nil {
+		return nil, err
+	}
+	fd := &Frontdoor{
+		specs:   make([]ShardSpec, len(specs)),
+		ring:    ring,
+		retry:   analyzd.DefaultRetryConfig(),
+		clients: make(map[string]*analyzd.Client),
+	}
+	copy(fd.specs, specs)
+	// Fixed merge order: shard name, so the fan-out collection order is
+	// a property of the cluster, not of the caller's spec ordering.
+	sort.Slice(fd.specs, func(i, j int) bool { return fd.specs[i].Name < fd.specs[j].Name })
+	return fd, nil
+}
+
+// Ring exposes the routing ring.
+func (fd *Frontdoor) Ring() *Ring { return fd.ring }
+
+// Shards returns the shard set in merge order.
+func (fd *Frontdoor) Shards() []ShardSpec {
+	out := make([]ShardSpec, len(fd.specs))
+	copy(out, fd.specs)
+	return out
+}
+
+// Owner returns the shard owning a fabric.
+func (fd *Frontdoor) Owner(fabric string) ShardSpec {
+	name := fd.ring.Owner(fabric)
+	for _, sp := range fd.specs {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return ShardSpec{} // unreachable: the ring only knows spec names
+}
+
+// Update repoints one shard at a new primary address (after a
+// failover promotion) and drops any cached session to the old one.
+func (fd *Frontdoor) Update(spec ShardSpec) error {
+	for i := range fd.specs {
+		if fd.specs[i].Name == spec.Name {
+			fd.specs[i].Addr = spec.Addr
+			fd.mu.Lock()
+			if c, ok := fd.clients[spec.Name]; ok {
+				c.Close()
+				delete(fd.clients, spec.Name)
+			}
+			fd.mu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: unknown shard %q", spec.Name)
+}
+
+// Close drops every cached shard session.
+func (fd *Frontdoor) Close() {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.closed = true
+	for name, c := range fd.clients {
+		c.Close()
+		delete(fd.clients, name)
+	}
+}
+
+// client returns a cached operator session to the named shard, dialing
+// one if needed.
+func (fd *Frontdoor) client(name, addr string) (*analyzd.Client, error) {
+	fd.mu.Lock()
+	if fd.closed {
+		fd.mu.Unlock()
+		return nil, fmt.Errorf("fleet: frontdoor closed")
+	}
+	if c, ok := fd.clients[name]; ok {
+		fd.mu.Unlock()
+		return c, nil
+	}
+	fd.mu.Unlock()
+	c, err := analyzd.DialOperatorRetry(addr, fd.retry)
+	if err != nil {
+		return nil, err
+	}
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.closed {
+		c.Close()
+		return nil, fmt.Errorf("fleet: frontdoor closed")
+	}
+	if prev, ok := fd.clients[name]; ok {
+		c.Close()
+		return prev, nil
+	}
+	fd.clients[name] = c
+	return c, nil
+}
+
+// drop forgets a shard's cached session after an operation error, so
+// the next query redials instead of reusing a dead transport.
+func (fd *Frontdoor) drop(name string) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if c, ok := fd.clients[name]; ok {
+		c.Close()
+		delete(fd.clients, name)
+	}
+}
+
+// fanout runs fn against every shard concurrently and collects the
+// failures in shard order. fn runs on distinct sessions, one per
+// shard, so slow shards overlap.
+func (fd *Frontdoor) fanout(fn func(i int, spec ShardSpec, c *analyzd.Client) error) []ShardError {
+	errs := make([]error, len(fd.specs))
+	var wg sync.WaitGroup
+	for i := range fd.specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := fd.specs[i]
+			c, err := fd.client(spec.Name, spec.Addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := fn(i, spec, c); err != nil {
+				fd.drop(spec.Name)
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	var out []ShardError
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, ShardError{Shard: fd.specs[i].Name, Err: err})
+		}
+	}
+	return out
+}
+
+// errAllShardsDown wraps a fan-out where nothing answered.
+func (fd *Frontdoor) allDown(errs []ShardError) error {
+	if len(errs) == len(fd.specs) {
+		return fmt.Errorf("fleet: every shard failed (first: %w)", errs[0].Err)
+	}
+	return nil
+}
+
+// QueryIncidents fans an incident query across the cluster. A fabric-
+// scoped query routes to the owning shard alone; otherwise every shard
+// answers and the results merge in (FirstNS, shard-order) order — ties
+// resolve by the fixed shard ordering, so the merged view is stable.
+// Down shards are reported in the ShardError slice; the error is
+// non-nil only when no shard answered.
+func (fd *Frontdoor) QueryIncidents(q wire.IncidentQuery) ([]wire.FleetIncident, []ShardError, error) {
+	if q.Fabric != "" {
+		spec := fd.Owner(q.Fabric)
+		c, err := fd.client(spec.Name, spec.Addr)
+		if err != nil {
+			return nil, []ShardError{{Shard: spec.Name, Err: err}}, err
+		}
+		incs, err := c.QueryIncidents(q)
+		if err != nil {
+			fd.drop(spec.Name)
+			return nil, []ShardError{{Shard: spec.Name, Err: err}}, err
+		}
+		return incs, nil, nil
+	}
+
+	perShard := make([][]wire.FleetIncident, len(fd.specs))
+	errs := fd.fanout(func(i int, spec ShardSpec, c *analyzd.Client) error {
+		incs, err := c.QueryIncidents(q)
+		if err != nil {
+			return err
+		}
+		perShard[i] = incs
+		return nil
+	})
+	if err := fd.allDown(errs); err != nil {
+		return nil, errs, err
+	}
+	var merged []wire.FleetIncident
+	for _, incs := range perShard {
+		merged = append(merged, incs...)
+	}
+	// Stable sort on first-seen: equal timestamps keep shard order, the
+	// deterministic-merge discipline.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].FirstNS < merged[j].FirstNS })
+	if q.Limit > 0 && len(merged) > q.Limit {
+		merged = merged[:q.Limit]
+	}
+	return merged, errs, nil
+}
+
+// QueryRollups fans a rollup query across the cluster and merges
+// same-window summaries by sketch state: counts add exactly, top-K
+// sketches union under their combined error bars, quantile buckets
+// add. Windows only one shard observed pass through unchanged. The
+// fan-out forces IncludeSketches so the merge has state to work with;
+// the caller's own flag decides whether the merged windows keep it.
+func (fd *Frontdoor) QueryRollups(q wire.RollupQuery) (*wire.RollupResult, []ShardError, error) {
+	wantSketches := q.IncludeSketches
+	if len(fd.specs) == 1 {
+		c, err := fd.client(fd.specs[0].Name, fd.specs[0].Addr)
+		if err != nil {
+			return nil, []ShardError{{Shard: fd.specs[0].Name, Err: err}}, err
+		}
+		res, err := c.QueryRollups(q)
+		if err != nil {
+			fd.drop(fd.specs[0].Name)
+			return nil, []ShardError{{Shard: fd.specs[0].Name, Err: err}}, err
+		}
+		return res, nil, nil
+	}
+
+	q.IncludeSketches = true
+	results := make([]*wire.RollupResult, len(fd.specs))
+	errs := fd.fanout(func(i int, spec ShardSpec, c *analyzd.Client) error {
+		res, err := c.QueryRollups(q)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err := fd.allDown(errs); err != nil {
+		return nil, errs, err
+	}
+
+	byStart := make(map[int64][]wire.RollupSummary)
+	var starts []int64
+	var slidings []wire.RollupSummary
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		for _, w := range res.Windows {
+			if _, ok := byStart[w.StartNS]; !ok {
+				starts = append(starts, w.StartNS)
+			}
+			byStart[w.StartNS] = append(byStart[w.StartNS], w)
+		}
+		if res.Sliding != nil {
+			slidings = append(slidings, *res.Sliding)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	out := &wire.RollupResult{}
+	for _, start := range starts {
+		merged, err := mergeWireWindows(byStart[start], wantSketches)
+		if err != nil {
+			return nil, errs, fmt.Errorf("fleet: merge window at %d: %w", start, err)
+		}
+		out.Windows = append(out.Windows, merged)
+	}
+	if q.Windows > 0 && len(out.Windows) > q.Windows {
+		out.Windows = out.Windows[len(out.Windows)-q.Windows:]
+	}
+	// Sliding views merge only when every answering shard produced one
+	// over the same span; otherwise the merged result omits it rather
+	// than blending mismatched ranges.
+	if len(slidings) > 0 && slidingSpansAgree(slidings) {
+		merged, err := mergeWireWindows(slidings, wantSketches)
+		if err == nil {
+			out.Sliding = &merged
+		}
+	}
+	return out, errs, nil
+}
+
+func slidingSpansAgree(sums []wire.RollupSummary) bool {
+	for i := 1; i < len(sums); i++ {
+		if sums[i].StartNS != sums[0].StartNS || sums[i].EndNS != sums[0].EndNS {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeWireWindows merges same-window summaries from several shards.
+// A single summary passes through as-is (modulo sketch stripping).
+func mergeWireWindows(ws []wire.RollupSummary, keepSketches bool) (wire.RollupSummary, error) {
+	if len(ws) == 1 {
+		out := ws[0]
+		if !keepSketches {
+			out.Sketches = nil
+		}
+		return out, nil
+	}
+	sums := make([]rollup.Summary, len(ws))
+	for i := range ws {
+		s, err := summaryFromWire(&ws[i])
+		if err != nil {
+			return wire.RollupSummary{}, err
+		}
+		sums[i] = s
+	}
+	merged, err := rollup.MergeWindows(sums)
+	if err != nil {
+		return wire.RollupSummary{}, err
+	}
+	if !keepSketches {
+		merged.Sketches = nil
+	}
+	return summaryToWire(&merged), nil
+}
+
+// summaryFromWire rebuilds the mergeable parts of a shard's window:
+// the counts plus the sketch state MergeWindows re-renders everything
+// else from. The sketch state crossed a process boundary, so import
+// validation (rollup.ErrBadSketchState) runs on every field.
+func summaryFromWire(ws *wire.RollupSummary) (rollup.Summary, error) {
+	if len(ws.Sketches) == 0 {
+		return rollup.Summary{}, fmt.Errorf("window at %d carries no sketch state", ws.StartNS)
+	}
+	var sk rollup.SummarySketches
+	if err := json.Unmarshal(ws.Sketches, &sk); err != nil {
+		return rollup.Summary{}, fmt.Errorf("decode sketch state: %w", err)
+	}
+	return rollup.Summary{
+		Start:        sim.Time(ws.StartNS),
+		End:          sim.Time(ws.EndNS),
+		Closed:       ws.Closed,
+		Records:      ws.Records,
+		Bytes:        ws.Bytes,
+		Evictions:    ws.Evictions,
+		ByType:       ws.ByType,
+		ByCause:      ws.ByCause,
+		ByConfidence: ws.ByConfidence,
+		Sketches:     &sk,
+	}, nil
+}
+
+// summaryToWire renders a merged summary back onto the wire shape —
+// the front door's counterpart of the analyzer's own conversion.
+func summaryToWire(sum *rollup.Summary) wire.RollupSummary {
+	out := wire.RollupSummary{
+		StartNS:      int64(sum.Start),
+		EndNS:        int64(sum.End),
+		Closed:       sum.Closed,
+		Records:      sum.Records,
+		ByType:       sum.ByType,
+		ByCause:      sum.ByCause,
+		ByConfidence: sum.ByConfidence,
+		StallNS: wire.RollupQuantiles{
+			Count: sum.StallNS.Count, P50: sum.StallNS.P50, P90: sum.StallNS.P90,
+			P99: sum.StallNS.P99, Max: sum.StallNS.Max,
+		},
+		Score: wire.RollupQuantiles{
+			Count: sum.Score.Count, P50: sum.Score.P50, P90: sum.Score.P90,
+			P99: sum.Score.P99, Max: sum.Score.Max,
+		},
+		Bytes:     sum.Bytes,
+		Evictions: sum.Evictions,
+		Headline:  sum.Headline,
+	}
+	if len(sum.TopLevels) > 0 {
+		out.Top = make(map[string][]wire.RollupHitter, len(sum.TopLevels))
+		for level, hitters := range sum.TopLevels {
+			hs := make([]wire.RollupHitter, len(hitters))
+			for i, h := range hitters {
+				hs[i] = wire.RollupHitter{Key: h.Key, Count: h.Count, Err: h.Err}
+			}
+			out.Top[level] = hs
+		}
+	}
+	if sum.Sketches != nil {
+		if b, err := json.Marshal(sum.Sketches); err == nil {
+			out.Sketches = b
+		}
+	}
+	return out
+}
+
+// Health probes every shard: lifecycle health plus cluster identity
+// (role, replication lag, last checkpoint). Rows come back in shard
+// order with per-shard errors inline — a down shard is a row, not a
+// failure.
+func (fd *Frontdoor) Health() []ShardStatus {
+	rows := make([]ShardStatus, len(fd.specs))
+	fd.fanout(func(i int, spec ShardSpec, c *analyzd.Client) error {
+		row := ShardStatus{Spec: spec}
+		h, err := c.Health()
+		if err != nil {
+			row.Err = err
+			rows[i] = row
+			return err
+		}
+		row.Health = h
+		info, err := c.ShardInfo()
+		if err != nil {
+			row.Err = err
+			rows[i] = row
+			return err
+		}
+		row.Info = info
+		rows[i] = row
+		return nil
+	})
+	for i := range rows {
+		if rows[i].Spec.Name == "" {
+			rows[i].Spec = fd.specs[i] // client dial failed before fn ran
+			rows[i].Err = fmt.Errorf("unreachable")
+		}
+	}
+	return rows
+}
+
+// TailEvent is one incident event annotated with its source shard.
+type TailEvent struct {
+	Shard string
+	Event wire.IncidentEvent
+}
+
+// Tail is a cluster-wide incident subscription: one session per shard,
+// fanned into a single channel.
+type Tail struct {
+	events chan TailEvent
+	stop   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	conns  []*analyzd.Client
+}
+
+// Events is the merged stream. It closes after Close, or once every
+// shard's session has ended.
+func (t *Tail) Events() <-chan TailEvent { return t.events }
+
+// Close ends every shard session and waits for the forwarders.
+func (t *Tail) Close() {
+	t.once.Do(func() { close(t.stop) })
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.wg.Wait()
+}
+
+// Subscribe opens a live incident tail across the cluster: a dedicated
+// operator session per shard (subscriptions consume their session), a
+// forwarder each, one merged channel. A fabric-scoped request tails
+// only the owning shard. Shards that refused the subscription are in
+// the ShardError slice; the error is non-nil when none accepted.
+func (fd *Frontdoor) Subscribe(req wire.SubscribeRequest, buf int) (*Tail, []ShardError, error) {
+	if buf <= 0 {
+		buf = 64
+	}
+	specs := fd.specs
+	if req.Fabric != "" {
+		specs = []ShardSpec{fd.Owner(req.Fabric)}
+	}
+	t := &Tail{events: make(chan TailEvent, buf), stop: make(chan struct{})}
+	var errs []ShardError
+	for _, spec := range specs {
+		c, err := analyzd.DialOperatorRetry(spec.Addr, fd.retry)
+		if err != nil {
+			errs = append(errs, ShardError{Shard: spec.Name, Err: err})
+			continue
+		}
+		if err := c.Subscribe(req); err != nil {
+			c.Close()
+			errs = append(errs, ShardError{Shard: spec.Name, Err: err})
+			continue
+		}
+		t.conns = append(t.conns, c)
+		t.wg.Add(1)
+		go func(name string, c *analyzd.Client) {
+			defer t.wg.Done()
+			for {
+				ev, err := c.NextEvent()
+				if err != nil {
+					return // drain, connection loss or Close
+				}
+				select {
+				case t.events <- TailEvent{Shard: name, Event: *ev}:
+				case <-t.stop:
+					return
+				}
+			}
+		}(spec.Name, c)
+	}
+	if len(t.conns) == 0 {
+		close(t.events)
+		first := fmt.Errorf("no shards")
+		if len(errs) > 0 {
+			first = errs[0].Err
+		}
+		return nil, errs, fmt.Errorf("fleet: every shard refused the tail (first: %w)", first)
+	}
+	go func() {
+		t.wg.Wait()
+		close(t.events)
+	}()
+	return t, errs, nil
+}

@@ -1,0 +1,230 @@
+package fleet
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hawkeye/internal/rollup"
+	"hawkeye/internal/wire"
+)
+
+// Two shards answering a fleet-wide query: incidents merge in
+// first-seen order, rollup windows merge to exactly what one
+// summarizer observing every record would have said, and the sketch
+// payloads stay opt-in.
+func TestFrontdoorMergeMatchesReference(t *testing.T) {
+	dir := t.TempDir()
+	a := testShard(t, filepath.Join(dir, "a"), "shard-a")
+	defer a.Close()
+	b := testShard(t, filepath.Join(dir, "b"), "shard-b")
+	defer b.Close()
+
+	reference := rollup.New(killLoopRollupCfg())
+	// Interleave fabrics across both shards over a shared time range so
+	// every rollup pane has contributions from both.
+	for i := 0; i < 40; i++ {
+		rec := testRec("fabA", i)
+		if i%2 == 1 {
+			rec.Fabric = "fabB"
+		}
+		var got = rec
+		if i%2 == 0 {
+			got = a.Fleet().Add(rec)
+		} else {
+			got = b.Fleet().Add(rec)
+		}
+		reference.ObserveRecord(&got)
+	}
+
+	fd, err := NewFrontdoor([]ShardSpec{
+		{Name: "shard-a", Addr: a.Addr()},
+		{Name: "shard-b", Addr: b.Addr()},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+
+	incs, shardErrs, err := fd.QueryIncidents(wire.IncidentQuery{Node: -1})
+	if err != nil || len(shardErrs) != 0 {
+		t.Fatalf("incidents: err=%v shardErrs=%v", err, shardErrs)
+	}
+	if len(incs) == 0 {
+		t.Fatal("no incidents merged")
+	}
+	for i := 1; i < len(incs); i++ {
+		if incs[i-1].FirstNS > incs[i].FirstNS {
+			t.Fatalf("merged incidents out of order at %d", i)
+		}
+	}
+
+	res, shardErrs, err := fd.QueryRollups(wire.RollupQuery{})
+	if err != nil || len(shardErrs) != 0 {
+		t.Fatalf("rollups: err=%v shardErrs=%v", err, shardErrs)
+	}
+	if err := compareRollups(res.Windows, reference.Query(rollup.QueryOpts{}).Panes); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Windows {
+		if w.Sketches != nil {
+			t.Fatal("sketch state leaked into a query that did not ask for it")
+		}
+	}
+	res, _, err = fd.QueryRollups(wire.RollupQuery{IncludeSketches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Windows {
+		if len(w.Sketches) == 0 {
+			t.Fatal("IncludeSketches returned a window without sketch state")
+		}
+	}
+}
+
+// A dead shard degrades a fleet-wide query to partial results with the
+// failure reported per shard; health rows mark it unreachable instead
+// of failing the probe.
+func TestFrontdoorPartialResultsWithShardDown(t *testing.T) {
+	dir := t.TempDir()
+	a := testShard(t, filepath.Join(dir, "a"), "shard-a")
+	defer a.Close()
+	b := testShard(t, filepath.Join(dir, "b"), "shard-b")
+
+	for i := 0; i < 6; i++ {
+		a.Fleet().Add(testRec("fabA", i))
+	}
+	for i := 6; i < 12; i++ {
+		b.Fleet().Add(testRec("fabB", i))
+	}
+
+	fd, err := NewFrontdoor([]ShardSpec{
+		{Name: "shard-a", Addr: a.Addr()},
+		{Name: "shard-b", Addr: b.Addr()},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+
+	// Healthy cluster first, so the front door has cached sessions that
+	// must be invalidated when the shard dies.
+	if _, errs, err := fd.QueryIncidents(wire.IncidentQuery{Node: -1}); err != nil || len(errs) != 0 {
+		t.Fatalf("healthy query: err=%v errs=%v", err, errs)
+	}
+
+	b.Fleet().Abort()
+	b.Close()
+
+	incs, shardErrs, err := fd.QueryIncidents(wire.IncidentQuery{Node: -1})
+	if err != nil {
+		t.Fatalf("partial query failed outright: %v", err)
+	}
+	if len(shardErrs) != 1 || shardErrs[0].Shard != "shard-b" {
+		t.Fatalf("shard errors = %v, want one for shard-b", shardErrs)
+	}
+	if len(incs) == 0 {
+		t.Fatal("surviving shard's incidents missing from partial result")
+	}
+
+	rows := fd.Health()
+	if len(rows) != 2 {
+		t.Fatalf("health rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		switch row.Spec.Name {
+		case "shard-a":
+			if row.Err != nil || row.Health == nil || row.Info == nil {
+				t.Fatalf("healthy shard row: %+v", row)
+			}
+			if row.Info.Shard != "shard-a" {
+				t.Fatalf("shard identity %q, want shard-a", row.Info.Shard)
+			}
+		case "shard-b":
+			if row.Err == nil {
+				t.Fatal("dead shard reported healthy")
+			}
+		}
+	}
+}
+
+// Fabric-scoped requests route to the ring owner alone.
+func TestFrontdoorFabricScopedRouting(t *testing.T) {
+	dir := t.TempDir()
+	a := testShard(t, filepath.Join(dir, "a"), "shard-a")
+	defer a.Close()
+	b := testShard(t, filepath.Join(dir, "b"), "shard-b")
+	defer b.Close()
+
+	fd, err := NewFrontdoor([]ShardSpec{
+		{Name: "shard-a", Addr: a.Addr()},
+		{Name: "shard-b", Addr: b.Addr()},
+	}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+
+	// Route records the way a writer would, then ask the front door for
+	// one fabric: only the owner's records can answer.
+	owner := fd.Owner("fabX")
+	var ownerSrv = a
+	if owner.Name == "shard-b" {
+		ownerSrv = b
+	}
+	for i := 0; i < 5; i++ {
+		ownerSrv.Fleet().Add(testRec("fabX", i))
+	}
+	incs, shardErrs, err := fd.QueryIncidents(wire.IncidentQuery{Fabric: "fabX", Node: -1})
+	if err != nil || len(shardErrs) != 0 {
+		t.Fatalf("scoped query: err=%v errs=%v", err, shardErrs)
+	}
+	if len(incs) == 0 {
+		t.Fatal("owner shard returned no incidents for its fabric")
+	}
+}
+
+// A cluster-wide tail merges incident events from every shard,
+// annotated with their source.
+func TestFrontdoorSubscribe(t *testing.T) {
+	dir := t.TempDir()
+	a := testShard(t, filepath.Join(dir, "a"), "shard-a")
+	defer a.Close()
+	b := testShard(t, filepath.Join(dir, "b"), "shard-b")
+	defer b.Close()
+
+	fd, err := NewFrontdoor([]ShardSpec{
+		{Name: "shard-a", Addr: a.Addr()},
+		{Name: "shard-b", Addr: b.Addr()},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+
+	tail, shardErrs, err := fd.Subscribe(wire.SubscribeRequest{Node: -1}, 16)
+	if err != nil || len(shardErrs) != 0 {
+		t.Fatalf("subscribe: err=%v errs=%v", err, shardErrs)
+	}
+	defer tail.Close()
+
+	a.Fleet().Add(testRec("fabA", 0))
+	b.Fleet().Add(testRec("fabB", 1))
+
+	got := map[string]bool{}
+	deadline := time.After(10 * time.Second)
+	for len(got) < 2 {
+		select {
+		case ev, ok := <-tail.Events():
+			if !ok {
+				t.Fatalf("tail closed early; saw %v", got)
+			}
+			got[ev.Shard] = true
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", got)
+		}
+	}
+	if !got["shard-a"] || !got["shard-b"] {
+		t.Fatalf("events from %v, want both shards", got)
+	}
+}

@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"flag"
+	"testing"
+)
+
+// -fleet.seeds widens the kill-loop sweep; CI's cluster-smoke job runs
+// 20 under -race, the default keeps `go test ./...` quick.
+var fleetSeeds = flag.Int("fleet.seeds", 3, "kill-loop trials to run")
+
+// TestKillLoop is the fleet tier's acceptance gate: a 3-shard cluster
+// survives a seeded primary-kill/follower-promotion loop with no
+// acknowledged record lost, deterministic routing, and front-door
+// rollup merges identical to a single reference summarizer.
+func TestKillLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-loop trials are not short")
+	}
+	for seed := 0; seed < *fleetSeeds; seed++ {
+		seed := uint64(seed)
+		dir := t.TempDir()
+		rep, err := KillLoop(dir, seed, KillLoopConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if rep.Failovers != rep.Rounds {
+			t.Fatalf("seed %d: %d failovers over %d rounds: %s", seed, rep.Failovers, rep.Rounds, rep)
+		}
+		if rep.Acked == 0 || rep.MergedWindows == 0 {
+			t.Fatalf("seed %d: degenerate trial: %s", seed, rep)
+		}
+		t.Logf("seed %d: %s", seed, rep)
+	}
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testFabrics(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fab-%04d", i)
+	}
+	return out
+}
+
+// Two rings built from the same inputs (in any member order) must route
+// every fabric identically — the cluster's only coordination is this
+// determinism.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"s0", "s1", "s2"}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s2", "s0", "s1"}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRing([]string{"s0", "s1", "s2"}, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := 0
+	for _, f := range testFabrics(2000) {
+		if a.Owner(f) != b.Owner(f) {
+			t.Fatalf("fabric %s: owner %s vs %s for identical rings", f, a.Owner(f), b.Owner(f))
+		}
+		if a.Owner(f) != other.Owner(f) {
+			differ++
+		}
+	}
+	// A different seed is a different layout: about 2/3 of fabrics should
+	// land elsewhere on a 3-shard ring.
+	if differ < 800 {
+		t.Fatalf("seed change moved only %d/2000 fabrics; layouts too correlated", differ)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0, 1); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0, 1); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0, 1); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+}
+
+// With 128 vnodes per shard, no shard's share of fabrics should stray
+// wildly from 1/N.
+func TestRingBalance(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3"}
+	r, err := NewRing(shards, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics := testFabrics(4000)
+	counts := make(map[string]int)
+	for _, f := range fabrics {
+		counts[r.Owner(f)]++
+	}
+	for _, s := range shards {
+		share := float64(counts[s]) / float64(len(fabrics))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("shard %s owns %.0f%% of fabrics (counts %v)", s, share*100, counts)
+		}
+	}
+}
+
+// Growing the membership must move fabrics only onto the new shard, and
+// roughly 1/(N+1) of them; shrinking must move only the removed shard's
+// fabrics. Everything else stays put — the bounded-reshard contract.
+func TestRingReshardBounds(t *testing.T) {
+	fabrics := testFabrics(3000)
+	three, err := NewRing([]string{"s0", "s1", "s2"}, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grow := Plan(three, four, fabrics)
+	for _, m := range grow {
+		if m.To != "s3" {
+			t.Fatalf("grow moved %s from %s to surviving shard %s", m.Fabric, m.From, m.To)
+		}
+	}
+	frac := float64(len(grow)) / float64(len(fabrics))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("grow moved %.0f%% of fabrics, want near 25%%", frac*100)
+	}
+	for i := 1; i < len(grow); i++ {
+		if grow[i-1].Fabric >= grow[i].Fabric {
+			t.Fatalf("plan not sorted: %q before %q", grow[i-1].Fabric, grow[i].Fabric)
+		}
+	}
+
+	shrink := Plan(four, three, fabrics)
+	if len(shrink) != len(grow) {
+		t.Fatalf("shrink plan has %d moves, grow had %d; reshard not symmetric", len(shrink), len(grow))
+	}
+	for _, m := range shrink {
+		if m.From != "s3" {
+			t.Fatalf("shrink moved %s owned by surviving shard %s", m.Fabric, m.From)
+		}
+	}
+	// Every fabric the removed shard owned must be in the plan.
+	for _, f := range fabrics {
+		if four.Owner(f) == "s3" {
+			found := false
+			for _, m := range shrink {
+				if m.Fabric == f {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("fabric %s owned by removed shard has no move", f)
+			}
+		}
+	}
+}

@@ -240,10 +240,14 @@ type Store struct {
 	closeErr  error
 	aborted   atomic.Bool
 
-	recovery  wal.RecoveryStats
-	replayed  int
-	walErrors atomic.Uint64
-	snapshots atomic.Uint64
+	recovery    wal.RecoveryStats
+	replayed    int
+	walErrors   atomic.Uint64
+	snapshots   atomic.Uint64
+	lastSnapSeq atomic.Uint64
+
+	// repl fans admitted WAL payloads out to attached followers.
+	repl replState
 }
 
 // New builds a store. cfg zero-values fall back to DefaultConfig.
@@ -284,6 +288,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		if err := st.restore(payload); err != nil {
 			return nil, err
 		}
+		st.lastSnapSeq.Store(snapSeq)
 	}
 	walOpts := wal.Options{
 		SegmentBytes: cfg.SegmentBytes,
@@ -358,6 +363,11 @@ func (st *Store) Add(rec Record) Record {
 			st.walErrors.Add(1)
 		} else if err := st.log.Append(rec.Seq, payload); err != nil {
 			st.walErrors.Add(1)
+		} else if st.repl.count.Load() != 0 {
+			// Followers mirror the primary's log: only what reached disk
+			// here is streamed, byte-identical, under the same gate that
+			// orders SyncReplica's cut.
+			st.repl.publish(ReplEntry{Seq: rec.Seq, Payload: payload})
 		}
 	}
 	st.insert(rec)
@@ -513,6 +523,13 @@ func (st *Store) Checkpoint() error {
 	st.gate.Lock()
 	seq := st.seq.Load()
 	payload, err := st.exportState()
+	if err == nil && st.repl.count.Load() != 0 {
+		// Ship the checkpoint to followers too (under the gate, so it
+		// slots into the stream exactly at its covered seq): a follower
+		// that persists it can compact its own log, keeping promotion
+		// replay bounded the same way the primary's is.
+		st.repl.publish(ReplEntry{Seq: seq, Payload: payload, Snapshot: true})
+	}
 	st.gate.Unlock()
 	if err != nil {
 		return err
@@ -521,6 +538,7 @@ func (st *Store) Checkpoint() error {
 		return err
 	}
 	st.snapshots.Add(1)
+	st.lastSnapSeq.Store(seq)
 	_, err = st.log.Compact(seq)
 	return err
 }

@@ -527,6 +527,77 @@ func (l *Log) Abort() {
 // LastSeq is the highest sequence number durably appended or replayed.
 func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
 
+// FirstSeq is the first sequence number the log still retains (the
+// oldest segment's name), or 0 when the log holds no segments. A
+// caller wanting to stream from seq s needs FirstSeq() <= s+1 — beyond
+// that, compaction has moved the history into a snapshot.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return 0
+	}
+	return l.segments[0].firstSeq
+}
+
+// IterateFrom streams every intact retained entry with seq > fromSeq,
+// in order, to fn — the read side of WAL shipping: a primary feeds a
+// freshly attached follower its backlog from here before switching to
+// live records. The segment list and committed sizes are captured
+// under the log's lock, then the files are read without it, so
+// iteration does not stall concurrent appends; entries appended after
+// the capture are simply not part of this pass. Callers that need a
+// consistent cut (no admissions between backlog and live stream)
+// serialize against Append themselves — the store's admission gate
+// does exactly that. Returns the entry count delivered.
+func (l *Log) IterateFrom(fromSeq uint64, fn func(seq uint64, payload []byte) error) (int, error) {
+	l.mu.Lock()
+	segs := make([]segment, len(l.segments))
+	copy(segs, l.segments)
+	l.mu.Unlock()
+
+	n := 0
+	for i := range segs {
+		seg := &segs[i]
+		if seg.lastSeq > 0 && seg.lastSeq <= fromSeq {
+			continue // fully below the requested range
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return n, fmt.Errorf("wal: iterate segment: %w", err)
+		}
+		// Bound the scan to the size committed at capture time: bytes past
+		// it may belong to an entry still being written.
+		if int64(len(data)) > seg.size {
+			data = data[:seg.size]
+		}
+		off := 0
+		for {
+			if len(data)-off < headerSize {
+				break
+			}
+			length := binary.BigEndian.Uint32(data[off:])
+			crc := binary.BigEndian.Uint32(data[off+4:])
+			if length > MaxEntry || len(data)-off-headerSize < int(length) {
+				break
+			}
+			body := data[off+8 : off+headerSize+int(length)]
+			if crc32.ChecksumIEEE(body) != crc {
+				break
+			}
+			seq := binary.BigEndian.Uint64(data[off+8:])
+			if seq > fromSeq {
+				if err := fn(seq, data[off+headerSize:off+headerSize+int(length)]); err != nil {
+					return n, err
+				}
+				n++
+			}
+			off += headerSize + int(length)
+		}
+	}
+	return n, nil
+}
+
 // Segments counts on-disk segment files.
 func (l *Log) Segments() int {
 	l.mu.Lock()

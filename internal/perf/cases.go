@@ -1,18 +1,22 @@
 package perf
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
+	"hawkeye/internal/analyzd"
 	"hawkeye/internal/device"
 	"hawkeye/internal/diagnosis"
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/fleet"
 	"hawkeye/internal/fleetstore"
 	"hawkeye/internal/packet"
 	"hawkeye/internal/rollup"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/telemetry"
 	"hawkeye/internal/topo"
+	"hawkeye/internal/wire"
 )
 
 // Case is one harness benchmark: a body runnable under testing.B (so the
@@ -52,6 +56,8 @@ func Cases(opts Options) []Case {
 		{Name: "telemetry/on_enqueue", Bench: benchTelemetryOnEnqueue},
 		{Name: "telemetry/snapshot_into", Bench: benchTelemetrySnapshotInto},
 		{Name: "rollup/observe", Bench: benchRollupObserve},
+		{Name: "fleet/frontdoor_query_1shard", Bench: benchFrontdoorQuery(1)},
+		{Name: "fleet/frontdoor_query_3shard", Bench: benchFrontdoorQuery(3)},
 		{
 			Name:        "experiments/eval_run_serial",
 			TrialsPerOp: evalTrialsPerOp,
@@ -175,6 +181,64 @@ func benchRollupObserve(b *testing.B) {
 		rec.StallNS = int64(i%1000) * 100
 		s.ObserveRecord(&rec)
 		s.AdvanceWatermark(rec.At)
+	}
+}
+
+// benchFrontdoorQuery is the cluster read path: a fleet-wide rollup
+// query fanned across live TCP shards, every per-shard window shipped
+// with its sketch state, and same-window summaries merged at the front
+// door. The 1-shard case isolates the wire round-trip; the 3-shard
+// case adds concurrent fan-out plus the sketch decode + merge work —
+// the overhead an operator pays for a horizontally scaled cluster.
+func benchFrontdoorQuery(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		specs := make([]fleet.ShardSpec, shards)
+		for i := 0; i < shards; i++ {
+			srv, err := analyzd.ListenOpts("127.0.0.1:0", analyzd.Options{
+				Shard: fmt.Sprintf("shard-%d", i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			// Every shard contributes to the same four windows, so the
+			// 3-shard case merges every window instead of passing them
+			// through.
+			pane := rollup.DefaultConfig().Pane
+			for j := 0; j < 256; j++ {
+				srv.Fleet().Add(fleetstore.Record{
+					Fabric:  fmt.Sprintf("fab%02d", i*8+j%8),
+					At:      sim.Time(j) * (4 * pane / 256),
+					Victim:  fmt.Sprintf("v%d-%d", i, j),
+					Type:    diagnosis.TypePFCStorm,
+					Node:    topo.NodeID(j % 16),
+					Port:    j % 4,
+					Score:   0.5,
+					StallNS: int64(1000 + j),
+				})
+			}
+			specs[i] = fleet.ShardSpec{Name: fmt.Sprintf("shard-%d", i), Addr: srv.Addr()}
+		}
+		fd, err := fleet.NewFrontdoor(specs, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(fd.Close)
+		q := wire.RollupQuery{}
+		if res, errs, err := fd.QueryRollups(q); err != nil || len(errs) > 0 || len(res.Windows) == 0 {
+			b.Fatalf("warm-up query: res=%v errs=%v err=%v", res, errs, err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, errs, err := fd.QueryRollups(q)
+			if err != nil || len(errs) > 0 {
+				b.Fatalf("errs=%v err=%v", errs, err)
+			}
+			if len(res.Windows) == 0 {
+				b.Fatal("no windows merged")
+			}
+		}
 	}
 }
 

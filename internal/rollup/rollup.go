@@ -187,6 +187,11 @@ type Summary struct {
 
 	// Headline is the one-line operator rendering.
 	Headline string `json:"headline,omitempty"`
+
+	// Sketches is the window's mergeable sketch state, attached when a
+	// query asks for it (cross-shard merging needs states, not rendered
+	// quantiles). Nil on ordinary renders.
+	Sketches *SummarySketches `json:"sketches,omitempty"`
 }
 
 // EventKind classifies rollup lifecycle events.
@@ -579,6 +584,10 @@ type QueryOpts struct {
 	Prefix string
 	// ClosedOnly excludes still-open panes.
 	ClosedOnly bool
+	// IncludeSketches attaches each summary's mergeable sketch state —
+	// the cross-shard query path sets it so a front door can combine
+	// per-shard windows.
+	IncludeSketches bool
 }
 
 // Result is a query reply: individual panes newest-last, plus the
@@ -606,17 +615,32 @@ func (s *Summarizer) Query(q QueryOpts) Result {
 	}
 	var res Result
 	for _, p := range panes {
-		res.Panes = append(res.Panes, s.renderLocked(p, q.Level, q.Prefix))
+		sum := s.renderLocked(p, q.Level, q.Prefix)
+		if q.IncludeSketches {
+			sum.Sketches = p.sketchState()
+		}
+		res.Panes = append(res.Panes, sum)
 	}
 	if q.Sliding > 0 && len(panes) > 0 {
 		merge := panes
 		if len(merge) > q.Sliding {
 			merge = merge[len(merge)-q.Sliding:]
 		}
-		sl := s.mergeLocked(merge, q.Level, q.Prefix)
+		sl := s.mergeLocked(merge, q.Level, q.Prefix, q.IncludeSketches)
 		res.Sliding = &sl
 	}
 	return res
+}
+
+// sketchState exports the pane's mergeable sketch state.
+func (p *pane) sketchState() *SummarySketches {
+	sk := &SummarySketches{Levels: make(map[string]TopKState, len(Levels))}
+	for i, name := range Levels {
+		sk.Levels[name] = p.levels[i].State()
+	}
+	sk.Stall = p.stall.State()
+	sk.Score = p.score.State()
+	return sk
 }
 
 // Stats snapshots summarizer activity.
@@ -674,7 +698,7 @@ func (s *Summarizer) renderLocked(p *pane, level, prefix string) Summary {
 // mergeLocked folds several panes into one Summary via scratch
 // sketches (sketch merges are order-independent up to the deterministic
 // trim, and panes are iterated oldest-first).
-func (s *Summarizer) mergeLocked(panes []*pane, level, prefix string) Summary {
+func (s *Summarizer) mergeLocked(panes []*pane, level, prefix string, includeSketches bool) Summary {
 	sum := Summary{
 		Start:        panes[0].start,
 		End:          panes[len(panes)-1].start + panes[len(panes)-1].span,
@@ -717,6 +741,15 @@ func (s *Summarizer) mergeLocked(panes []*pane, level, prefix string) Summary {
 		sum.Evictions += t.Evictions()
 	}
 	sum.Evictions += stall.Collapses() + score.Collapses()
+	if includeSketches {
+		sk := &SummarySketches{Levels: make(map[string]TopKState, len(Levels))}
+		for i, name := range Levels {
+			sk.Levels[name] = tops[i].State()
+		}
+		sk.Stall = stall.State()
+		sk.Score = score.State()
+		sum.Sketches = sk
+	}
 	sum.Headline = headline(&sum)
 	return sum
 }

@@ -1,0 +1,320 @@
+package rollup
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Merge property tests: the front door combines K per-shard sketches,
+// so the error guarantees each sketch states must survive a K-way
+// merge — overestimate-with-bounded-error for SpaceSaving, relative
+// gamma-error for the quantile sketch — and the state export/import
+// round trip must be lossless.
+
+// zipfStream deterministically generates a skewed key stream and the
+// exact per-key counts.
+func zipfStream(seed int64, n, universe int) ([]string, map[string]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1.0, uint64(universe-1))
+	keys := make([]string, n)
+	truth := make(map[string]uint64, universe)
+	for i := range keys {
+		k := fmt.Sprintf("key-%04d", z.Uint64())
+		keys[i] = k
+		truth[k]++
+	}
+	return keys, truth
+}
+
+// TestTopKMergeErrorBounds shards one stream K ways, merges the K
+// sketches, and asserts the SpaceSaving bounds still hold on the
+// result: every reported count is an overestimate by at most its error
+// bar, and every key heavy enough that no bounded-memory summary may
+// miss it is present.
+func TestTopKMergeErrorBounds(t *testing.T) {
+	const (
+		shards   = 5
+		capacity = 32
+		n        = 20000
+	)
+	for seed := int64(1); seed <= 8; seed++ {
+		keys, truth := zipfStream(seed, n, 400)
+		sketches := make([]*TopK, shards)
+		for i := range sketches {
+			sketches[i] = NewTopK(capacity)
+		}
+		// Shard assignment mirrors the router: by key hash, so one key's
+		// mass lands entirely in one shard sometimes and spread others.
+		rng := rand.New(rand.NewSource(seed * 77))
+		assign := make(map[string]int)
+		for _, k := range keys {
+			sh, ok := assign[k]
+			if !ok {
+				sh = rng.Intn(shards)
+				assign[k] = sh
+			}
+			sketches[sh].ObserveString(k)
+		}
+		merged := NewTopK(capacity)
+		for _, sk := range sketches {
+			merged.Merge(sk)
+		}
+		if merged.Len() > capacity {
+			t.Fatalf("seed %d: merged sketch holds %d keys, capacity %d", seed, merged.Len(), capacity)
+		}
+		if merged.Observed() != uint64(n) {
+			t.Fatalf("seed %d: merged observed %d, want %d", seed, merged.Observed(), n)
+		}
+		for _, hh := range merged.Top(0) {
+			tc := truth[hh.Key]
+			if hh.Count < tc {
+				t.Fatalf("seed %d: key %s count %d underestimates true %d", seed, hh.Key, hh.Count, tc)
+			}
+			if hh.Count-hh.Err > tc {
+				t.Fatalf("seed %d: key %s lower bound %d exceeds true %d", seed, hh.Key, hh.Count-hh.Err, tc)
+			}
+		}
+		// Guaranteed presence: a single sketch never misses keys above
+		// N/capacity; the merge trim relaxes that by at most another
+		// N/capacity of mass, so 2N/capacity keys must survive.
+		threshold := uint64(2 * n / capacity)
+		for k, tc := range truth {
+			if tc <= threshold {
+				continue
+			}
+			if _, _, ok := merged.Estimate(k); !ok {
+				t.Fatalf("seed %d: key %s (true count %d > %d) missing from merged sketch",
+					seed, k, tc, threshold)
+			}
+		}
+	}
+}
+
+// TestTopKMergeExactWhenUncontended asserts the strongest case: when
+// capacity covers the key universe, a K-way merge is exact — identical
+// to counting the concatenated stream.
+func TestTopKMergeExactWhenUncontended(t *testing.T) {
+	keys, truth := zipfStream(42, 5000, 60)
+	sketches := make([]*TopK, 3)
+	for i := range sketches {
+		sketches[i] = NewTopK(64)
+	}
+	for i, k := range keys {
+		sketches[i%3].ObserveString(k)
+	}
+	merged := NewTopK(64)
+	for _, sk := range sketches {
+		merged.Merge(sk)
+	}
+	for k, tc := range truth {
+		count, errBar, ok := merged.Estimate(k)
+		if !ok || count != tc || errBar != 0 {
+			t.Fatalf("key %s: got (%d,%d,%v), want exact %d", k, count, errBar, ok, tc)
+		}
+	}
+}
+
+// TestQuantileMergeErrorBounds merges K shard sketches and asserts
+// every reported quantile stays within the sketch's stated relative
+// error of the true quantile over the union of all shard values.
+func TestQuantileMergeErrorBounds(t *testing.T) {
+	const (
+		shards = 4
+		gamma  = 1.02
+	)
+	relErr := (gamma - 1) / (gamma + 1)
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sketches := make([]*Quantile, shards)
+		for i := range sketches {
+			sketches[i] = NewQuantile(gamma, 4096)
+		}
+		var all []float64
+		for i := 0; i < 12000; i++ {
+			// Log-uniform values spanning ns to ms, like stall durations.
+			v := math.Exp(rng.Float64()*14) * 10
+			all = append(all, v)
+			sketches[i%shards].Observe(v)
+		}
+		merged := NewQuantile(gamma, 4096)
+		for _, sk := range sketches {
+			merged.Merge(sk)
+		}
+		if merged.Count() != uint64(len(all)) {
+			t.Fatalf("seed %d: merged count %d, want %d", seed, merged.Count(), len(all))
+		}
+		if merged.Collapses() != 0 {
+			t.Fatalf("seed %d: unexpected collapses with a roomy bucket cap", seed)
+		}
+		sort.Float64s(all)
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			got := merged.Query(p)
+			want := all[int(p*float64(len(all)-1))]
+			if re := math.Abs(got-want) / want; re > relErr+1e-9 {
+				t.Fatalf("seed %d: p%.2f = %g, true %g, relative error %g > %g",
+					seed, p, got, want, re, relErr)
+			}
+		}
+	}
+}
+
+// TestQuantileMergeMatchesSingleStream asserts merge determinism: with
+// no collapses, merging K shard sketches yields bucket-identical state
+// to one sketch that saw the whole stream — the property that makes a
+// cross-shard rollup answer match a single-store run.
+func TestQuantileMergeMatchesSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	single := NewQuantile(1.02, 4096)
+	sketches := []*Quantile{NewQuantile(1.02, 4096), NewQuantile(1.02, 4096), NewQuantile(1.02, 4096)}
+	for i := 0; i < 9000; i++ {
+		v := math.Exp(rng.Float64() * 12)
+		single.Observe(v)
+		sketches[i%3].Observe(v)
+	}
+	merged := NewQuantile(1.02, 4096)
+	for _, sk := range sketches {
+		merged.Merge(sk)
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := merged.Query(p), single.Query(p); got != want {
+			t.Fatalf("p%g: merged %g != single-stream %g", p, got, want)
+		}
+	}
+	if merged.Max() != single.Max() || merged.Count() != single.Count() {
+		t.Fatalf("merged (max=%g,count=%d) != single (max=%g,count=%d)",
+			merged.Max(), merged.Count(), single.Max(), single.Count())
+	}
+}
+
+// TestSketchStateRoundTrip asserts export/import is lossless for both
+// sketch kinds, and that import rejects corrupted states.
+func TestSketchStateRoundTrip(t *testing.T) {
+	keys, _ := zipfStream(3, 4000, 200)
+	tk := NewTopK(16)
+	for _, k := range keys {
+		tk.ObserveString(k)
+	}
+	tk2, err := NewTopKFromState(tk.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(tk2.Top(0)), fmt.Sprint(tk.Top(0)); got != want {
+		t.Fatalf("top-k round trip changed the sketch:\n got %s\nwant %s", got, want)
+	}
+	if tk2.Observed() != tk.Observed() || tk2.Evictions() != tk.Evictions() || tk2.Bytes() != tk.Bytes() {
+		t.Fatal("top-k round trip changed the accounting")
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	q := NewQuantile(1.02, 64)
+	for i := 0; i < 5000; i++ {
+		q.Observe(math.Exp(rng.Float64() * 16))
+	}
+	q2, err := NewQuantileFromState(q.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if q2.Query(p) != q.Query(p) {
+			t.Fatalf("quantile round trip changed p%g", p)
+		}
+	}
+	if q2.Count() != q.Count() || q2.Collapses() != q.Collapses() {
+		t.Fatal("quantile round trip changed the accounting")
+	}
+
+	// Hostile states must be refused, not imported.
+	bad := []struct {
+		name string
+		err  error
+	}{}
+	_ = bad
+	if _, err := NewTopKFromState(TopKState{Capacity: 0}); err == nil {
+		t.Fatal("zero-capacity top-k state imported")
+	}
+	if _, err := NewTopKFromState(TopKState{Capacity: 1 << 30}); err == nil {
+		t.Fatal("huge-capacity top-k state imported")
+	}
+	if _, err := NewTopKFromState(TopKState{Capacity: 1, Hitters: []HeavyHitter{{Key: "a", Count: 1}, {Key: "b", Count: 1}}}); err == nil {
+		t.Fatal("over-capacity hitter list imported")
+	}
+	if _, err := NewTopKFromState(TopKState{Capacity: 4, Hitters: []HeavyHitter{{Key: "a", Count: 1, Err: 2}}}); err == nil {
+		t.Fatal("err > count hitter imported")
+	}
+	qs := q.State()
+	qs.Count++ // break conservation
+	if _, err := NewQuantileFromState(qs); err == nil {
+		t.Fatal("mass-violating quantile state imported")
+	}
+	if _, err := NewQuantileFromState(QuantileState{Gamma: 0.5, MaxBuckets: 64}); err == nil {
+		t.Fatal("gamma <= 1 quantile state imported")
+	}
+}
+
+// TestMergeWindowsMatchesSingleStore is the front door's contract in
+// miniature: recordless here, pure sketch-level — K per-shard windows
+// merged via MergeWindows must agree with one window that saw every
+// observation, exactly for counts and within error bars for sketches.
+func TestMergeWindowsMatchesSingleStore(t *testing.T) {
+	cfg := DefaultConfig()
+	mk := func() *pane { return newPane(0, &cfg) }
+	shardPanes := []*pane{mk(), mk(), mk()}
+	ref := mk()
+
+	keys, truth := zipfStream(11, 6000, 50)
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range keys {
+		// Shard by key, as the router does: hierarchy keys are fabric-
+		// prefixed and a fabric lives on exactly one shard, so no key's
+		// mass is ever split (the overestimate bound needs that).
+		sh := shardPanes[int(k[len(k)-1])%3]
+		stall := math.Exp(rng.Float64() * 10)
+		for _, p := range []*pane{sh, ref} {
+			p.records++
+			p.bumpEnum(p.byType, "pfc-storm")
+			p.levels[0].ObserveString(k)
+			p.stall.Observe(stall)
+			p.score.Observe(0.5)
+		}
+	}
+	var sums []Summary
+	for _, p := range shardPanes {
+		p.closed = true
+		sums = append(sums, Summary{
+			Start: p.start, End: p.start + p.span, Closed: true,
+			Records:  p.records,
+			ByType:   copyCounts(p.byType),
+			Sketches: p.sketchState(),
+		})
+	}
+	merged, err := MergeWindows(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Records != ref.records {
+		t.Fatalf("merged records %d, want %d", merged.Records, ref.records)
+	}
+	if merged.ByType["pfc-storm"] != ref.byType["pfc-storm"] {
+		t.Fatalf("merged type count %d, want %d", merged.ByType["pfc-storm"], ref.byType["pfc-storm"])
+	}
+	refQ := renderQuantiles(ref.stall)
+	if merged.StallNS != refQ {
+		t.Fatalf("merged stall quantiles %+v, want %+v", merged.StallNS, refQ)
+	}
+	// Fabric-level heavy hitters: the SpaceSaving bounds must hold on
+	// the merged sketch against the exact counts.
+	for _, hh := range merged.TopLevels["fabric"] {
+		tc := truth[hh.Key]
+		if hh.Count < tc || hh.Count-hh.Err > tc {
+			t.Fatalf("merged hitter %s (%d±%d) outside true count %d", hh.Key, hh.Count, hh.Err, tc)
+		}
+	}
+	// Window-span mismatches are refused.
+	sums[1].Start++
+	if _, err := MergeWindows(sums); err == nil {
+		t.Fatal("mismatched window spans merged")
+	}
+}

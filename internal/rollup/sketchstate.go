@@ -1,0 +1,260 @@
+package rollup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sketch state export/import: the cross-shard form of the rollup
+// layer. A front door merging per-shard windows cannot work from
+// rendered quantiles (p50s do not add), so a shard exports its
+// sketches' full state — bounded by the same caps the live sketches
+// honor — and the front door reconstructs and merges them. Import
+// validates everything: these travel over the wire from other
+// processes, and the PR 5 discipline is that nothing structural is
+// trusted on arrival.
+
+// ErrBadSketchState reports an import that failed validation.
+var ErrBadSketchState = errors.New("rollup: bad sketch state")
+
+func badState(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSketchState, fmt.Sprintf(format, args...))
+}
+
+// Import bounds: far above any configuration this codebase produces,
+// far below anything that could hurt the importer.
+const (
+	maxStateCapacity = 1 << 16
+	maxStateBuckets  = 1 << 20
+	maxStateGamma    = 8.0
+)
+
+// TopKState is a TopK sketch's serializable form: the monitored
+// counters (count-descending, the same order Top reports) plus the
+// capacity and accounting needed to resume merging.
+type TopKState struct {
+	Capacity  int           `json:"capacity"`
+	Observed  uint64        `json:"observed,omitempty"`
+	Evictions uint64        `json:"evictions,omitempty"`
+	Hitters   []HeavyHitter `json:"hitters,omitempty"`
+}
+
+// State exports the sketch. Deterministic: hitters are in Top order.
+func (t *TopK) State() TopKState {
+	return TopKState{
+		Capacity:  t.capacity,
+		Observed:  t.observed,
+		Evictions: t.evictions,
+		Hitters:   t.Top(0),
+	}
+}
+
+// NewTopKFromState validates and reconstructs a sketch. The SpaceSaving
+// invariants are checked, not assumed: capacity and key sizes bounded,
+// at most capacity hitters, every error bar at or below its count.
+func NewTopKFromState(s TopKState) (*TopK, error) {
+	if s.Capacity < 1 || s.Capacity > maxStateCapacity {
+		return nil, badState("top-k capacity %d outside [1,%d]", s.Capacity, maxStateCapacity)
+	}
+	if len(s.Hitters) > s.Capacity {
+		return nil, badState("%d hitters in a %d-capacity sketch", len(s.Hitters), s.Capacity)
+	}
+	t := NewTopK(s.Capacity)
+	t.observed = s.Observed
+	t.evictions = s.Evictions
+	var counted uint64
+	for _, h := range s.Hitters {
+		if len(h.Key) == 0 || len(h.Key) > maxKeyBytes {
+			return nil, badState("hitter key %d bytes outside [1,%d]", len(h.Key), maxKeyBytes)
+		}
+		if h.Err > h.Count {
+			return nil, badState("hitter %q error %d exceeds count %d", h.Key, h.Err, h.Count)
+		}
+		if _, dup := t.items[h.Key]; dup {
+			return nil, badState("duplicate hitter key %q", h.Key)
+		}
+		t.items[h.Key] = &ssEntry{count: h.Count, err: h.Err}
+		t.keyBytes += len(h.Key)
+		counted += h.Count
+	}
+	// SpaceSaving counters sum to at most the observed stream length.
+	if s.Observed != 0 && counted > s.Observed {
+		return nil, badState("counter mass %d exceeds observed %d", counted, s.Observed)
+	}
+	return t, nil
+}
+
+// QuantileState is a Quantile sketch's serializable form: parallel
+// index/count arrays (index-ascending) plus the shape parameters.
+type QuantileState struct {
+	Gamma      float64  `json:"gamma"`
+	MaxBuckets int      `json:"maxBuckets"`
+	Zero       uint64   `json:"zero,omitempty"`
+	Count      uint64   `json:"count"`
+	Max        float64  `json:"max,omitempty"`
+	Collapses  uint64   `json:"collapses,omitempty"`
+	Indexes    []int    `json:"idx,omitempty"`
+	Counts     []uint64 `json:"n,omitempty"`
+}
+
+// State exports the sketch. Deterministic: buckets index-ascending.
+func (q *Quantile) State() QuantileState {
+	s := QuantileState{
+		Gamma:      q.gamma,
+		MaxBuckets: q.maxBuckets,
+		Zero:       q.zero,
+		Count:      q.count,
+		Max:        q.max,
+		Collapses:  q.collapses,
+	}
+	idxs := make([]int, 0, len(q.buckets))
+	for idx := range q.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		s.Indexes = append(s.Indexes, idx)
+		s.Counts = append(s.Counts, q.buckets[idx])
+	}
+	return s
+}
+
+// NewQuantileFromState validates and reconstructs a sketch. The
+// conservation law is enforced: zero + bucket mass == count, exactly —
+// a state that fails it was corrupted or fabricated.
+func NewQuantileFromState(s QuantileState) (*Quantile, error) {
+	if s.Gamma <= 1 || s.Gamma > maxStateGamma {
+		return nil, badState("gamma %g outside (1,%g]", s.Gamma, maxStateGamma)
+	}
+	if s.MaxBuckets < 8 || s.MaxBuckets > maxStateBuckets {
+		return nil, badState("bucket cap %d outside [8,%d]", s.MaxBuckets, maxStateBuckets)
+	}
+	if len(s.Indexes) != len(s.Counts) {
+		return nil, badState("%d indexes, %d counts", len(s.Indexes), len(s.Counts))
+	}
+	if len(s.Indexes) > s.MaxBuckets {
+		return nil, badState("%d buckets in a %d-cap sketch", len(s.Indexes), s.MaxBuckets)
+	}
+	if s.Max < 0 {
+		return nil, badState("negative max %g", s.Max)
+	}
+	q := NewQuantile(s.Gamma, s.MaxBuckets)
+	q.zero = s.Zero
+	q.count = s.Count
+	q.max = s.Max
+	q.collapses = s.Collapses
+	mass := s.Zero
+	prev := 0
+	for i, idx := range s.Indexes {
+		if i > 0 && idx <= prev {
+			return nil, badState("bucket indexes not strictly ascending (%d after %d)", idx, prev)
+		}
+		prev = idx
+		if s.Counts[i] == 0 {
+			return nil, badState("empty bucket %d", idx)
+		}
+		q.buckets[idx] = s.Counts[i]
+		mass += s.Counts[i]
+	}
+	if mass != s.Count {
+		return nil, badState("bucket mass %d disagrees with count %d", mass, s.Count)
+	}
+	return q, nil
+}
+
+// SummarySketches is the mergeable state attached to a Summary when a
+// query asks for it (QueryOpts.IncludeSketches): one top-K state per
+// hierarchy level plus the two quantile sketches.
+type SummarySketches struct {
+	Levels map[string]TopKState `json:"levels,omitempty"`
+	Stall  QuantileState        `json:"stall"`
+	Score  QuantileState        `json:"score"`
+}
+
+// MergeWindows merges per-shard summaries of the same window into one,
+// via sketch state: counts add, top-K sketches merge (deterministic
+// trim), quantile buckets add. Every input must carry sketches and
+// agree on the window span. The result carries merged sketches too, so
+// merges nest (a region front door can feed a global one).
+func MergeWindows(sums []Summary) (Summary, error) {
+	if len(sums) == 0 {
+		return Summary{}, badState("no summaries to merge")
+	}
+	for i := range sums {
+		if sums[i].Sketches == nil {
+			return Summary{}, badState("summary %d carries no sketch state", i)
+		}
+		if sums[i].Start != sums[0].Start || sums[i].End != sums[0].End {
+			return Summary{}, badState("summary %d spans [%v,%v), want [%v,%v)",
+				i, sums[i].Start, sums[i].End, sums[0].Start, sums[0].End)
+		}
+	}
+	out := Summary{
+		Start:        sums[0].Start,
+		End:          sums[0].End,
+		Closed:       true,
+		ByType:       make(map[string]uint64),
+		ByCause:      make(map[string]uint64),
+		ByConfidence: make(map[string]uint64),
+		TopLevels:    make(map[string][]HeavyHitter, len(Levels)),
+	}
+	tops := make(map[string]*TopK, len(Levels))
+	var stall, score *Quantile
+	for i := range sums {
+		sm := &sums[i]
+		if !sm.Closed {
+			out.Closed = false
+		}
+		out.Records += sm.Records
+		out.Bytes += sm.Bytes
+		out.Evictions += sm.Evictions
+		addCounts(out.ByType, sm.ByType)
+		addCounts(out.ByCause, sm.ByCause)
+		addCounts(out.ByConfidence, sm.ByConfidence)
+		for lvl, st := range sm.Sketches.Levels {
+			t, err := NewTopKFromState(st)
+			if err != nil {
+				return Summary{}, fmt.Errorf("summary %d level %s: %w", i, lvl, err)
+			}
+			if cur, ok := tops[lvl]; ok {
+				// Merge into the larger-capacity sketch so the union trim
+				// never tightens below any shard's own bound.
+				if t.capacity > cur.capacity {
+					t.Merge(cur)
+					tops[lvl] = t
+				} else {
+					cur.Merge(t)
+				}
+			} else {
+				tops[lvl] = t
+			}
+		}
+		st, err := NewQuantileFromState(sm.Sketches.Stall)
+		if err != nil {
+			return Summary{}, fmt.Errorf("summary %d stall: %w", i, err)
+		}
+		sc, err := NewQuantileFromState(sm.Sketches.Score)
+		if err != nil {
+			return Summary{}, fmt.Errorf("summary %d score: %w", i, err)
+		}
+		if stall == nil {
+			stall, score = st, sc
+		} else {
+			stall.Merge(st)
+			score.Merge(sc)
+		}
+	}
+	sk := &SummarySketches{Levels: make(map[string]TopKState, len(tops))}
+	for lvl, t := range tops {
+		out.TopLevels[lvl] = t.Top(0)
+		sk.Levels[lvl] = t.State()
+	}
+	sk.Stall = stall.State()
+	sk.Score = score.State()
+	out.Sketches = sk
+	out.StallNS = renderQuantiles(stall)
+	out.Score = renderQuantiles(score)
+	out.Headline = headline(&out)
+	return out, nil
+}

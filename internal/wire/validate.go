@@ -32,6 +32,10 @@ const (
 	// capped server-side, so a rendered summary is a few KB and a frame
 	// approaching MaxFrame is corrupt, not big.
 	capRollupEvent = 256 << 10
+	// capReplRecord bounds one replicated admission: an 8-byte seq plus
+	// one JSON store record — a few hundred bytes normally, a few KB
+	// with a long culprit list. 64 KiB is corruption, not a record.
+	capReplRecord = 64 << 10
 )
 
 // payloadCaps maps each known message type to its maximum payload size.
@@ -57,6 +61,12 @@ var payloadCaps = [...]int{
 	MsgRollupList:       MaxFrame,
 	MsgSubscribeRollups: capRequest,
 	MsgRollupEvent:      capRollupEvent,
+	MsgReplicate:        capRequest,
+	MsgReplSnapshot:     MaxFrame, // a snapshot is the full store state
+	MsgReplRecord:       capReplRecord,
+	MsgReplAck:          capRequest,
+	MsgShardInfo:        capEmpty,
+	MsgShardInfoReply:   capRequest,
 }
 
 // PayloadCap returns the maximum payload size for t. Unknown types get
@@ -281,3 +291,126 @@ func (v *Validator) CheckReport(r *telemetry.Report) error {
 	v.lastTaken[sw] = int64(r.Taken)
 	return nil
 }
+
+// ErrBadReplRecord reports a replication record that failed semantic
+// admission. A follower that sees one tears the stream down and
+// re-syncs rather than writing a poisoned entry into its own log.
+var ErrBadReplRecord = errors.New("wire: bad replication record")
+
+// Replication record structural bounds: a hostile or corrupted primary
+// must not be able to fill a follower's log with garbage that only
+// explodes at promotion time.
+const (
+	maxReplVictim   = 512
+	maxReplCulprits = 256
+	maxReplLoop     = 1024
+	maxReplPod      = 64
+)
+
+// replRecordShape mirrors the fields of a fleetstore record the
+// validator bounds. The store marshals records with Go field names (no
+// tags), so the shape uses the same names; unknown fields pass through
+// — a newer primary may add attributes an older follower just stores.
+type replRecordShape struct {
+	Fabric   string
+	Seq      uint64
+	At       int64
+	Victim   string
+	Culprits []string
+	Loop     []json.RawMessage
+	Pod      string
+	Score    float64
+	StallNS  int64
+}
+
+func badRepl(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadReplRecord, fmt.Sprintf(format, args...))
+}
+
+// ReplValidator performs semantic admission on a replication stream:
+// frame-level shape (via DecodeReplRecord), structural bounds on the
+// carried record, and a durable floor — sequences at or below the
+// follower's own watermark are replays. It is stateful (per-stream)
+// and not safe for concurrent use; replication streams, like report
+// sessions, are single-reader.
+type ReplValidator struct {
+	// floor is the highest sequence already durable on the follower;
+	// records at or below it are replays.
+	floor uint64
+	// high is the highest sequence admitted on this stream.
+	high uint64
+}
+
+// NewReplValidator builds a validator whose replay floor is the
+// follower's durable watermark (0 for an empty follower).
+func NewReplValidator(floor uint64) *ReplValidator {
+	return &ReplValidator{floor: floor}
+}
+
+// CheckRecord admits or rejects one MsgReplRecord payload, returning
+// the decoded seq and record payload on admission. The record payload
+// aliases b. Admission advances the stream high-water mark; rejected
+// frames leave no state behind.
+func (v *ReplValidator) CheckRecord(b []byte) (seq uint64, payload []byte, err error) {
+	seq, payload, err = DecodeReplRecord(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if seq <= v.floor {
+		return 0, nil, badRepl("seq %d at or below durable floor %d (replay)", seq, v.floor)
+	}
+	var rec replRecordShape
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, nil, badRepl("record body: %v", err)
+	}
+	// The embedded Seq, when present, must agree with the frame header —
+	// a disagreement means the payload was spliced from another entry.
+	if rec.Seq != 0 && rec.Seq != seq {
+		return 0, nil, badRepl("embedded seq %d disagrees with frame seq %d", rec.Seq, seq)
+	}
+	if len(rec.Fabric) > maxFabricName {
+		return 0, nil, badRepl("fabric name %d bytes", len(rec.Fabric))
+	}
+	if len(rec.Victim) > maxReplVictim {
+		return 0, nil, badRepl("victim %d bytes", len(rec.Victim))
+	}
+	if len(rec.Culprits) > maxReplCulprits {
+		return 0, nil, badRepl("%d culprit flows", len(rec.Culprits))
+	}
+	for _, c := range rec.Culprits {
+		if len(c) > maxReplVictim {
+			return 0, nil, badRepl("culprit flow %d bytes", len(c))
+		}
+	}
+	if len(rec.Loop) > maxReplLoop {
+		return 0, nil, badRepl("%d-hop deadlock loop", len(rec.Loop))
+	}
+	if len(rec.Pod) > maxReplPod {
+		return 0, nil, badRepl("pod label %d bytes", len(rec.Pod))
+	}
+	if rec.At < 0 {
+		return 0, nil, badRepl("negative trigger time %d", rec.At)
+	}
+	if rec.StallNS < 0 {
+		return 0, nil, badRepl("negative stall %dns", rec.StallNS)
+	}
+	if rec.Score < 0 || rec.Score > 1 {
+		return 0, nil, badRepl("confidence score %g outside [0,1]", rec.Score)
+	}
+	if seq > v.high {
+		v.high = seq
+	}
+	return seq, payload, nil
+}
+
+// Commit advances the durable floor: the follower has written every
+// record at or below seq to its own log, so anything at or below it
+// arriving again is a replay.
+func (v *ReplValidator) Commit(seq uint64) {
+	if seq > v.floor {
+		v.floor = seq
+	}
+}
+
+// High returns the highest sequence admitted on this stream.
+func (v *ReplValidator) High() uint64 { return v.high }

@@ -73,12 +73,31 @@ const (
 	// MsgRollupEvent is one pushed rollup window transition: JSON
 	// RollupEvent payload.
 	MsgRollupEvent MsgType = 21
+	// MsgReplicate turns the session into a shard-to-shard replication
+	// stream: JSON ReplicateRequest payload. The server answers with a
+	// MsgReplSnapshot or a run of MsgReplRecord frames (catch-up), then
+	// keeps streaming records as they are admitted.
+	MsgReplicate MsgType = 22
+	// MsgReplSnapshot carries a full store snapshot to a follower:
+	// binary 8-byte covered seq + snapshot payload.
+	MsgReplSnapshot MsgType = 23
+	// MsgReplRecord is one replicated admission: binary 8-byte seq +
+	// the record's WAL payload (JSON).
+	MsgReplRecord MsgType = 24
+	// MsgReplAck is the follower's durability watermark: JSON ReplAck
+	// payload. The primary uses it to report replication lag.
+	MsgReplAck MsgType = 25
+	// MsgShardInfo asks a cluster shard for its routing identity and
+	// replication health (empty payload).
+	MsgShardInfo MsgType = 26
+	// MsgShardInfoReply is the answer: JSON ShardInfo payload.
+	MsgShardInfoReply MsgType = 27
 )
 
 // Known reports whether t is a frame type this protocol version
 // defines. Readers skip unknown types instead of failing the session,
 // so a newer peer can add frames without breaking older tails.
-func Known(t MsgType) bool { return t >= MsgHello && t <= MsgRollupEvent }
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgShardInfoReply }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.
@@ -245,6 +264,9 @@ type RollupQuery struct {
 	Prefix string `json:"prefix,omitempty"`
 	// ClosedOnly excludes still-open windows.
 	ClosedOnly bool `json:"closedOnly,omitempty"`
+	// IncludeSketches attaches mergeable sketch state to each window, so
+	// a front door can combine same-window summaries from several shards.
+	IncludeSketches bool `json:"includeSketches,omitempty"`
 }
 
 // RollupHitter is one heavy-hitter entry: Count overestimates the true
@@ -286,6 +308,10 @@ type RollupSummary struct {
 	Evictions uint64 `json:"evictions,omitempty"`
 	// Headline is the one-line operator rendering.
 	Headline string `json:"headline,omitempty"`
+	// Sketches carries the window's mergeable sketch state
+	// (rollup.SummarySketches) when the query asked for it. Kept opaque
+	// here: wire stays dependency-free and the importer validates.
+	Sketches json.RawMessage `json:"sketches,omitempty"`
 }
 
 // RollupResult is the MsgRollupList reply.
@@ -308,6 +334,43 @@ type RollupEvent struct {
 	// Kind is "opened", "updated" or "closed".
 	Kind    string        `json:"kind"`
 	Summary RollupSummary `json:"summary"`
+}
+
+// ReplicateRequest turns a session into a replication stream: the
+// follower asks for every admission after FromSeq. FromSeq 0 means
+// "from the beginning" — the primary answers with its latest snapshot
+// plus the WAL delta. A non-zero FromSeq the primary can no longer
+// serve contiguously (compacted away) also falls back to a snapshot.
+type ReplicateRequest struct {
+	// FromSeq is the highest sequence the follower holds durably.
+	FromSeq uint64 `json:"fromSeq"`
+}
+
+// ReplAck is the follower's durability watermark: every record with
+// Seq <= Seq has been written to the follower's own log.
+type ReplAck struct {
+	Seq uint64 `json:"seq"`
+}
+
+// ShardInfo is a shard's routing identity and replication health.
+type ShardInfo struct {
+	// Shard is the instance's stable identity on the consistent-hash
+	// ring (e.g. "shard-0"). Empty for an unclustered analyzer.
+	Shard string `json:"shard,omitempty"`
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Seq is the highest sequence the shard has admitted.
+	Seq uint64 `json:"seq"`
+	// FollowerSeq is the highest sequence a connected follower has
+	// acked; 0 when no follower is attached.
+	FollowerSeq uint64 `json:"followerSeq,omitempty"`
+	// Lag is Seq - FollowerSeq when a follower is attached.
+	Lag uint64 `json:"lag,omitempty"`
+	// LastSnapshotSeq is the sequence covered by the newest on-disk
+	// snapshot.
+	LastSnapshotSeq uint64 `json:"lastSnapshotSeq,omitempty"`
+	// Replicas counts attached replication streams.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // WriteFrame emits one frame. Per-type payload caps are enforced on the
@@ -376,6 +439,55 @@ func EncodeDiagnoseRequest(victim packet.FiveTuple, atNS int64) []byte {
 	copy(b, tup)
 	binary.BigEndian.PutUint64(b[packet.FiveTupleLen:], uint64(atNS))
 	return b
+}
+
+// EncodeReplRecord serializes one replicated admission: 8-byte
+// big-endian sequence followed by the record's WAL payload, byte-for-
+// byte what the primary appended to its own log, so the follower's log
+// replays through the same decoder.
+func EncodeReplRecord(seq uint64, payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(b, seq)
+	copy(b[8:], payload)
+	return b
+}
+
+// DecodeReplRecord splits a MsgReplRecord payload. The returned slice
+// aliases b.
+func DecodeReplRecord(b []byte) (seq uint64, payload []byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: repl record payload is %d bytes, want >= 8", ErrBadRequest, len(b))
+	}
+	seq = binary.BigEndian.Uint64(b)
+	if seq == 0 {
+		return 0, nil, fmt.Errorf("%w: repl record sequence 0", ErrBadRequest)
+	}
+	if len(b) == 8 {
+		return 0, nil, fmt.Errorf("%w: repl record with empty body", ErrBadRequest)
+	}
+	return seq, b[8:], nil
+}
+
+// EncodeReplSnapshot serializes a shipped snapshot: 8-byte big-endian
+// covered sequence followed by the snapshot payload (the same bytes
+// wal.WriteSnapshot persists).
+func EncodeReplSnapshot(seq uint64, payload []byte) []byte {
+	return EncodeReplRecord(seq, payload)
+}
+
+// DecodeReplSnapshot splits a MsgReplSnapshot payload. Unlike a record,
+// a snapshot may legitimately cover seq 0 (an empty store) and carry an
+// empty body is still invalid — the store always exports at least its
+// JSON envelope.
+func DecodeReplSnapshot(b []byte) (seq uint64, payload []byte, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: repl snapshot payload is %d bytes, want >= 8", ErrBadRequest, len(b))
+	}
+	seq = binary.BigEndian.Uint64(b)
+	if len(b) == 8 {
+		return 0, nil, fmt.Errorf("%w: repl snapshot with empty body", ErrBadRequest)
+	}
+	return seq, b[8:], nil
 }
 
 // ErrBadRequest reports a malformed request payload.
