@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke cluster-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke cluster-smoke reshard-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -52,6 +52,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzIncidentQuery$$' -fuzztime=10s -run='^$$' ./internal/analyzd
 	$(GO) test -fuzz='^FuzzWALRecord$$' -fuzztime=10s -run='^$$' ./internal/fleetstore/wal
 	$(GO) test -fuzz='^FuzzReplicationRecord$$' -fuzztime=10s -run='^$$' ./internal/wire
+	$(GO) test -fuzz='^FuzzFenceFrame$$' -fuzztime=10s -run='^$$' ./internal/wire
 
 # cluster-smoke proves the scale-out contract: a 20-seed kill-loop over
 # a 3-shard cluster under the race detector — every shard a durable
@@ -66,6 +67,21 @@ cluster-smoke:
 	$(GO) test -race -run TestKillLoop ./internal/fleet -fleet.seeds=20
 	$(GO) test -race -run 'TestRing|TestFollower|TestFrontdoor' ./internal/fleet
 	$(GO) run ./examples/cluster
+
+# reshard-smoke proves the failover-under-migration contract: a
+# 20-seed partition+reshard loop over a 3-shard cluster under the race
+# detector — a self-healing writer routing ingest by the ring, a
+# mid-round online reshard (freeze -> copy -> release -> adopt) racing
+# the writes, the primary killed and its follower promoted with an
+# epoch bump every round, and the old primary revived behind a
+# partition to prove the fence: zero post-fence acks, exactly-once
+# acked records across moves and failovers, and front-door rollup
+# merges identical to a single-store reference. The writer, executor
+# and epoch suites ride along.
+reshard-smoke:
+	$(GO) test -race -run TestReshardLoop ./internal/fleet -fleet.reshard.seeds=20
+	$(GO) test -race -run 'TestWriter|TestExecutor|TestDoubleFailover' ./internal/fleet
+	$(GO) test -race -run 'TestEpoch|TestAddUnique|TestFreeze|TestPurgeAdopt' ./internal/fleetstore
 
 # rollup-smoke proves the summarization contract end to end: the
 # three-fabric example must produce a rollup stream >= 10x quieter than

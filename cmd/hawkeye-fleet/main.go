@@ -396,24 +396,43 @@ func healthCmd(args []string) {
 }
 
 // clusterHealth renders the per-shard table: identity, lifecycle
-// state, replication role and lag, and the last durable checkpoint. A
-// dead shard is a row, not an error — the table is how an operator
-// finds which follower to promote.
+// state, replication role, epoch and lag, and the last durable
+// checkpoint. A dead shard is a row, not an error — the table is how
+// an operator finds which follower to promote. Exits non-zero when a
+// shard is down, fenced, or its follower mirrors a different epoch
+// than the primary holds: a split epoch view means a failover or
+// cutover is half-applied, and promoting the follower now would fork
+// history.
 func clusterHealth(fd *fleet.Frontdoor) {
 	rows := fd.Health()
 	w := func(cols ...string) {
-		fmt.Printf("%-12s %-22s %-9s %-9s %10s %10s %8s %10s %s\n",
-			cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], cols[7], cols[8])
+		fmt.Printf("%-12s %-22s %-9s %-9s %8s %10s %10s %8s %10s %s\n",
+			cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], cols[7], cols[8], cols[9])
 	}
-	w("SHARD", "ADDR", "STATE", "ROLE", "SEQ", "FOLLOWER", "LAG", "LASTCKPT", "LOAD")
+	w("SHARD", "ADDR", "STATE", "ROLE", "EPOCH", "SEQ", "FOLLOWER", "LAG", "LASTCKPT", "LOAD")
 	healthy := 0
+	split := 0
 	for _, row := range rows {
 		if row.Err != nil {
-			w(row.Spec.Name, row.Spec.Addr, "down", "-", "-", "-", "-", "-", row.Err.Error())
+			w(row.Spec.Name, row.Spec.Addr, "down", "-", "-", "-", "-", "-", "-", row.Err.Error())
 			continue
 		}
-		healthy++
 		info := row.Info
+		epoch := fmt.Sprintf("%d", info.Epoch)
+		ok := true
+		if info.Fenced {
+			epoch += "!fenced"
+			ok = false
+		}
+		if info.Replicas > 0 && info.FollowerEpoch != info.Epoch {
+			epoch += fmt.Sprintf("!=%d", info.FollowerEpoch)
+			ok = false
+		}
+		if ok {
+			healthy++
+		} else {
+			split++
+		}
 		load := fmt.Sprintf("%.0f%% (%d open inc)", row.Health.Load*100, row.Health.OpenIncidents)
 		follower := "-"
 		lag := "-"
@@ -421,11 +440,14 @@ func clusterHealth(fd *fleet.Frontdoor) {
 			follower = fmt.Sprintf("%d", info.FollowerSeq)
 			lag = fmt.Sprintf("%d", info.Lag)
 		}
-		w(row.Spec.Name, row.Spec.Addr, row.Health.State, info.Role,
+		w(row.Spec.Name, row.Spec.Addr, row.Health.State, info.Role, epoch,
 			fmt.Sprintf("%d", info.Seq), follower, lag,
 			fmt.Sprintf("%d", info.LastSnapshotSeq), load)
 	}
 	fmt.Printf("%d/%d shard(s) healthy\n", healthy, len(rows))
+	if split > 0 {
+		fmt.Printf("%d shard(s) fenced or with a split epoch view\n", split)
+	}
 	if healthy < len(rows) {
 		os.Exit(1)
 	}

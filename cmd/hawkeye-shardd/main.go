@@ -45,6 +45,10 @@ func main() {
 	promoteAfter := flag.Duration("promote-after", 0,
 		"follower mode: promote to primary after this long without a primary connection (0 = never, wait for a signal)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-frame read deadline for fabric sessions (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"on SIGTERM, refuse new ingest and wait up to this long for an attached follower to mirror the full admission sequence before exiting (0 = exit immediately)")
+	semiSync := flag.Duration("semi-sync", 0,
+		"acknowledge a writer-routed record only once a follower holds it durably, bounded by this wait (0 = local durability only)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -58,38 +62,60 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	if *follow != "" {
-		runFollower(*follow, *listen, *shard, *dataDir, *promoteAfter, *readTimeout, sig)
+		runFollower(*follow, *listen, *shard, *dataDir, *promoteAfter, *readTimeout, *drainTimeout, *semiSync, sig)
 		return
 	}
-	servePrimary(*listen, *shard, *dataDir, *readTimeout, sig)
+	servePrimary(*listen, *shard, *dataDir, *readTimeout, *drainTimeout, *semiSync, sig)
 }
 
 // servePrimary runs the shard as a named durable analyzer until a
 // signal drains it.
-func servePrimary(listen, shard, dataDir string, readTimeout time.Duration, sig chan os.Signal) {
+func servePrimary(listen, shard, dataDir string, readTimeout, drainTimeout, semiSync time.Duration, sig chan os.Signal) {
 	s, err := analyzd.ListenOpts(listen, analyzd.Options{
 		DataDir:     dataDir,
 		Shard:       shard,
 		ReadTimeout: readTimeout,
+		SemiSync:    semiSync,
 	})
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("hawkeye-shardd: shard %s serving on %s (store %s, %d records recovered)\n",
-		shard, s.Addr(), dataDir, s.Fleet().Seq())
+	fmt.Printf("hawkeye-shardd: shard %s serving on %s (store %s, %d records recovered, epoch %d)\n",
+		shard, s.Addr(), dataDir, s.Fleet().Seq(), s.Fleet().Epoch())
 
 	<-sig
-	fmt.Println("hawkeye-shardd: draining")
+	drain(s, shard, drainTimeout)
+}
+
+// drain is the graceful SIGTERM handoff: refuse new ingest, let an
+// attached follower mirror everything already admitted (bounded by
+// drainTimeout), then close. A clean handoff means the follower can
+// be promoted with zero acked-record loss the moment this process
+// exits.
+func drain(s *analyzd.Server, shard string, drainTimeout time.Duration) {
+	fmt.Println("hawkeye-shardd: draining (ingest refused)")
+	if drainTimeout > 0 {
+		s.BeginHandoff()
+		target := s.Fleet().Seq()
+		watermark, caughtUp := s.WaitFollower(drainTimeout)
+		if caughtUp {
+			fmt.Printf("hawkeye-shardd: follower caught up at watermark %d\n", watermark)
+		} else {
+			fmt.Fprintf(os.Stderr,
+				"hawkeye-shardd: drain timeout: follower at watermark %d, store at %d — promoting it now would lose acked records\n",
+				watermark, target)
+		}
+	}
 	if err := s.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hawkeye-shardd: close:", err)
 	}
-	fmt.Printf("hawkeye-shardd: shard %s stopped at seq %d\n", shard, s.Fleet().Seq())
+	fmt.Printf("hawkeye-shardd: shard %s stopped at seq %d (epoch %d)\n", shard, s.Fleet().Seq(), s.Fleet().Epoch())
 }
 
 // runFollower mirrors a primary until a signal stops it — or, with
 // -promote-after, until the primary has been unreachable that long, at
 // which point the follower promotes itself and serves.
-func runFollower(follow, listen, shard, dataDir string, promoteAfter, readTimeout time.Duration, sig chan os.Signal) {
+func runFollower(follow, listen, shard, dataDir string, promoteAfter, readTimeout, drainTimeout, semiSync time.Duration, sig chan os.Signal) {
 	fl, err := fleet.StartFollower(fleet.FollowerConfig{Addr: follow, Dir: dataDir})
 	if err != nil {
 		fail(err)
@@ -124,7 +150,9 @@ func runFollower(follow, listen, shard, dataDir string, promoteAfter, readTimeou
 
 	// Promotion: stop replicating, then serve from the follower's own
 	// directory — the store's recovery path rebuilds incidents and
-	// rollup state from the replicated snapshot + WAL.
+	// rollup state from the replicated snapshot + WAL. BumpEpoch claims
+	// a higher epoch than the dead primary ever held, so if it comes
+	// back it fences itself on first contact with the fleet.
 	fmt.Printf("hawkeye-shardd: primary unreachable for %v, promoting at watermark %d\n", down, fl.AckedSeq())
 	if err := fl.Stop(); err != nil {
 		fail(fmt.Errorf("stop follower: %w", err))
@@ -136,18 +164,17 @@ func runFollower(follow, listen, shard, dataDir string, promoteAfter, readTimeou
 		DataDir:     dataDir,
 		Shard:       shard,
 		ReadTimeout: readTimeout,
+		SemiSync:    semiSync,
+		BumpEpoch:   true,
 	})
 	if err != nil {
 		fail(fmt.Errorf("promote: %w", err))
 	}
-	fmt.Printf("hawkeye-shardd: shard %s promoted, serving on %s at seq %d\n", shard, s.Addr(), s.Fleet().Seq())
+	fmt.Printf("hawkeye-shardd: shard %s promoted, serving on %s at seq %d (epoch %d)\n",
+		shard, s.Addr(), s.Fleet().Seq(), s.Fleet().Epoch())
 
 	<-sig
-	fmt.Println("hawkeye-shardd: draining")
-	if err := s.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "hawkeye-shardd: close:", err)
-	}
-	fmt.Printf("hawkeye-shardd: shard %s stopped at seq %d\n", shard, s.Fleet().Seq())
+	drain(s, shard, drainTimeout)
 }
 
 func fail(err error) {

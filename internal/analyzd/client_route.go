@@ -1,0 +1,159 @@
+package analyzd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hawkeye/internal/wire"
+)
+
+// Client side of the fleet routing protocol: writer-routed record
+// admission, epoch announces/probes, reshard record dumps and cutover
+// commands. Fencing refusals surface as *FenceError (errors.Is
+// ErrFenced) so routers can tell "re-resolve the route" apart from
+// "back off and retry".
+
+// ErrFenced matches any fencing refusal via errors.Is.
+var ErrFenced = errors.New("analyzd: shard fenced")
+
+// FenceError is the typed refusal a fenced or wrong-owner shard
+// returns: the shard has been superseded by a higher epoch (Fenced),
+// or the fabric has been resharded away from it (Moved).
+type FenceError struct {
+	Info wire.FenceInfo
+}
+
+func (e *FenceError) Error() string {
+	if e.Info.Moved {
+		return fmt.Sprintf("analyzd: shard %q no longer owns fabric %q (epoch %d)",
+			e.Info.Shard, e.Info.Fabric, e.Info.Epoch)
+	}
+	return fmt.Sprintf("analyzd: shard %q fenced at epoch %d by epoch %d",
+		e.Info.Shard, e.Info.Epoch, e.Info.Observed)
+}
+
+// Is makes errors.Is(err, ErrFenced) match.
+func (e *FenceError) Is(target error) bool { return target == ErrFenced }
+
+// WriteRecord routes one record to this shard with an idempotency
+// sequence: the server admits it exactly once per fabric+OriginSeq and
+// acks (Duplicate set when a resend hit the dedup watermark). The
+// request machinery redials and resends on transport failure — safe,
+// because the resend carries the same OriginSeq. A fencing or
+// moved-fabric refusal returns *FenceError.
+func (c *Client) WriteRecord(req wire.WriteRequest) (*wire.WriteAck, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode write: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgWriteRecord, body)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: write record: %w", err)
+	}
+	switch mt {
+	case wire.MsgWriteAck:
+		var ack wire.WriteAck
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			return nil, fmt.Errorf("analyzd: decode write ack: %w", err)
+		}
+		return &ack, nil
+	case wire.MsgFence:
+		return nil, fenceErrorFrom(payload)
+	case wire.MsgError:
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+}
+
+// AnnounceEpoch tells the shard a (possibly higher) epoch exists for
+// it and returns the shard's resulting fence view. It doubles as the
+// fencing probe: announce the promoted epoch to a revived stale
+// primary and the reply proves it demoted itself.
+func (c *Client) AnnounceEpoch(shard string, epoch uint64) (*wire.FenceInfo, error) {
+	body, err := json.Marshal(wire.EpochAnnounce{Shard: shard, Epoch: epoch})
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode epoch announce: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgEpoch, body)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: announce epoch: %w", err)
+	}
+	switch mt {
+	case wire.MsgFence:
+		var info wire.FenceInfo
+		if err := json.Unmarshal(payload, &info); err != nil {
+			return nil, fmt.Errorf("analyzd: decode fence info: %w", err)
+		}
+		return &info, nil
+	case wire.MsgError:
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+}
+
+// QueryRecords dumps the shard's retained records for one fabric
+// (trigger-time order, writer-idempotency sequences intact) — the
+// reshard executor's copy source. limit <= 0 means all.
+func (c *Client) QueryRecords(fabric string, limit int) ([]json.RawMessage, error) {
+	body, err := json.Marshal(wire.RecordQuery{Fabric: fabric, Limit: limit})
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode record query: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgQueryRecords, body)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: query records: %w", err)
+	}
+	switch mt {
+	case wire.MsgRecordList:
+		var dump wire.RecordDump
+		if err := json.Unmarshal(payload, &dump); err != nil {
+			return nil, fmt.Errorf("analyzd: decode record dump: %w", err)
+		}
+		return dump.Records, nil
+	case wire.MsgError:
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+}
+
+// Cutover executes one half of a reshard move on this shard:
+// wire.CutoverRelease purges the fabric behind a durable tombstone,
+// wire.CutoverAdopt activates it on the new owner. Both bump and
+// announce the shard's epoch and checkpoint before replying. A fenced
+// shard refuses with *FenceError.
+func (c *Client) Cutover(fabric, op string) (*wire.CutoverReply, error) {
+	body, err := json.Marshal(wire.CutoverRequest{Fabric: fabric, Op: op})
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: encode cutover: %w", err)
+	}
+	mt, payload, err := c.request(wire.MsgCutover, body)
+	if err != nil {
+		return nil, fmt.Errorf("analyzd: cutover: %w", err)
+	}
+	switch mt {
+	case wire.MsgCutoverOK:
+		var reply wire.CutoverReply
+		if err := json.Unmarshal(payload, &reply); err != nil {
+			return nil, fmt.Errorf("analyzd: decode cutover reply: %w", err)
+		}
+		return &reply, nil
+	case wire.MsgFence:
+		return nil, fenceErrorFrom(payload)
+	case wire.MsgError:
+		return nil, fmt.Errorf("analyzd: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("analyzd: unexpected reply type %d", mt)
+	}
+}
+
+func fenceErrorFrom(payload []byte) error {
+	var info wire.FenceInfo
+	if err := json.Unmarshal(payload, &info); err != nil {
+		return fmt.Errorf("analyzd: decode fence refusal: %w", err)
+	}
+	return &FenceError{Info: info}
+}

@@ -82,6 +82,19 @@ type Options struct {
 	// a follower that falls this many records behind is dropped and must
 	// re-sync from its own durable watermark.
 	ReplBuffer int
+	// BumpEpoch increments the shard's persisted fencing epoch during
+	// Open, past any fence marker — the promotion path. A promoted
+	// follower opened with this set always supersedes the primary whose
+	// epoch it mirrored.
+	BumpEpoch bool
+	// SemiSync, when positive, makes writer-routed admissions
+	// (MsgWriteRecord) wait up to this long for a follower to ack the
+	// record's sequence before the WriteAck goes out — so an acked
+	// record survives losing the primary. On timeout the write is
+	// answered with an error (admitted but unacked); the writer resends
+	// and per-fabric dedup makes the resend idempotent. Zero acks on
+	// local durability alone.
+	SemiSync time.Duration
 }
 
 // DefaultMaxStrikes is the per-session decode-error budget when Options
@@ -133,6 +146,13 @@ type Server struct {
 	replBuffer  int
 	repls       map[*fleetstore.ReplicaSync]struct{}
 	followerSeq atomic.Uint64
+	// followerEpoch is the fencing epoch the follower last acked having
+	// mirrored durably; semiSync bounds the per-write follower wait;
+	// handoff marks a graceful drain (ingest refused, reads and
+	// replication still served while the follower catches up).
+	followerEpoch atomic.Uint64
+	semiSync      time.Duration
+	handoff       atomic.Bool
 
 	sessions  atomic.Uint64
 	reports   atomic.Uint64
@@ -217,6 +237,7 @@ func ListenOpts(addr string, o Options) (*Server, error) {
 		shard:           o.Shard,
 		replBuffer:      o.ReplBuffer,
 		repls:           make(map[*fleetstore.ReplicaSync]struct{}),
+		semiSync:        o.SemiSync,
 	}
 	if s.maxStrikes == 0 {
 		s.maxStrikes = DefaultMaxStrikes
@@ -231,6 +252,7 @@ func ListenOpts(addr string, o Options) (*Server, error) {
 	// replay rebuilds the rollup windows alongside the incidents.
 	s.roll = rollup.New(o.Rollup)
 	cfg.Observer = s.roll
+	cfg.BumpEpoch = o.BumpEpoch
 	var st *fleetstore.Store
 	if o.DataDir != "" {
 		s.state.Store(int32(StateReplaying))
@@ -628,6 +650,12 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 			sendErr("operator session cannot diagnose")
 			return false
 		}
+		// A fenced shard stops acking ingest on every path, not just the
+		// writer-routed one.
+		if s.fenced() {
+			_ = sess.writeJSON(wire.MsgFence, s.fenceInfo())
+			return false
+		}
 		victim, atNS, err := wire.DecodeDiagnoseRequest(payload)
 		if err != nil {
 			sendErr(fmt.Sprintf("bad diagnose request: %v", err))
@@ -759,9 +787,25 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 			sendErr("already replicating")
 			return false
 		}
+		// A follower carrying a higher mirrored epoch means a promotion
+		// happened while this primary was away: demote durably and refuse
+		// with the typed fence so the follower looks elsewhere.
+		if req.Epoch > s.fleet.Epoch() {
+			_ = s.fleet.NoteFence(req.Epoch)
+			_ = sess.writeJSON(wire.MsgFence, wire.FenceInfo{
+				Shard: s.shard, Epoch: s.fleet.Epoch(), Observed: req.Epoch, Fenced: true,
+			})
+			return false
+		}
 		r, err := s.fleet.SyncReplica(req.FromSeq, s.replBuffer)
 		if err != nil {
 			sendErr(fmt.Sprintf("replicate: %v", err))
+			return false
+		}
+		// Announce our epoch ahead of the catch-up so the follower
+		// mirrors it durably before acking anything on this stream.
+		if err := sess.writeJSON(wire.MsgEpoch, wire.EpochAnnounce{Shard: s.shard, Epoch: s.fleet.Epoch()}); err != nil {
+			r.Close()
 			return false
 		}
 		// Catch-up inline, in order, before the live forwarder starts:
@@ -797,10 +841,24 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 				break
 			}
 		}
+		for ack.Epoch != 0 {
+			cur := s.followerEpoch.Load()
+			if ack.Epoch <= cur || s.followerEpoch.CompareAndSwap(cur, ack.Epoch) {
+				break
+			}
+		}
 	case wire.MsgShardInfo:
 		if err := sess.writeJSON(wire.MsgShardInfoReply, s.shardInfo()); err != nil {
 			return false
 		}
+	case wire.MsgWriteRecord:
+		return s.serveWrite(sess, payload, sendErr)
+	case wire.MsgEpoch:
+		return s.serveEpochAnnounce(sess, payload)
+	case wire.MsgQueryRecords:
+		return s.serveRecordQuery(sess, payload, sendErr)
+	case wire.MsgCutover:
+		return s.serveCutover(sess, payload, sendErr)
 	default:
 		sendErr(fmt.Sprintf("unexpected message type %d", t))
 		return false
@@ -857,6 +915,16 @@ func (s *Server) forwardRepl(sess *session) {
 	for {
 		select {
 		case e := <-r.Live:
+			if e.Epoch != 0 {
+				// Cutover epoch bump: announce so the follower mirrors it
+				// durably and future acks carry it.
+				if err := sess.writeJSON(wire.MsgEpoch, wire.EpochAnnounce{Shard: s.shard, Epoch: e.Epoch}); err != nil {
+					r.Close()
+					sess.conn.Close()
+					return
+				}
+				continue
+			}
 			mt := wire.MsgReplRecord
 			if e.Snapshot {
 				mt = wire.MsgReplSnapshot
@@ -889,6 +957,9 @@ func (s *Server) shardInfo() wire.ShardInfo {
 		FollowerSeq:     fseq,
 		LastSnapshotSeq: s.fleet.LastSnapshotSeq(),
 		Replicas:        s.fleet.Replicas(),
+		Epoch:           s.fleet.Epoch(),
+		FollowerEpoch:   s.followerEpoch.Load(),
+		Fenced:          s.fleet.FencedBy() != 0,
 	}
 	if info.Replicas > 0 && seq > fseq {
 		info.Lag = seq - fseq

@@ -89,6 +89,7 @@ type Follower struct {
 	stopped bool
 
 	acked   atomic.Uint64 // highest contiguous durable seq
+	epoch   atomic.Uint64 // primary's fencing epoch, mirrored durably
 	snapSeq atomic.Uint64 // newest shipped snapshot
 	records atomic.Uint64 // records admitted (not skipped duplicates)
 	snaps   atomic.Uint64 // snapshots shipped
@@ -139,6 +140,15 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	// The mirrored fencing epoch survives restarts with the WAL: a
+	// promotion from this directory must exceed the primary's epoch even
+	// if the follower process bounced in between.
+	epoch, err := wal.LoadEpoch(cfg.Dir)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("fleet: follower epoch: %w", err)
+	}
+	f.epoch.Store(epoch)
 	w := snapSeq
 	for seen[w+1] {
 		w++
@@ -159,6 +169,10 @@ func (f *Follower) AckedSeq() uint64 { return f.acked.Load() }
 
 // SnapshotSeq is the newest shipped snapshot's covered sequence.
 func (f *Follower) SnapshotSeq() uint64 { return f.snapSeq.Load() }
+
+// Epoch is the primary's fencing epoch as durably mirrored here; a
+// promotion from this directory bumps strictly past it.
+func (f *Follower) Epoch() uint64 { return f.epoch.Load() }
 
 // Records counts admissions mirrored into the local WAL this session.
 func (f *Follower) Records() uint64 { return f.records.Load() }
@@ -226,6 +240,9 @@ func (f *Follower) Promote(cfg fleetstore.Config) (*fleetstore.Store, error) {
 	if err := f.Stop(); err != nil {
 		return nil, fmt.Errorf("fleet: promote: close wal: %w", err)
 	}
+	// Fencing: the promoted store's epoch strictly exceeds the mirrored
+	// primary's, so the old primary demotes itself on first contact.
+	cfg.BumpEpoch = true
 	return fleetstore.Open(f.cfg.Dir, cfg)
 }
 
@@ -304,7 +321,10 @@ func (f *Follower) stream() error {
 	}
 
 	from := f.acked.Load()
-	if err := wire.WriteJSON(conn, wire.MsgReplicate, wire.ReplicateRequest{FromSeq: from}); err != nil {
+	// The request carries our mirrored epoch: a primary that sees a
+	// higher epoch than its own learns it was superseded and demotes
+	// itself instead of serving a stale stream.
+	if err := wire.WriteJSON(conn, wire.MsgReplicate, wire.ReplicateRequest{FromSeq: from, Epoch: f.epoch.Load()}); err != nil {
 		return fail(err)
 	}
 	v := wire.NewReplValidator(from)
@@ -329,7 +349,7 @@ func (f *Follower) stream() error {
 			if advanced {
 				if sinceAck++; sinceAck >= f.cfg.AckEvery {
 					sinceAck = 0
-					if err := wire.WriteJSON(conn, wire.MsgReplAck, wire.ReplAck{Seq: f.acked.Load()}); err != nil {
+					if err := wire.WriteJSON(conn, wire.MsgReplAck, wire.ReplAck{Seq: f.acked.Load(), Epoch: f.epoch.Load()}); err != nil {
 						return fail(err)
 					}
 				}
@@ -345,9 +365,33 @@ func (f *Follower) stream() error {
 			}
 			v.Commit(f.acked.Load())
 			sinceAck = 0
-			if err := wire.WriteJSON(conn, wire.MsgReplAck, wire.ReplAck{Seq: f.acked.Load()}); err != nil {
+			if err := wire.WriteJSON(conn, wire.MsgReplAck, wire.ReplAck{Seq: f.acked.Load(), Epoch: f.epoch.Load()}); err != nil {
 				return fail(err)
 			}
+		case mt == wire.MsgEpoch:
+			// The primary's epoch announce (stream start, promotion or
+			// cutover bump): mirror it durably before acking anything past
+			// it, so Promote from this directory always supersedes it.
+			ea, err := wire.ParseEpochAnnounce(payload)
+			if err != nil {
+				f.rejects.Add(1)
+				return fail(fmt.Errorf("fleet: epoch announce refused: %w", err))
+			}
+			if ea.Epoch > f.epoch.Load() {
+				if err := wal.WriteEpoch(f.cfg.Dir, ea.Epoch); err != nil {
+					return fail(fmt.Errorf("fleet: mirror epoch: %w", err))
+				}
+				f.epoch.Store(ea.Epoch)
+			}
+			if err := wire.WriteJSON(conn, wire.MsgReplAck, wire.ReplAck{Seq: f.acked.Load(), Epoch: f.epoch.Load()}); err != nil {
+				return fail(err)
+			}
+		case mt == wire.MsgFence:
+			// The primary refused us as fenced (it observed a higher epoch
+			// than it holds — typically because our own mirrored epoch
+			// outranks it). Tear and retry; the operator repoints us at the
+			// real primary.
+			return fail(fmt.Errorf("fleet: primary fenced: %s", payload))
 		case mt == wire.MsgShutdown:
 			// The primary is draining; re-sync against whoever answers
 			// at this address next (a restart, or a promoted peer the

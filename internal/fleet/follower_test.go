@@ -177,3 +177,100 @@ func TestFollowerReconnectWithoutDuplicates(t *testing.T) {
 		}
 	}
 }
+
+// TestDoubleFailoverChain: a promoted follower immediately gains a new
+// follower, which must re-sync from the snapshot-bootstrapped
+// watermark — and survive a second promotion with no duplicate or
+// missing record and a strictly increasing epoch at every hop.
+func TestDoubleFailoverChain(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(i int) string { return filepath.Join(dir, fmt.Sprintf("gen%d", i)) }
+	promote := func(genDir string) *analyzd.Server {
+		t.Helper()
+		srv, err := analyzd.ListenOpts("127.0.0.1:0", analyzd.Options{
+			DataDir: genDir, Shard: "s0",
+			Fleet: killLoopStoreCfg(), Rollup: killLoopRollupCfg(), BumpEpoch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	srv := testShard(t, gen(0), "s0")
+	defer func() { srv.Close() }()
+	epoch0 := srv.Fleet().Epoch()
+
+	fl, err := StartFollower(FollowerConfig{Addr: srv.Addr(), Dir: gen(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { fl.Stop() }()
+
+	var last uint64
+	for i := 0; i < 15; i++ {
+		last = srv.Fleet().Add(testRec("fabC", i)).Seq
+	}
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// First failover.
+	srv.Fleet().Abort()
+	srv.Close()
+	if err := fl.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	srv = promote(gen(1))
+	epoch1 := srv.Fleet().Epoch()
+	if epoch1 <= epoch0 {
+		t.Fatalf("first promotion epoch %d not past %d", epoch1, epoch0)
+	}
+	// Checkpoint + compact so the chained follower cannot catch up by
+	// backlog alone: it must bootstrap from the promoted store's
+	// snapshot, then track the delta.
+	if err := srv.Fleet().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 15; i < 25; i++ {
+		last = srv.Fleet().Add(testRec("fabC", i)).Seq
+	}
+	fl, err = StartFollower(FollowerConfig{Addr: srv.Addr(), Dir: gen(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.WaitForSeq(last, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Snapshots() == 0 {
+		t.Fatal("chained follower caught up without the snapshot the compacted WAL requires")
+	}
+
+	// Second failover, from the chained follower's directory.
+	srv.Fleet().Abort()
+	srv.Close()
+	if err := fl.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	srv = promote(gen(2))
+	epoch2 := srv.Fleet().Epoch()
+	if epoch2 <= epoch1 {
+		t.Fatalf("second promotion epoch %d not past %d", epoch2, epoch1)
+	}
+	recs := srv.Fleet().Records(fleetstore.Query{Node: fleetstore.AnyNode})
+	if len(recs) != 25 {
+		t.Fatalf("double-promoted store has %d records, want 25", len(recs))
+	}
+	count := make(map[string]int, len(recs))
+	for _, r := range recs {
+		count[r.Victim]++
+	}
+	for v, n := range count {
+		if n != 1 {
+			t.Fatalf("victim %s recovered %d times across the chain", v, n)
+		}
+	}
+	if srv.Fleet().Seq() != last {
+		t.Fatalf("double-promoted store at seq %d, want %d", srv.Fleet().Seq(), last)
+	}
+}

@@ -53,6 +53,12 @@ type Frontdoor struct {
 	mu      sync.Mutex
 	clients map[string]*analyzd.Client
 	closed  bool
+	// reshard, when set, overrides fabric routing per the in-flight
+	// plan; epochs caches each shard's last observed fencing epoch so
+	// every fresh dial announces it — contacting a revived stale
+	// primary demotes it instead of reading stale answers.
+	reshard *ReshardState
+	epochs  map[string]uint64
 }
 
 // NewFrontdoor builds a front door over the shard set. The ring is
@@ -84,6 +90,7 @@ func NewFrontdoor(specs []ShardSpec, vnodes int, seed uint64) (*Frontdoor, error
 		ring:    ring,
 		retry:   analyzd.DefaultRetryConfig(),
 		clients: make(map[string]*analyzd.Client),
+		epochs:  make(map[string]uint64),
 	}
 	copy(fd.specs, specs)
 	// Fixed merge order: shard name, so the fan-out collection order is
@@ -102,15 +109,53 @@ func (fd *Frontdoor) Shards() []ShardSpec {
 	return out
 }
 
-// Owner returns the shard owning a fabric.
+// Owner returns the shard owning a fabric, honoring an in-flight
+// reshard: the old owner until the fabric's cutover completes, the new
+// owner after.
 func (fd *Frontdoor) Owner(fabric string) ShardSpec {
-	name := fd.ring.Owner(fabric)
+	fd.mu.Lock()
+	rs := fd.reshard
+	fd.mu.Unlock()
+	var name string
+	if rs != nil {
+		name = rs.Owner(fabric)
+	} else {
+		name = fd.ring.Owner(fabric)
+	}
 	for _, sp := range fd.specs {
 		if sp.Name == name {
 			return sp
 		}
 	}
 	return ShardSpec{} // unreachable: the ring only knows spec names
+}
+
+// SetReshard points fabric routing at an in-flight reshard plan.
+func (fd *Frontdoor) SetReshard(rs *ReshardState) {
+	fd.mu.Lock()
+	fd.reshard = rs
+	fd.mu.Unlock()
+}
+
+// FinishReshard adopts the migrated ring and clears the plan.
+func (fd *Frontdoor) FinishReshard() {
+	fd.mu.Lock()
+	if fd.reshard != nil {
+		fd.ring = fd.reshard.NextRing()
+		fd.reshard = nil
+	}
+	fd.mu.Unlock()
+}
+
+// NoteEpoch records a shard's observed fencing epoch; every fresh dial
+// to that shard announces it, demoting a revived stale primary on
+// first contact.
+func (fd *Frontdoor) NoteEpoch(shard string, epoch uint64) {
+	fd.mu.Lock()
+	if epoch > fd.epochs[shard] {
+		fd.epochs[shard] = epoch
+	}
+	fd.mu.Unlock()
 }
 
 // Update repoints one shard at a new primary address (after a
@@ -158,6 +203,20 @@ func (fd *Frontdoor) client(name, addr string) (*analyzd.Client, error) {
 	c, err := analyzd.DialOperatorRetry(addr, fd.retry)
 	if err != nil {
 		return nil, err
+	}
+	// Carry our epoch view into the fresh session: if this address is a
+	// revived stale primary, the announce fences it before any query
+	// reads stale state, and the reply refreshes our view either way.
+	fd.mu.Lock()
+	known := fd.epochs[name]
+	fd.mu.Unlock()
+	if known > 0 {
+		if info, err := c.AnnounceEpoch(name, known); err == nil {
+			fd.NoteEpoch(name, info.Epoch)
+			if info.Observed > info.Epoch {
+				fd.NoteEpoch(name, info.Observed)
+			}
+		}
 	}
 	fd.mu.Lock()
 	defer fd.mu.Unlock()
@@ -472,6 +531,7 @@ func (fd *Frontdoor) Health() []ShardStatus {
 			rows[i] = row
 			return err
 		}
+		fd.NoteEpoch(spec.Name, info.Epoch)
 		row.Info = info
 		rows[i] = row
 		return nil

@@ -176,16 +176,17 @@ func KillLoop(dir string, seed uint64, cfg KillLoopConfig) (KillLoopReport, erro
 	primaryDir := func(name string, gen int) string {
 		return filepath.Join(dir, name, fmt.Sprintf("gen-%03d", gen))
 	}
-	startPrimary := func(name string, gen int) (*analyzd.Server, error) {
+	startPrimary := func(name string, gen int, promote bool) (*analyzd.Server, error) {
 		return analyzd.ListenOpts("127.0.0.1:0", analyzd.Options{
-			DataDir: primaryDir(name, gen),
-			Shard:   name,
-			Fleet:   killLoopStoreCfg(),
-			Rollup:  killLoopRollupCfg(),
+			DataDir:   primaryDir(name, gen),
+			Shard:     name,
+			Fleet:     killLoopStoreCfg(),
+			Rollup:    killLoopRollupCfg(),
+			BumpEpoch: promote,
 		})
 	}
 	for _, name := range names {
-		srv, err := startPrimary(name, 0)
+		srv, err := startPrimary(name, 0, false)
 		if err != nil {
 			return rep, fmt.Errorf("shard %s: %w", name, err)
 		}
@@ -269,7 +270,7 @@ func KillLoop(dir string, seed uint64, cfg KillLoopConfig) (KillLoopReport, erro
 		}
 		rep.Snapshots += sh.fl.Snapshots()
 		rep.Resyncs += sh.fl.Resyncs()
-		srv, err := startPrimary(name, sh.gen)
+		srv, err := startPrimary(name, sh.gen, true)
 		if err != nil {
 			return rep, fmt.Errorf("round %d: promote %s: %w", round, name, err)
 		}

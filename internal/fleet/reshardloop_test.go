@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"flag"
+	"testing"
+)
+
+// -fleet.reshard.seeds widens the partition+reshard sweep; CI's
+// reshard-smoke job runs 20 under -race, the default keeps
+// `go test ./...` quick.
+var reshardSeeds = flag.Int("fleet.reshard.seeds", 2, "partition+reshard trials to run")
+
+// TestReshardLoop is the epoch-fencing acceptance gate: a cluster
+// ingesting through the resilient writer survives primary kills,
+// follower promotions, revived stale primaries behind a partition, and
+// one live reshard per trial — with every acked record exactly once on
+// its final owner, zero post-fence acks from stale primaries, and
+// front-door rollup merges identical to a single reference summarizer.
+func TestReshardLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition+reshard trials are not short")
+	}
+	for seed := 0; seed < *reshardSeeds; seed++ {
+		seed := uint64(seed)
+		dir := t.TempDir()
+		rep, err := ReshardLoop(dir, seed, ReshardLoopConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v (%s)", seed, err, rep)
+		}
+		if rep.Failovers != rep.Rounds {
+			t.Fatalf("seed %d: %d failovers over %d rounds: %s", seed, rep.Failovers, rep.Rounds, rep)
+		}
+		// Every round fences its revived stale primary twice; the trial
+		// always runs exactly one reshard that moves at least one fabric.
+		if rep.StaleFenced != 2*rep.Rounds {
+			t.Fatalf("seed %d: %d fence refusals over %d rounds: %s", seed, rep.StaleFenced, rep.Rounds, rep)
+		}
+		if rep.Moves == 0 {
+			t.Fatalf("seed %d: reshard moved nothing: %s", seed, rep)
+		}
+		if rep.Acked == 0 || rep.MergedWindows == 0 {
+			t.Fatalf("seed %d: degenerate trial: %s", seed, rep)
+		}
+		t.Logf("seed %d: %s", seed, rep)
+	}
+}

@@ -1,0 +1,319 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hawkeye/internal/analyzd"
+	"hawkeye/internal/chaos"
+	"hawkeye/internal/fleetstore"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/wire"
+)
+
+// Writer is the fleet tier's resilient ingest router: it assigns every
+// record a per-fabric idempotency sequence, routes it to the fabric's
+// ring owner, and survives the fleet's failure modes by construction —
+//
+//   - transport failure: redial with capped backoff + jitter and
+//     resend. The resend carries the same idempotency sequence, so the
+//     receiving store admits it exactly once even when the first
+//     attempt's ack was the thing that got lost.
+//   - failover: a promoted follower answers at a new address (Update
+//     repoints the shard); a revived stale primary refuses with a
+//     typed fencing error and the writer re-routes instead of
+//     retrying into a dead shard's ghost.
+//   - reshard: an in-flight plan (SetReshard) overrides routing per
+//     fabric — frozen fabrics hold, migrated fabrics go to the new
+//     owner, a moved-fabric refusal from the old owner re-resolves.
+//
+// Write is synchronous: when it returns nil the record is acked by the
+// current owner under the shard's durability contract (semi-sync when
+// the shard runs with a follower). One Writer per ingest pipeline;
+// Write serializes per Writer.
+type WriterConfig struct {
+	// Specs is the shard set (names must match the ring's).
+	Specs []ShardSpec
+	// Vnodes/Seed shape the routing ring; must match the cluster's.
+	Vnodes int
+	Seed   uint64
+	// Retry shapes dial/redial backoff (zero = analyzd defaults).
+	Retry analyzd.RetryConfig
+	// MaxAttempts bounds one Write's routing attempts, re-resolution
+	// included (0 = 16).
+	MaxAttempts int
+	// FreezeWait bounds the hold on a frozen (mid-cutover) fabric per
+	// attempt (0 = 2s).
+	FreezeWait time.Duration
+}
+
+// Writer routes fabric ingest to ring owners. See WriterConfig.
+type Writer struct {
+	cfg  WriterConfig
+	ring *Ring
+	rng  *sim.Rand
+
+	mu      sync.Mutex
+	specs   map[string]ShardSpec
+	clients map[string]*analyzd.Client
+	nextSeq map[string]uint64 // per-fabric idempotency sequence
+	epochs  map[string]uint64 // per-shard last observed epoch
+	reshard *ReshardState
+	closed  bool
+
+	// Writes counts acked records; Duplicates acks that hit the dedup
+	// watermark (a resend whose first attempt landed); Reroutes
+	// fencing/moved refusals that forced re-resolution; Redials
+	// transport-failure reconnects.
+	Writes     atomic.Uint64
+	Duplicates atomic.Uint64
+	Reroutes   atomic.Uint64
+	Redials    atomic.Uint64
+}
+
+// NewWriter builds a writer over the shard set.
+func NewWriter(cfg WriterConfig) (*Writer, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("fleet: writer needs at least one shard")
+	}
+	names := make([]string, len(cfg.Specs))
+	specs := make(map[string]ShardSpec, len(cfg.Specs))
+	for i, sp := range cfg.Specs {
+		if sp.Name == "" || sp.Addr == "" {
+			return nil, fmt.Errorf("fleet: writer shard %d needs a name and an address", i)
+		}
+		if _, dup := specs[sp.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate shard %q", sp.Name)
+		}
+		specs[sp.Name] = sp
+		names[i] = sp.Name
+	}
+	ring, err := NewRing(names, cfg.Vnodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 16
+	}
+	if cfg.FreezeWait <= 0 {
+		cfg.FreezeWait = 2 * time.Second
+	}
+	if cfg.Retry.MaxAttempts == 0 && cfg.Retry.BaseBackoff == 0 {
+		cfg.Retry = analyzd.DefaultRetryConfig()
+	}
+	return &Writer{
+		cfg:     cfg,
+		ring:    ring,
+		rng:     sim.NewRand(cfg.Seed ^ 0x57121E57121E5712),
+		specs:   specs,
+		clients: make(map[string]*analyzd.Client),
+		nextSeq: make(map[string]uint64),
+		epochs:  make(map[string]uint64),
+	}, nil
+}
+
+// Ring exposes the routing ring.
+func (w *Writer) Ring() *Ring { return w.ring }
+
+// Update repoints one shard at a new primary address (failover) and
+// drops any cached session to the old one.
+func (w *Writer) Update(spec ShardSpec) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.specs[spec.Name]; !ok {
+		return fmt.Errorf("fleet: writer knows no shard %q", spec.Name)
+	}
+	w.specs[spec.Name] = spec
+	if c, ok := w.clients[spec.Name]; ok {
+		c.Close()
+		delete(w.clients, spec.Name)
+	}
+	return nil
+}
+
+// SetReshard points routing at an in-flight reshard plan; Write
+// consults it per fabric until FinishReshard.
+func (w *Writer) SetReshard(rs *ReshardState) {
+	w.mu.Lock()
+	w.reshard = rs
+	w.mu.Unlock()
+}
+
+// FinishReshard adopts the migrated ring and clears the plan.
+func (w *Writer) FinishReshard() {
+	w.mu.Lock()
+	if w.reshard != nil {
+		w.ring = w.reshard.NextRing()
+		w.reshard = nil
+	}
+	w.mu.Unlock()
+}
+
+// Close drops every cached shard session.
+func (w *Writer) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	for name, c := range w.clients {
+		c.Close()
+		delete(w.clients, name)
+	}
+}
+
+// owner resolves the fabric's current shard, honoring an in-flight
+// reshard.
+func (w *Writer) owner(fabric string) (string, *ReshardState) {
+	w.mu.Lock()
+	rs := w.reshard
+	ring := w.ring
+	w.mu.Unlock()
+	if rs != nil {
+		return rs.Owner(fabric), rs
+	}
+	return ring.Owner(fabric), nil
+}
+
+func (w *Writer) client(name string) (*analyzd.Client, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("fleet: writer closed")
+	}
+	spec, ok := w.specs[name]
+	if !ok {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("fleet: writer knows no shard %q", name)
+	}
+	if c, ok := w.clients[name]; ok {
+		w.mu.Unlock()
+		return c, nil
+	}
+	w.mu.Unlock()
+	c, err := analyzd.DialOperatorRetry(spec.Addr, w.cfg.Retry)
+	if err != nil {
+		return nil, err
+	}
+	w.Redials.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		c.Close()
+		return nil, fmt.Errorf("fleet: writer closed")
+	}
+	if prev, ok := w.clients[name]; ok {
+		c.Close()
+		return prev, nil
+	}
+	w.clients[name] = c
+	return c, nil
+}
+
+func (w *Writer) drop(name string) {
+	w.mu.Lock()
+	if c, ok := w.clients[name]; ok {
+		c.Close()
+		delete(w.clients, name)
+	}
+	w.mu.Unlock()
+}
+
+func (w *Writer) epochOf(name string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epochs[name]
+}
+
+func (w *Writer) noteEpoch(name string, epoch uint64) {
+	w.mu.Lock()
+	if epoch > w.epochs[name] {
+		w.epochs[name] = epoch
+	}
+	w.mu.Unlock()
+}
+
+// NextOriginSeq reserves the fabric's next idempotency sequence. Write
+// calls it itself; harnesses that need to know a record's sequence
+// before writing can reserve and use WriteSeq.
+func (w *Writer) NextOriginSeq(fabric string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextSeq[fabric]++
+	return w.nextSeq[fabric]
+}
+
+// Write routes one record to its fabric's owner and blocks until acked
+// (or attempts exhaust). The returned ack reports the owner's epoch
+// and whether dedup classified the record as a resend duplicate.
+func (w *Writer) Write(fabric string, rec fleetstore.Record) (*wire.WriteAck, error) {
+	return w.WriteSeq(fabric, w.NextOriginSeq(fabric), rec)
+}
+
+// WriteSeq is Write with an explicit idempotency sequence (reserved
+// via NextOriginSeq). Re-invoking with the same sequence is safe: the
+// receiving store admits it at most once.
+func (w *Writer) WriteSeq(fabric string, originSeq uint64, rec fleetstore.Record) (*wire.WriteAck, error) {
+	rec.Fabric = fabric
+	rec.OriginSeq = originSeq
+	rec.Ctrl = ""
+	body, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode record: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(chaos.Jitter(w.rng, w.cfg.Retry.BaseBackoff, w.cfg.Retry.MaxBackoff,
+				attempt-1, w.cfg.Retry.JitterFrac))
+		}
+		shard, rs := w.owner(fabric)
+		if rs != nil && rs.Frozen(fabric) {
+			// Mid-cutover hold: when the fabric thaws, ownership may have
+			// changed — resolve again.
+			if !rs.WaitThaw(fabric, w.cfg.FreezeWait) {
+				lastErr = fmt.Errorf("fleet: fabric %q frozen past %s", fabric, w.cfg.FreezeWait)
+				continue
+			}
+			shard, _ = w.owner(fabric)
+		}
+		c, err := w.client(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ack, err := c.WriteRecord(wire.WriteRequest{
+			Fabric:    fabric,
+			OriginSeq: originSeq,
+			Epoch:     w.epochOf(shard),
+			Record:    body,
+		})
+		if err == nil {
+			w.noteEpoch(shard, ack.Epoch)
+			w.Writes.Add(1)
+			if ack.Duplicate {
+				w.Duplicates.Add(1)
+			}
+			return ack, nil
+		}
+		lastErr = err
+		var fe *analyzd.FenceError
+		if errors.As(err, &fe) {
+			// Typed refusal: the shard is superseded (a promotion we have
+			// not heard about yet) or no longer owns the fabric (reshard).
+			// Drop the session and re-resolve — Update/SetReshard from the
+			// control plane lands between attempts.
+			w.Reroutes.Add(1)
+			w.noteEpoch(shard, fe.Info.Epoch)
+			if fe.Info.Observed > fe.Info.Epoch {
+				w.noteEpoch(shard, fe.Info.Observed)
+			}
+			w.drop(shard)
+			continue
+		}
+		w.drop(shard)
+	}
+	return nil, fmt.Errorf("fleet: write %s/%d: %w", fabric, originSeq, lastErr)
+}

@@ -45,6 +45,13 @@ type persistedState struct {
 	Entries   []persistedEntry `json:"entries"`
 	Open      []persistedOpen  `json:"open"`
 	Resolved  []Incident       `json:"resolved"`
+	// OriginHigh is the per-fabric writer-idempotency watermark. It must
+	// be persisted, not rederived from Entries: eviction can drop the
+	// record holding a fabric's maximum OriginSeq, and a rebuilt
+	// watermark that regressed would re-admit a duplicate after restart.
+	OriginHigh map[string]uint64 `json:"originHigh,omitempty"`
+	// MovedOut lists fabrics resharded away from this store.
+	MovedOut []string `json:"movedOut,omitempty"`
 }
 
 type persistedEntry struct {
@@ -99,6 +106,19 @@ func (st *Store) exportState() ([]byte, error) {
 	st.cl.mu.Unlock()
 	ps.Opened = st.cl.opened.Load()
 
+	st.originMu.Lock()
+	if len(st.originHigh) > 0 {
+		ps.OriginHigh = make(map[string]uint64, len(st.originHigh))
+		for f, hi := range st.originHigh {
+			ps.OriginHigh[f] = hi
+		}
+	}
+	for f := range st.movedOut {
+		ps.MovedOut = append(ps.MovedOut, f)
+	}
+	st.originMu.Unlock()
+	sort.Strings(ps.MovedOut)
+
 	data, err := json.Marshal(&ps)
 	if err != nil {
 		return nil, fmt.Errorf("fleetstore: encode snapshot: %w", err)
@@ -145,21 +165,44 @@ func (st *Store) restore(payload []byte) error {
 	}
 	st.cl.restoreState(open, ps.Resolved, ps.NextID, ps.Opened)
 
+	st.originMu.Lock()
+	for f, hi := range ps.OriginHigh {
+		if hi > st.originHigh[f] {
+			st.originHigh[f] = hi
+		}
+	}
+	for _, f := range ps.MovedOut {
+		st.movedOut[f] = struct{}{}
+	}
+	st.originMu.Unlock()
+
 	// Re-insert retained records in admission order. Cluster state came
 	// from the snapshot, so this only rebuilds the rings — including
 	// evicting (with membership withdrawal) if the new config retains
 	// less than the snapshot held. The observer sees each record again
 	// so observer-side state (rollup windows) recovers with the store;
 	// WAL entries past the snapshot flow through insert as usual.
+	//
+	// Admission order is not trigger-time order once a reshard copy has
+	// landed (copies carry old trigger times behind newer records), and
+	// a snapshot taken after the adopt holds no control record to force
+	// a rebuild on replay. A resettable observer is therefore rebuilt
+	// once, in trigger-time order, after the rings are back; only a
+	// non-resettable observer gets the legacy per-entry feed.
+	_, resettable := st.cfg.Observer.(ResettableObserver)
 	for i := range ps.Entries {
 		pe := &ps.Entries[i]
-		if st.cfg.Observer != nil {
+		st.noteOrigin(&pe.Rec)
+		if st.cfg.Observer != nil && !resettable {
 			st.cfg.Observer.ObserveRecord(&pe.Rec)
 		}
 		if old, evicted := st.shardFor(pe.Rec.Fabric, pe.Rec.At).add(entry{rec: pe.Rec, inc: pe.Inc}, st.cfg.ShardCapacity); evicted {
 			st.evicted.Add(1)
 			st.cl.evict(old.inc, &old.rec)
 		}
+	}
+	if resettable {
+		st.rebuildObserver()
 	}
 	return nil
 }

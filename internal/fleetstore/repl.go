@@ -20,11 +20,14 @@ import (
 // new durable watermark rather than silently miss entries.
 
 // ReplEntry is one replication stream element: a WAL record payload,
-// or — when Snapshot is set — a full store snapshot covering Seq.
+// or — when Snapshot is set — a full store snapshot covering Seq, or —
+// when Epoch is non-zero — a fencing-epoch announce the follower must
+// mirror durably before acking anything past it.
 type ReplEntry struct {
 	Seq      uint64
 	Payload  []byte
 	Snapshot bool
+	Epoch    uint64
 }
 
 type replTap struct {

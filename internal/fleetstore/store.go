@@ -54,6 +54,17 @@ type Record struct {
 	// StallNS is the victim's offending RTT sample in ns (zero for
 	// timeout-triggered complaints).
 	StallNS int64
+	// OriginSeq is the writer-assigned per-fabric idempotency sequence
+	// (0 = not writer-routed). The store tracks the per-fabric high
+	// watermark across admissions, WAL replay and snapshot restore, so
+	// a resend after a lost ack is refused as a duplicate even across a
+	// crash or a failover.
+	OriginSeq uint64
+	// Ctrl marks a control record in the WAL stream ("purge" or
+	// "adopt"): applied to store state on admission and replay, never
+	// retained as data and never observed by rollups. Empty for real
+	// records.
+	Ctrl string
 }
 
 // NewRecord projects a completed diagnosis into a store record.
@@ -111,6 +122,11 @@ type Config struct {
 	// ReadOnly opens for inspection: replay without repairing the log,
 	// and no WAL appends or snapshots afterwards.
 	ReadOnly bool
+	// BumpEpoch increments the shard's persisted fencing epoch during
+	// Open, past any fence marker — the promotion path: a follower
+	// promoting into a primary must claim an epoch strictly above the
+	// one it mirrored from the old primary.
+	BumpEpoch bool
 
 	// Observer, when set, sees every admitted record (live Adds and WAL
 	// replay alike, in admission order) and every watermark advance —
@@ -248,6 +264,19 @@ type Store struct {
 
 	// repl fans admitted WAL payloads out to attached followers.
 	repl replState
+
+	// Fencing epoch + writer-dedup + reshard ownership state (route.go).
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
+	epochMu  sync.Mutex
+	// originMu guards originHigh (per-fabric writer idempotency
+	// watermarks), movedOut (fabrics resharded away) and frozen
+	// (fabrics sealed mid-cutover).
+	originMu   sync.Mutex
+	originHigh map[string]uint64
+	movedOut   map[string]struct{}
+	frozen     map[string]struct{}
+	purged     atomic.Uint64
 }
 
 // New builds a store. cfg zero-values fall back to DefaultConfig.
@@ -258,12 +287,18 @@ func New(cfg Config) *Store {
 		n <<= 1
 	}
 	st := &Store{
-		cfg:    cfg,
-		shards: make([]shard, n),
-		mask:   uint64(n - 1),
-		hub:    newHub(),
+		cfg:        cfg,
+		shards:     make([]shard, n),
+		mask:       uint64(n - 1),
+		hub:        newHub(),
+		originHigh: make(map[string]uint64),
+		movedOut:   make(map[string]struct{}),
+		frozen:     make(map[string]struct{}),
 	}
 	st.cl = newClusterer(cfg.Window, cfg.ResolvedKeep, st.hub.publish)
+	// In-memory stores live and die in one process: epoch 1, never
+	// persisted. Durable stores override this from disk in Open.
+	st.epoch.Store(1)
 	return st
 }
 
@@ -279,6 +314,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 	st := New(cfg)
 	cfg = st.cfg // defaults applied
 	st.dir = dir
+
+	if err := st.loadEpochState(); err != nil {
+		return nil, err
+	}
 
 	snapSeq, payload, ok, err := wal.LoadSnapshot(dir)
 	if err != nil {
@@ -357,6 +396,16 @@ func (st *Store) shardFor(fabric string, at sim.Time) *shard {
 // diagnosis.
 func (st *Store) Add(rec Record) Record {
 	st.gate.RLock()
+	rec, n := st.addLocked(rec)
+	st.gate.RUnlock()
+	st.maybeCheckpoint(n)
+	return rec
+}
+
+// addLocked is Add's core, run under gate.RLock — shared with AddUnique
+// so the dedup/freeze decision and the admission happen under one gate
+// hold.
+func (st *Store) addLocked(rec Record) (Record, uint64) {
 	rec.Seq = st.seq.Add(1)
 	if st.log != nil {
 		if payload, err := encodeRecord(&rec); err != nil {
@@ -371,17 +420,26 @@ func (st *Store) Add(rec Record) Record {
 		}
 	}
 	st.insert(rec)
-	n := st.ingested.Add(1)
-	st.gate.RUnlock()
+	return rec, st.ingested.Add(1)
+}
+
+func (st *Store) maybeCheckpoint(n uint64) {
 	if st.log != nil && n%uint64(st.cfg.SnapshotEvery) == 0 {
 		st.Checkpoint()
 	}
-	return rec
 }
 
 // insert folds a stamped record into cluster and ring state. Shared by
 // Add and WAL replay — replay is exactly re-running the admissions.
+// Control records (reshard purge/adopt tombstones) apply their state
+// transition instead of being retained, on both paths, which is what
+// makes a purge durable and replicable with no extra machinery.
 func (st *Store) insert(rec Record) {
+	if rec.Ctrl != "" {
+		st.applyCtrl(&rec)
+		return
+	}
+	st.noteOrigin(&rec)
 	if st.cfg.Observer != nil {
 		st.cfg.Observer.ObserveRecord(&rec)
 	}

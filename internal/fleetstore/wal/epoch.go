@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Epoch files sit beside the snapshots: a shard's fencing epoch is a
+// monotonically-increasing counter bumped on every promotion and
+// reshard cutover, and a fence marker records the higher epoch a
+// demoted shard observed so a restart cannot un-fence it. Both are
+// tiny fixed-format files written atomically (temp file, fsync,
+// rename) and CRC-checked: a corrupted epoch file is an error, never
+// a silent reset to zero — resetting would let a stale primary
+// re-claim an epoch the cluster has already moved past.
+
+const (
+	epochFile  = "epoch"
+	fenceFile  = "fence"
+	epochMagic = "HWKEPOC1"
+)
+
+func writeEpochValue(path string, value uint64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("wal: epoch dir: %w", err)
+	}
+	buf := make([]byte, len(epochMagic)+12)
+	copy(buf, epochMagic)
+	binary.BigEndian.PutUint64(buf[len(epochMagic)+4:], value)
+	binary.BigEndian.PutUint32(buf[len(epochMagic):], crc32.ChecksumIEEE(buf[len(epochMagic)+4:]))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: epoch create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: epoch write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: epoch sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: epoch close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: epoch rename: %w", err)
+	}
+	return nil
+}
+
+func loadEpochValue(path string) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: epoch read: %w", err)
+	}
+	if len(data) != len(epochMagic)+12 || string(data[:len(epochMagic)]) != epochMagic {
+		return 0, fmt.Errorf("wal: epoch file %s is corrupt (bad magic or size)", path)
+	}
+	crc := binary.BigEndian.Uint32(data[len(epochMagic):])
+	body := data[len(epochMagic)+4:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, fmt.Errorf("wal: epoch file %s failed its checksum", path)
+	}
+	return binary.BigEndian.Uint64(body), nil
+}
+
+// WriteEpoch atomically persists the shard's fencing epoch.
+func WriteEpoch(dir string, epoch uint64) error {
+	return writeEpochValue(filepath.Join(dir, epochFile), epoch)
+}
+
+// LoadEpoch returns the persisted fencing epoch, 0 when none has been
+// written yet. A corrupted file is an error, never a silent 0.
+func LoadEpoch(dir string) (uint64, error) {
+	return loadEpochValue(filepath.Join(dir, epochFile))
+}
+
+// WriteFence atomically persists the superseding epoch a demoted shard
+// observed, so the demotion survives a restart.
+func WriteFence(dir string, epoch uint64) error {
+	return writeEpochValue(filepath.Join(dir, fenceFile), epoch)
+}
+
+// LoadFence returns the persisted fence marker, 0 when the shard has
+// never been fenced.
+func LoadFence(dir string) (uint64, error) {
+	return loadEpochValue(filepath.Join(dir, fenceFile))
+}
+
+// ClearFence removes the fence marker; called when a legitimate
+// promotion bumps the epoch past it.
+func ClearFence(dir string) error {
+	err := os.Remove(filepath.Join(dir, fenceFile))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: clear fence: %w", err)
+	}
+	return nil
+}

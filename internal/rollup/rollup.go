@@ -500,6 +500,29 @@ func (s *Summarizer) Close() {
 	s.closeSubsLocked()
 }
 
+// ResetObserver discards every pane, the watermark and the late-drop
+// cutoff, and zeroes the fold counters, keeping subscribers attached.
+// It implements fleetstore.ResettableObserver: after a reshard cutover
+// the store re-feeds its retained record set in trigger-time order, so
+// migrated records — whose trigger times predate the live watermark —
+// land in proper panes instead of being dropped as late. No-op once
+// shut.
+func (s *Summarizer) ResetObserver() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shut {
+		return
+	}
+	s.open = make(map[int64]*pane)
+	s.ring = nil
+	s.watermark = 0
+	s.closedThrough = 0
+	s.records.Store(0)
+	s.late.Store(0)
+	s.windowsClosed.Store(0)
+	s.retiredEvict = 0
+}
+
 // CloseSubscribers ends every subscription stream but keeps the
 // summarizer folding — the server's drain closes subscriber channels
 // early (so forwarders exit) while the ingest queue is still flushing

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"testing"
 
 	"hawkeye/internal/topo"
@@ -104,6 +105,127 @@ func FuzzReplicationRecord(f *testing.F) {
 		v.Commit(seq)
 		if _, _, err := v.CheckRecord(data); err == nil {
 			t.Fatalf("seq %d admitted twice across Commit", seq)
+		}
+	})
+}
+
+// FuzzFenceFrame drives the routing/fencing verb parsers the fleet
+// tier added for epoch-fenced failover: write requests, epoch
+// announces, fence refusals, record-dump queries and cutovers. The
+// first input byte selects the parser; the rest is its payload.
+// Invariants: never panic, never accept a payload that violates the
+// verb's documented bounds (a fence without a superseding epoch, an
+// unknown cutover op, an unbounded name, an implausible epoch), and
+// anything accepted must survive a marshal/re-parse round trip — the
+// client re-encodes these structs verbatim on retry.
+func FuzzFenceFrame(f *testing.F) {
+	seed := func(verb byte, payload string) []byte {
+		return append([]byte{verb}, payload...)
+	}
+	// Valid shapes for each verb.
+	f.Add(seed(0, `{"fabric":"prod","originSeq":7,"epoch":3,"record":{"Fabric":"prod","At":1000,"OriginSeq":7,"Victim":"10.0.0.1:4791>10.0.0.2:4791"}}`))
+	f.Add(seed(0, `{"fabric":"prod","originSeq":0,"record":{"Fabric":"prod","At":5}}`))
+	f.Add(seed(1, `{"shard":"shard-0","epoch":4}`))
+	f.Add(seed(2, `{"shard":"shard-0","epoch":2,"observed":5,"fenced":true}`))
+	f.Add(seed(2, `{"shard":"shard-1","epoch":3,"moved":true,"fabric":"prod"}`))
+	f.Add(seed(3, `{"fabric":"prod","limit":100}`))
+	f.Add(seed(4, `{"fabric":"prod","op":"freeze"}`))
+	f.Add(seed(4, `{"fabric":"prod","op":"release"}`))
+	f.Add(seed(4, `{"fabric":"prod","op":"adopt"}`))
+	// Violations the parsers must refuse.
+	f.Add(seed(0, `{"fabric":"prod","originSeq":7,"record":{"Fabric":"other","OriginSeq":7}}`))
+	f.Add(seed(0, `{"fabric":"prod","originSeq":7,"record":{"Fabric":"prod","OriginSeq":9}}`))
+	f.Add(seed(0, `{"fabric":"prod","originSeq":1,"record":{"Fabric":"prod","Ctrl":"purge"}}`))
+	f.Add(seed(0, `{"fabric":"prod","epoch":18446744073709551615,"record":{"Fabric":"prod"}}`))
+	f.Add(seed(1, `{"shard":"shard-0","epoch":0}`))
+	f.Add(seed(2, `{"shard":"shard-0","epoch":5,"observed":5,"fenced":true}`))
+	f.Add(seed(3, `{"fabric":"prod","limit":-1}`))
+	f.Add(seed(4, `{"fabric":"prod","op":"detach"}`))
+	f.Add(seed(4, `{"op":"release"}`))
+	f.Add(seed(0, `not json`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		verb, payload := data[0]%5, data[1:]
+		reparse := func(v any, parse func([]byte) error) {
+			out, err := json.Marshal(v)
+			if err != nil {
+				t.Fatalf("verb %d: accepted value won't marshal: %v", verb, err)
+			}
+			if err := parse(out); err != nil {
+				t.Fatalf("verb %d: accepted value refused on re-parse: %v", verb, err)
+			}
+		}
+		switch verb {
+		case 0:
+			wr, err := ParseWriteRequest(payload)
+			if err != nil {
+				return
+			}
+			if wr.Fabric == "" || len(wr.Fabric) > maxFabricName {
+				t.Fatalf("write request with fabric %q accepted", wr.Fabric)
+			}
+			if wr.Epoch > maxEpoch {
+				t.Fatalf("write request with epoch %d accepted", wr.Epoch)
+			}
+			if len(wr.Record) == 0 {
+				t.Fatal("write request without a record accepted")
+			}
+			reparse(&wr, func(b []byte) error { _, err := ParseWriteRequest(b); return err })
+		case 1:
+			ea, err := ParseEpochAnnounce(payload)
+			if err != nil {
+				return
+			}
+			if ea.Shard == "" || len(ea.Shard) > maxFabricName {
+				t.Fatalf("epoch announce with shard %q accepted", ea.Shard)
+			}
+			if ea.Epoch == 0 || ea.Epoch > maxEpoch {
+				t.Fatalf("epoch announce with epoch %d accepted", ea.Epoch)
+			}
+			reparse(&ea, func(b []byte) error { _, err := ParseEpochAnnounce(b); return err })
+		case 2:
+			fi, err := ParseFence(payload)
+			if err != nil {
+				return
+			}
+			if fi.Fenced && fi.Observed <= fi.Epoch {
+				t.Fatalf("fence accepted without a superseding epoch: own %d, observed %d", fi.Epoch, fi.Observed)
+			}
+			if fi.Epoch > maxEpoch || fi.Observed > maxEpoch {
+				t.Fatalf("fence with implausible epochs accepted: %d/%d", fi.Epoch, fi.Observed)
+			}
+			if len(fi.Shard) > maxFabricName || len(fi.Fabric) > maxFabricName {
+				t.Fatalf("fence with unbounded names accepted: %d/%d bytes", len(fi.Shard), len(fi.Fabric))
+			}
+			reparse(&fi, func(b []byte) error { _, err := ParseFence(b); return err })
+		case 3:
+			rq, err := ParseRecordQuery(payload)
+			if err != nil {
+				return
+			}
+			if rq.Fabric == "" || len(rq.Fabric) > maxFabricName {
+				t.Fatalf("record query with fabric %q accepted", rq.Fabric)
+			}
+			if rq.Limit < 0 {
+				t.Fatalf("record query with negative limit %d accepted", rq.Limit)
+			}
+			reparse(&rq, func(b []byte) error { _, err := ParseRecordQuery(b); return err })
+		case 4:
+			cr, err := ParseCutover(payload)
+			if err != nil {
+				return
+			}
+			if cr.Op != CutoverFreeze && cr.Op != CutoverRelease && cr.Op != CutoverAdopt {
+				t.Fatalf("cutover with op %q accepted", cr.Op)
+			}
+			if cr.Fabric == "" || len(cr.Fabric) > maxFabricName {
+				t.Fatalf("cutover with fabric %q accepted", cr.Fabric)
+			}
+			reparse(&cr, func(b []byte) error { _, err := ParseCutover(b); return err })
 		}
 	})
 }

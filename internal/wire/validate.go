@@ -67,6 +67,14 @@ var payloadCaps = [...]int{
 	MsgReplAck:          capRequest,
 	MsgShardInfo:        capEmpty,
 	MsgShardInfoReply:   capRequest,
+	MsgWriteRecord:      capReplRecord, // one routed record + its envelope
+	MsgWriteAck:         capRequest,
+	MsgFence:            capRequest,
+	MsgEpoch:            capRequest,
+	MsgQueryRecords:     capRequest,
+	MsgRecordList:       MaxFrame, // a fabric's full retained record set
+	MsgCutover:          capRequest,
+	MsgCutoverOK:        capRequest,
 }
 
 // PayloadCap returns the maximum payload size for t. Unknown types get
@@ -312,15 +320,57 @@ const (
 // tags), so the shape uses the same names; unknown fields pass through
 // — a newer primary may add attributes an older follower just stores.
 type replRecordShape struct {
-	Fabric   string
-	Seq      uint64
-	At       int64
-	Victim   string
-	Culprits []string
-	Loop     []json.RawMessage
-	Pod      string
-	Score    float64
-	StallNS  int64
+	Fabric    string
+	Seq       uint64
+	OriginSeq uint64
+	Ctrl      string
+	At        int64
+	Victim    string
+	Culprits  []string
+	Loop      []json.RawMessage
+	Pod       string
+	Score     float64
+	StallNS   int64
+}
+
+// checkRecordShape applies the structural bounds shared by replication
+// records and routed writes.
+func checkRecordShape(rec *replRecordShape) error {
+	if len(rec.Fabric) > maxFabricName {
+		return badRepl("fabric name %d bytes", len(rec.Fabric))
+	}
+	switch rec.Ctrl {
+	case "", "purge", "adopt":
+	default:
+		return badRepl("unknown control record kind %q", rec.Ctrl)
+	}
+	if len(rec.Victim) > maxReplVictim {
+		return badRepl("victim %d bytes", len(rec.Victim))
+	}
+	if len(rec.Culprits) > maxReplCulprits {
+		return badRepl("%d culprit flows", len(rec.Culprits))
+	}
+	for _, c := range rec.Culprits {
+		if len(c) > maxReplVictim {
+			return badRepl("culprit flow %d bytes", len(c))
+		}
+	}
+	if len(rec.Loop) > maxReplLoop {
+		return badRepl("%d-hop deadlock loop", len(rec.Loop))
+	}
+	if len(rec.Pod) > maxReplPod {
+		return badRepl("pod label %d bytes", len(rec.Pod))
+	}
+	if rec.At < 0 {
+		return badRepl("negative trigger time %d", rec.At)
+	}
+	if rec.StallNS < 0 {
+		return badRepl("negative stall %dns", rec.StallNS)
+	}
+	if rec.Score < 0 || rec.Score > 1 {
+		return badRepl("confidence score %g outside [0,1]", rec.Score)
+	}
+	return nil
 }
 
 func badRepl(format string, args ...any) error {
@@ -368,34 +418,8 @@ func (v *ReplValidator) CheckRecord(b []byte) (seq uint64, payload []byte, err e
 	if rec.Seq != 0 && rec.Seq != seq {
 		return 0, nil, badRepl("embedded seq %d disagrees with frame seq %d", rec.Seq, seq)
 	}
-	if len(rec.Fabric) > maxFabricName {
-		return 0, nil, badRepl("fabric name %d bytes", len(rec.Fabric))
-	}
-	if len(rec.Victim) > maxReplVictim {
-		return 0, nil, badRepl("victim %d bytes", len(rec.Victim))
-	}
-	if len(rec.Culprits) > maxReplCulprits {
-		return 0, nil, badRepl("%d culprit flows", len(rec.Culprits))
-	}
-	for _, c := range rec.Culprits {
-		if len(c) > maxReplVictim {
-			return 0, nil, badRepl("culprit flow %d bytes", len(c))
-		}
-	}
-	if len(rec.Loop) > maxReplLoop {
-		return 0, nil, badRepl("%d-hop deadlock loop", len(rec.Loop))
-	}
-	if len(rec.Pod) > maxReplPod {
-		return 0, nil, badRepl("pod label %d bytes", len(rec.Pod))
-	}
-	if rec.At < 0 {
-		return 0, nil, badRepl("negative trigger time %d", rec.At)
-	}
-	if rec.StallNS < 0 {
-		return 0, nil, badRepl("negative stall %dns", rec.StallNS)
-	}
-	if rec.Score < 0 || rec.Score > 1 {
-		return 0, nil, badRepl("confidence score %g outside [0,1]", rec.Score)
+	if err := checkRecordShape(&rec); err != nil {
+		return 0, nil, err
 	}
 	if seq > v.high {
 		v.high = seq
@@ -414,3 +438,147 @@ func (v *ReplValidator) Commit(seq uint64) {
 
 // High returns the highest sequence admitted on this stream.
 func (v *ReplValidator) High() uint64 { return v.high }
+
+// ErrBadRoute reports a malformed routing/fencing payload (write,
+// epoch announce, fence, record query, cutover).
+var ErrBadRoute = errors.New("wire: bad routing payload")
+
+// maxEpoch bounds a declared shard epoch: epochs count promotions and
+// cutovers, so a value anywhere near 2^32 is a corrupted or hostile
+// frame, not a long-lived cluster.
+const maxEpoch = uint64(1) << 32
+
+func badRoute(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRoute, fmt.Sprintf(format, args...))
+}
+
+func checkEpochValue(label string, e uint64) error {
+	if e > maxEpoch {
+		return badRoute("implausible %s epoch %d", label, e)
+	}
+	return nil
+}
+
+// ParseWriteRequest decodes and validates a MsgWriteRecord payload:
+// fabric named and bounded, a plausible epoch, and an embedded record
+// that passes the same structural bounds as a replicated one and
+// agrees on the fabric.
+func ParseWriteRequest(payload []byte) (WriteRequest, error) {
+	var req WriteRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return req, badRoute("write request: %v", err)
+	}
+	if req.Fabric == "" {
+		return req, badRoute("write request without a fabric")
+	}
+	if len(req.Fabric) > maxFabricName {
+		return req, badRoute("fabric name %d bytes", len(req.Fabric))
+	}
+	// OriginSeq 0 is legal but weaker: no dedup key, so the admission is
+	// at-least-once (the reshard copy path uses it for records that were
+	// never writer-routed).
+	if err := checkEpochValue("writer", req.Epoch); err != nil {
+		return req, err
+	}
+	if len(req.Record) == 0 {
+		return req, badRoute("write request without a record")
+	}
+	var rec replRecordShape
+	if err := json.Unmarshal(req.Record, &rec); err != nil {
+		return req, badRoute("record body: %v", err)
+	}
+	if rec.Ctrl != "" {
+		return req, badRoute("control record %q on the write path", rec.Ctrl)
+	}
+	if rec.Fabric != req.Fabric {
+		return req, badRoute("record fabric %q disagrees with envelope %q", rec.Fabric, req.Fabric)
+	}
+	if rec.OriginSeq != 0 && rec.OriginSeq != req.OriginSeq {
+		return req, badRoute("record origin seq %d disagrees with envelope %d", rec.OriginSeq, req.OriginSeq)
+	}
+	if err := checkRecordShape(&rec); err != nil {
+		return req, fmt.Errorf("%w: %v", ErrBadRoute, err)
+	}
+	return req, nil
+}
+
+// ParseEpochAnnounce decodes and validates a MsgEpoch payload.
+func ParseEpochAnnounce(payload []byte) (EpochAnnounce, error) {
+	var ann EpochAnnounce
+	if err := json.Unmarshal(payload, &ann); err != nil {
+		return ann, badRoute("epoch announce: %v", err)
+	}
+	if ann.Shard == "" {
+		return ann, badRoute("epoch announce without a shard")
+	}
+	if len(ann.Shard) > maxFabricName {
+		return ann, badRoute("shard name %d bytes", len(ann.Shard))
+	}
+	if ann.Epoch == 0 {
+		return ann, badRoute("epoch announce of epoch 0")
+	}
+	if err := checkEpochValue("announced", ann.Epoch); err != nil {
+		return ann, err
+	}
+	return ann, nil
+}
+
+// ParseFence decodes and validates a MsgFence payload.
+func ParseFence(payload []byte) (FenceInfo, error) {
+	var f FenceInfo
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return f, badRoute("fence: %v", err)
+	}
+	if len(f.Shard) > maxFabricName {
+		return f, badRoute("shard name %d bytes", len(f.Shard))
+	}
+	if len(f.Fabric) > maxFabricName {
+		return f, badRoute("fabric name %d bytes", len(f.Fabric))
+	}
+	if err := checkEpochValue("own", f.Epoch); err != nil {
+		return f, err
+	}
+	if err := checkEpochValue("observed", f.Observed); err != nil {
+		return f, err
+	}
+	if f.Fenced && f.Observed <= f.Epoch {
+		return f, badRoute("fenced without a superseding epoch (own %d, observed %d)", f.Epoch, f.Observed)
+	}
+	return f, nil
+}
+
+// ParseRecordQuery decodes and validates a MsgQueryRecords payload.
+func ParseRecordQuery(payload []byte) (RecordQuery, error) {
+	var q RecordQuery
+	if err := json.Unmarshal(payload, &q); err != nil {
+		return q, badRoute("record query: %v", err)
+	}
+	if q.Fabric == "" {
+		return q, badRoute("record query without a fabric")
+	}
+	if len(q.Fabric) > maxFabricName {
+		return q, badRoute("fabric name %d bytes", len(q.Fabric))
+	}
+	if q.Limit < 0 {
+		return q, badRoute("negative record limit %d", q.Limit)
+	}
+	return q, nil
+}
+
+// ParseCutover decodes and validates a MsgCutover payload.
+func ParseCutover(payload []byte) (CutoverRequest, error) {
+	var req CutoverRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return req, badRoute("cutover: %v", err)
+	}
+	if req.Fabric == "" {
+		return req, badRoute("cutover without a fabric")
+	}
+	if len(req.Fabric) > maxFabricName {
+		return req, badRoute("fabric name %d bytes", len(req.Fabric))
+	}
+	if req.Op != CutoverFreeze && req.Op != CutoverRelease && req.Op != CutoverAdopt {
+		return req, badRoute("unknown cutover op %q", req.Op)
+	}
+	return req, nil
+}

@@ -92,12 +92,43 @@ const (
 	MsgShardInfo MsgType = 26
 	// MsgShardInfoReply is the answer: JSON ShardInfo payload.
 	MsgShardInfoReply MsgType = 27
+	// MsgWriteRecord routes one fabric ingest record to a shard primary:
+	// JSON WriteRequest payload. Carries the writer's idempotency
+	// sequence and its view of the shard epoch; answered with
+	// MsgWriteAck, MsgFence, or MsgError.
+	MsgWriteRecord MsgType = 28
+	// MsgWriteAck acknowledges a routed write after it is durable (and,
+	// under semi-sync, replicated): JSON WriteAck payload.
+	MsgWriteAck MsgType = 29
+	// MsgFence is the typed fencing refusal: JSON FenceInfo payload. A
+	// demoted (fenced) shard, or one that no longer owns the fabric,
+	// answers writes and replication requests with it instead of acking.
+	MsgFence MsgType = 30
+	// MsgEpoch announces a shard epoch: JSON EpochAnnounce payload. Sent
+	// primary→follower at stream start and on bumps (the follower
+	// mirrors it durably so promotion can exceed it), and client→server
+	// by writers/front doors so a stale primary learns it has been
+	// superseded. The server acks with MsgFence (its own epoch + fenced
+	// state).
+	MsgEpoch MsgType = 31
+	// MsgQueryRecords asks a shard for a fabric's raw record stream (the
+	// reshard copy source): JSON RecordQuery payload.
+	MsgQueryRecords MsgType = 32
+	// MsgRecordList is the reply: JSON RecordDump payload.
+	MsgRecordList MsgType = 33
+	// MsgCutover executes one side of a reshard cutover: JSON
+	// CutoverRequest payload ("release" purges the fabric at the old
+	// owner, "adopt" finalizes it at the new one); both bump the shard
+	// epoch.
+	MsgCutover MsgType = 34
+	// MsgCutoverOK is the reply: JSON CutoverReply payload.
+	MsgCutoverOK MsgType = 35
 )
 
 // Known reports whether t is a frame type this protocol version
 // defines. Readers skip unknown types instead of failing the session,
 // so a newer peer can add frames without breaking older tails.
-func Known(t MsgType) bool { return t >= MsgHello && t <= MsgShardInfoReply }
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgCutoverOK }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.
@@ -344,12 +375,125 @@ type RollupEvent struct {
 type ReplicateRequest struct {
 	// FromSeq is the highest sequence the follower holds durably.
 	FromSeq uint64 `json:"fromSeq"`
+	// Epoch is the highest shard epoch the follower has durably
+	// mirrored (0 = none yet). A primary that sees an epoch above its
+	// own has been superseded and demotes itself instead of serving
+	// the stream.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ReplAck is the follower's durability watermark: every record with
 // Seq <= Seq has been written to the follower's own log.
 type ReplAck struct {
 	Seq uint64 `json:"seq"`
+	// Epoch is the follower's durably mirrored shard epoch, so the
+	// primary can report primary/follower epoch agreement.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// WriteRequest routes one ingest record to a shard primary.
+type WriteRequest struct {
+	// Fabric names the record's fabric; must match the embedded record.
+	Fabric string `json:"fabric"`
+	// OriginSeq is the writer's per-fabric idempotency sequence. The
+	// store refuses re-admission at or below its per-fabric watermark,
+	// so a resend after a lost ack is a no-op (acked Duplicate).
+	OriginSeq uint64 `json:"originSeq"`
+	// Epoch is the highest epoch the writer has observed for the target
+	// shard (0 = unknown). A primary seeing a higher epoch than its own
+	// fences itself.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Record is the fleetstore record JSON (store field names).
+	Record json.RawMessage `json:"record"`
+}
+
+// WriteAck acknowledges a routed write.
+type WriteAck struct {
+	// Seq is the store sequence the record was admitted at (0 when
+	// Duplicate).
+	Seq uint64 `json:"seq,omitempty"`
+	// OriginSeq echoes the request's idempotency sequence.
+	OriginSeq uint64 `json:"originSeq"`
+	// Epoch is the shard's current epoch; writers cache the highest
+	// they have seen and carry it on future requests.
+	Epoch uint64 `json:"epoch"`
+	// Duplicate marks an idempotent resend: the record was already
+	// admitted (and acked durably) under this OriginSeq.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// FenceInfo is the typed fencing refusal and the MsgEpoch ack.
+type FenceInfo struct {
+	// Shard names the answering shard.
+	Shard string `json:"shard,omitempty"`
+	// Epoch is the shard's own current epoch.
+	Epoch uint64 `json:"epoch"`
+	// Observed is the highest epoch the shard has seen for itself; when
+	// it exceeds Epoch the shard is fenced.
+	Observed uint64 `json:"observed,omitempty"`
+	// Fenced reports that the shard has demoted itself: it no longer
+	// acks writes or serves replication.
+	Fenced bool `json:"fenced,omitempty"`
+	// Moved reports the refusal is about fabric ownership, not epochs:
+	// Fabric has been resharded away from this shard.
+	Moved  bool   `json:"moved,omitempty"`
+	Fabric string `json:"fabric,omitempty"`
+}
+
+// EpochAnnounce carries one shard's epoch to a peer.
+type EpochAnnounce struct {
+	Shard string `json:"shard"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// RecordQuery asks for a fabric's raw records (the reshard copy
+// source). Fabric is required; Limit 0 returns all retained records.
+type RecordQuery struct {
+	Fabric string `json:"fabric"`
+	Limit  int    `json:"limit,omitempty"`
+}
+
+// RecordDump is the MsgRecordList reply: the fabric's retained records
+// in (At, Seq) order, each in store JSON form.
+type RecordDump struct {
+	Fabric  string            `json:"fabric"`
+	Records []json.RawMessage `json:"records,omitempty"`
+}
+
+// Cutover operations.
+const (
+	// CutoverFreeze seals the fabric at the old owner before the copy:
+	// admission is refused (Moved fence) from this point on, so the
+	// record set the executor dumps is final — a write racing the
+	// freeze either lands before it (and is dumped) or is refused and
+	// re-routed by its writer. The seal is in-memory: if the executor
+	// dies the fabric thaws with the shard, and the aborted reshard is
+	// re-run from the freeze.
+	CutoverFreeze = "freeze"
+	// CutoverRelease purges the fabric at the old owner: its records
+	// are dropped (a durable tombstone replays the purge on recovery),
+	// future writes for the fabric are refused with a Moved fence, and
+	// the shard epoch is bumped.
+	CutoverRelease = "release"
+	// CutoverAdopt finalizes the fabric at the new owner: copied
+	// records are folded into the rollup state and the shard epoch is
+	// bumped.
+	CutoverAdopt = "adopt"
+)
+
+// CutoverRequest executes one side of a reshard cutover.
+type CutoverRequest struct {
+	Fabric string `json:"fabric"`
+	// Op is CutoverFreeze, CutoverRelease or CutoverAdopt.
+	Op string `json:"op"`
+}
+
+// CutoverReply reports the cutover's outcome.
+type CutoverReply struct {
+	// Epoch is the shard's epoch after the bump.
+	Epoch uint64 `json:"epoch"`
+	// Purged counts records dropped by a release.
+	Purged int `json:"purged,omitempty"`
 }
 
 // ShardInfo is a shard's routing identity and replication health.
@@ -371,6 +515,16 @@ type ShardInfo struct {
 	LastSnapshotSeq uint64 `json:"lastSnapshotSeq,omitempty"`
 	// Replicas counts attached replication streams.
 	Replicas int `json:"replicas,omitempty"`
+	// Epoch is the shard's current fencing epoch (monotone across
+	// promotions and cutovers).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// FollowerEpoch is the epoch the attached follower last reported
+	// durably mirrored; 0 when no follower has acked yet. Disagreement
+	// with Epoch means the standby would promote into a stale epoch.
+	FollowerEpoch uint64 `json:"followerEpoch,omitempty"`
+	// Fenced reports the shard has observed a higher epoch for itself
+	// and demoted: it still serves reads but refuses writes.
+	Fenced bool `json:"fenced,omitempty"`
 }
 
 // WriteFrame emits one frame. Per-type payload caps are enforced on the
