@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke cluster-smoke reshard-smoke
+.PHONY: check build vet test race bench bench-baseline bench-fleet fleet-race chaos-smoke recovery-smoke fuzz-smoke rollup-smoke cluster-smoke reshard-smoke host-smoke
 
 # check is the CI gate: compile everything, vet, full race-enabled tests.
 check: build vet race
@@ -53,6 +53,20 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzWALRecord$$' -fuzztime=10s -run='^$$' ./internal/fleetstore/wal
 	$(GO) test -fuzz='^FuzzReplicationRecord$$' -fuzztime=10s -run='^$$' ./internal/wire
 	$(GO) test -fuzz='^FuzzFenceFrame$$' -fuzztime=10s -run='^$$' ./internal/wire
+	$(GO) test -fuzz='^FuzzHostReport$$' -fuzztime=10s -run='^$$' ./internal/telemetry
+
+# host-smoke proves the host-vs-network attribution contract: the
+# 200-seed degraded-mode property sweep under the race detector (host
+# telemetry present -> the pathology is attributed host-side at the
+# sick host; absent -> never a high-confidence network verdict), the
+# mixed host/network evaluation with its >= 90% attribution floor, the
+# host-telemetry robustness curve, and the pathology model suite. The
+# hostside example rides along.
+host-smoke:
+	$(GO) test -race -run TestHostAttributionProperty ./internal/experiments -host.seeds=200 -timeout 40m
+	$(GO) test -race -run 'TestHostEvalAccuracy|TestMixedRobustnessConfidence' ./internal/experiments -timeout 20m
+	$(GO) test -race ./internal/host
+	$(GO) run ./examples/hostside
 
 # cluster-smoke proves the scale-out contract: a 20-seed kill-loop over
 # a 3-shard cluster under the race detector — every shard a durable

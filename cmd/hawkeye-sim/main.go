@@ -36,6 +36,10 @@ import (
 func main() {
 	scenario := flag.String("scenario", workload.NameIncast,
 		"one of: "+strings.Join(workload.AllScenarios(), ", "))
+	hostAnomaly := flag.String("host-anomaly", "",
+		"shorthand for the host pathologies: slow-receiver, cache-thrash or pause-storm (overrides -scenario)")
+	noHostAgents := flag.Bool("no-host-agents", false,
+		"disable the host-agent counter channel (degraded-mode ablation)")
 	seed := flag.Uint64("seed", 1, "trace seed")
 	load := flag.Float64("load", -1, "background load (0..1); -1 = scenario default")
 	epochBits := flag.Uint("epoch-bits", 0, "log2 telemetry epoch ns (0 = default 17, ~131us)")
@@ -44,7 +48,7 @@ func main() {
 	dotPath := flag.String("dot", "", "write the scored provenance graph as Graphviz DOT to this file")
 	chaosSpec := flag.String("chaos", "", "fault schedule, e.g. poll-loss=0.1,tel-loss=0.3,collect-drop=0.2 (see internal/chaos)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection seed (0 = derive from -seed)")
-	sweep := flag.String("sweep", "", "run a figure sweep instead of one trial: eval, fig7, robustness, testbed")
+	sweep := flag.String("sweep", "", "run a figure sweep instead of one trial: eval, fig7, robustness, testbed, host-eval, host-robustness")
 	trials := flag.Int("trials", 3, "trials (seeds) per sweep point")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,12 +83,26 @@ func main() {
 		os.Exit(code)
 	}
 
+	if *hostAnomaly != "" {
+		name, ok := map[string]string{
+			"slow-receiver": workload.NameSlowReceiver,
+			"cache-thrash":  workload.NameCacheThrash,
+			"pause-storm":   workload.NameHostPauseStorm,
+		}[*hostAnomaly]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hawkeye-sim: -host-anomaly %q (want slow-receiver, cache-thrash or pause-storm)\n", *hostAnomaly)
+			exit(1)
+		}
+		*scenario = name
+	}
+
 	if *sweep != "" {
 		runSweep(*sweep, *scenario, *seed, *trials, *parallel)
 		exit(0)
 	}
 
 	cfg := experiments.DefaultTrialConfig(*scenario, *seed)
+	cfg.DisableHostAgents = *noHostAgents
 	if *load >= 0 {
 		cfg.Load = *load
 	}
@@ -195,8 +213,23 @@ func runSweep(name, scenario string, seed uint64, trials, workers int) {
 	case "testbed":
 		n = 2 * trials
 		out, err = r.TestbedTable(trials)
+	case "host-eval":
+		var eval *experiments.HostEval
+		eval, err = r.RunHostEval(trials)
+		n = len(workload.MixedScenarios()) * trials
+		if err == nil {
+			out = eval.Table()
+		}
+	case "host-robustness":
+		rates := []float64{0, 0.1, 0.25, 0.5}
+		n = len(rates) * len(workload.MixedScenarios()) * trials
+		var curve *metrics.RobustnessCurve
+		curve, err = r.RunMixedRobustnessCurve(seed, rates, trials)
+		if err == nil {
+			out = curve.Table()
+		}
 	default:
-		die(fmt.Errorf("unknown -sweep %q (want eval, fig7, robustness or testbed)", name))
+		die(fmt.Errorf("unknown -sweep %q (want eval, fig7, robustness, testbed, host-eval or host-robustness)", name))
 	}
 	if err != nil {
 		die(err)

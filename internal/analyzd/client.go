@@ -305,6 +305,16 @@ func (c *Client) SendReport(rep *telemetry.Report) error {
 	return c.push(wire.MsgReport, data)
 }
 
+// SendHostReport pushes one host-agent counter snapshot. Same transport
+// contract as SendReport: a reconnect re-sends only this snapshot.
+func (c *Client) SendHostReport(hr *telemetry.HostReport) error {
+	data, err := hr.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("analyzd: encode host report: %w", err)
+	}
+	return c.push(wire.MsgHostReport, data)
+}
+
 // Diagnose asks the analyzer for the verdict on a victim flow.
 func (c *Client) Diagnose(victim packet.FiveTuple) (*wire.Diagnosis, error) {
 	return c.DiagnoseAt(victim, 0)

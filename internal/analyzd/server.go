@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -154,23 +155,27 @@ type Server struct {
 	semiSync      time.Duration
 	handoff       atomic.Bool
 
-	sessions  atomic.Uint64
-	reports   atomic.Uint64
-	diagnoses atomic.Uint64
+	sessions    atomic.Uint64
+	reports     atomic.Uint64
+	hostReports atomic.Uint64
+	diagnoses   atomic.Uint64
 	// Hostile-input accounting: frames that failed decode, reports that
 	// failed admission validation, values sanitization clamped, and
 	// sessions dropped for exhausting their strike budget.
-	decodeErrors    atomic.Uint64
-	rejectedReports atomic.Uint64
-	clampedValues   atomic.Uint64
-	quarantined     atomic.Uint64
+	decodeErrors        atomic.Uint64
+	rejectedReports     atomic.Uint64
+	rejectedHostReports atomic.Uint64
+	clampedValues       atomic.Uint64
+	quarantined         atomic.Uint64
 }
 
 // Stats is a snapshot of server activity.
 type Stats struct {
-	Sessions  int
-	Reports   int
-	Diagnoses int
+	Sessions int
+	Reports  int
+	// HostReports counts admitted host-agent counter snapshots.
+	HostReports int
+	Diagnoses   int
 	// Fleet store counters: records admitted, records shed at the
 	// ingest queue, retention-ring evictions, incidents ever opened,
 	// incidents currently open, and subscription events lost to slow
@@ -198,6 +203,7 @@ type Stats struct {
 	// their strike budget and were dropped.
 	DecodeErrors        uint64
 	RejectedReports     uint64
+	RejectedHostReports uint64
 	ClampedValues       uint64
 	QuarantinedSessions uint64
 	// Rollup summarizer counters: windows currently open / already
@@ -302,6 +308,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Sessions:          int(s.sessions.Load()),
 		Reports:           int(s.reports.Load()),
+		HostReports:       int(s.hostReports.Load()),
 		Diagnoses:         int(s.diagnoses.Load()),
 		Ingested:          fc.Ingested,
 		Dropped:           s.pipe.Dropped(),
@@ -316,6 +323,7 @@ func (s *Server) Stats() Stats {
 
 		DecodeErrors:        s.decodeErrors.Load(),
 		RejectedReports:     s.rejectedReports.Load(),
+		RejectedHostReports: s.rejectedHostReports.Load(),
 		ClampedValues:       s.clampedValues.Load(),
 		QuarantinedSessions: s.quarantined.Load(),
 
@@ -470,8 +478,15 @@ type session struct {
 	rejected        map[topo.NodeID]int
 	rejectedUnknown int
 	clamped         int
-	// reports keeps the freshest report per switch.
-	reports map[topo.NodeID]*telemetry.Report
+	// reports keeps the freshest report per switch; hostReports the
+	// freshest host-agent counter snapshot per host. hostRejected counts
+	// host snapshots that failed admission — folded into Coverage at
+	// diagnosis time so the verdict knows host evidence was offered and
+	// disbelieved.
+	reports             map[topo.NodeID]*telemetry.Report
+	hostReports         map[topo.NodeID]*telemetry.HostReport
+	hostRejected        map[topo.NodeID]int
+	hostRejectedUnknown int
 	// history records completed diagnoses for incident grouping (trigger
 	// order, the order requests arrive).
 	history []*core.Result
@@ -551,6 +566,8 @@ func (s *Server) handle(conn net.Conn) {
 		sess.topo = tp
 		sess.epochNS = hello.EpochNS
 		sess.reports = make(map[topo.NodeID]*telemetry.Report)
+		sess.hostReports = make(map[topo.NodeID]*telemetry.HostReport)
+		sess.hostRejected = make(map[topo.NodeID]int)
 		sess.validator = wire.NewValidator(tp)
 		sess.lim = telemetry.LimitsFor(tp.LinkBandwidth, hello.EpochNS)
 		sess.rejected = make(map[topo.NodeID]int)
@@ -643,6 +660,32 @@ func (s *Server) serve(sess *session, t wire.MsgType, payload []byte, sendErr fu
 		}
 		sess.reports[rep.Switch] = rep
 		s.reports.Add(1)
+	case wire.MsgHostReport:
+		if sess.topo == nil {
+			sendErr("operator session cannot push host reports")
+			return false
+		}
+		hr := &telemetry.HostReport{}
+		if err := hr.UnmarshalBinary(payload); err != nil {
+			s.decodeErrors.Add(1)
+			return s.strike(sess)
+		}
+		if err := sess.validator.CheckHostReport(hr); err != nil {
+			s.rejectedHostReports.Add(1)
+			var re *wire.ReportError
+			if errors.As(err, &re) && re.SwitchKnown {
+				sess.hostRejected[re.Switch]++
+			} else {
+				sess.hostRejectedUnknown++
+			}
+			return s.strike(sess)
+		}
+		if n := telemetry.SanitizeHostReport(hr, telemetry.HostLimitsFor(sess.topo.LinkBandwidth)); n > 0 {
+			s.clampedValues.Add(uint64(n))
+			sess.clamped += n
+		}
+		sess.hostReports[hr.Host] = hr
+		s.hostReports.Add(1)
 	case wire.MsgDiagnose:
 		// Never shed: a refused diagnosis loses the complaint and its
 		// provenance evidence; the tiers above it absorb overload first.
@@ -971,6 +1014,28 @@ func (s *Server) shardInfo() wire.ShardInfo {
 // of each other (matches the trial default correlation horizon).
 const incidentWindow = 2 * sim.Millisecond
 
+// victimEndpoints resolves the victim flow's source and destination to
+// host nodes in the session topology (deduplicated; unknown IPs are
+// skipped rather than guessed).
+func victimEndpoints(t *topo.Topology, victim packetFiveTuple) []topo.NodeID {
+	var out []topo.NodeID
+	add := func(ip uint32) {
+		id, ok := t.HostByIP(ip)
+		if !ok {
+			return
+		}
+		for _, o := range out {
+			if o == id {
+				return
+			}
+		}
+		out = append(out, id)
+	}
+	add(victim.SrcIP)
+	add(victim.DstIP)
+	return out
+}
+
 func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wire.Diagnosis {
 	reports := make([]*telemetry.Report, 0, len(sess.reports))
 	for _, rep := range sess.reports {
@@ -991,6 +1056,34 @@ func (s *Server) diagnose(sess *session, victim packetFiveTuple, atNS int64) wir
 		g.Coverage.NoteRejected(-1)
 	}
 	g.Coverage.Clamped += sess.clamped
+	// Host-agent evidence joins the graph the same way. The expectation
+	// is declared only when the session actually ran host agents (an
+	// admitted or rejected snapshot proves it), so a switch-only fleet is
+	// never penalized for a channel it does not have — but a fleet WITH
+	// host agents that goes silent on the victim's endpoints loses
+	// confidence instead of getting a confident network verdict.
+	hostActive := len(sess.hostReports) > 0
+	hosts := make([]topo.NodeID, 0, len(sess.hostReports))
+	for id := range sess.hostReports {
+		hosts = append(hosts, id)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, id := range hosts {
+		g.AddHostReport(sess.hostReports[id], sess.topo)
+	}
+	for id, n := range sess.hostRejected {
+		hostActive = true
+		for i := 0; i < n; i++ {
+			g.Coverage.NoteHostRejected(id)
+		}
+	}
+	for i := 0; i < sess.hostRejectedUnknown; i++ {
+		hostActive = true
+		g.Coverage.NoteHostRejected(-1)
+	}
+	if hostActive {
+		g.Coverage.SetExpectedHosts(victimEndpoints(sess.topo, victim))
+	}
 	d := diagnosis.Diagnose(s.DiagnosisConfig, g, sess.topo, victim)
 	res := &core.Result{
 		Trigger:   host.Trigger{Victim: victim, At: sim.Time(atNS)},

@@ -23,21 +23,25 @@ type Counters struct {
 	DeliveriesLagged  uint64
 	LinkFlaps         uint64
 	BWChanges         uint64
+
+	HostReportsDropped   uint64
+	HostReportsCorrupted uint64
 }
 
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"chaos: poll drop=%d dup=%d | tel epochs=%d meters=%d status=%d | collect drop=%d lag=%d | links flaps=%d bw=%d",
+		"chaos: poll drop=%d dup=%d | tel epochs=%d meters=%d status=%d | collect drop=%d lag=%d | links flaps=%d bw=%d | host drop=%d corrupt=%d",
 		c.PollingDropped, c.PollingDuplicated, c.EpochsDropped, c.MetersCorrupted,
-		c.StatusCorrupted, c.DeliveriesDropped, c.DeliveriesLagged, c.LinkFlaps, c.BWChanges)
+		c.StatusCorrupted, c.DeliveriesDropped, c.DeliveriesLagged, c.LinkFlaps, c.BWChanges,
+		c.HostReportsDropped, c.HostReportsCorrupted)
 }
 
 // Engine draws every fault decision from per-channel forked streams of
 // one seed, so fault sequences on one channel are independent of how
 // often the others fire — and the whole composition replays exactly.
 //
-// Engine implements polling.FaultInjector, telemetry.Faults and
-// collect.Faults.
+// Engine implements polling.FaultInjector, telemetry.Faults,
+// collect.Faults and core.HostFaults.
 type Engine struct {
 	Sched Schedule
 
@@ -47,6 +51,7 @@ type Engine struct {
 	rngPoll    *sim.Rand
 	rngTel     *sim.Rand
 	rngCollect *sim.Rand
+	rngHost    *sim.Rand
 }
 
 // NewEngine builds an engine for the schedule. The seed fully
@@ -59,6 +64,7 @@ func NewEngine(sched Schedule, seed uint64) *Engine {
 		rngPoll:    root.Fork(),
 		rngTel:     root.Fork(),
 		rngCollect: root.Fork(),
+		rngHost:    root.Fork(),
 	}
 }
 
@@ -144,6 +150,35 @@ func (e *Engine) CollectLatency(topo.NodeID) sim.Time {
 	return lag
 }
 
+// DropHostReport implements core.HostFaults: the host agent's counter
+// snapshot never reaches the analyzer (agent crash, mgmt-net loss).
+func (e *Engine) DropHostReport(topo.NodeID) bool {
+	if e.Sched.HostReportLoss > 0 && e.rngHost.Float64() < e.Sched.HostReportLoss {
+		e.Counters.HostReportsDropped++
+		return true
+	}
+	return false
+}
+
+// CorruptHostReport implements core.HostFaults. Both corruption modes
+// are detectable at admission — by design, so every fired corruption
+// lands in the coverage accounting rather than silently steering the
+// verdict: half fabricate an occupancy above capacity (strict decode
+// rejects the report), half inflate the rate fields past physical
+// plausibility (admission clamps them and counts the clamp).
+func (e *Engine) CorruptHostReport(_ topo.NodeID, r *telemetry.HostReport) {
+	if e.Sched.HostReportCorrupt <= 0 || e.rngHost.Float64() >= e.Sched.HostReportCorrupt {
+		return
+	}
+	e.Counters.HostReportsCorrupted++
+	if e.rngHost.Float64() < 0.5 {
+		r.RxBufferBytes = r.RxBufferCap + 1 + e.rngHost.Uint64()%(1<<20)
+	} else {
+		r.DrainBps = 1 << 62
+		r.ProcLatencyNS = 1 << 62
+	}
+}
+
 // Install wires the engine into an installed Hawkeye system: every
 // polling handler, every telemetry state, the collector, and the fabric
 // (scheduled link flaps and bandwidth degradations, applied to both
@@ -161,6 +196,7 @@ func Install(cl *cluster.Cluster, sys *core.System, sched Schedule, seed uint64)
 		tel.SetFaults(e)
 	}
 	sys.Collector.Faults = e
+	sys.HostFaults = e
 	e.scheduleFabricFaults(cl)
 	return e, nil
 }

@@ -69,6 +69,12 @@ type Schedule struct {
 	// CollectLagMax adds uniform extra controller lag in [0, max] to
 	// each delivery.
 	CollectLagMax sim.Time
+	// HostReportLoss is the per-host probability that a host-agent
+	// counter snapshot never reaches the analyzer.
+	HostReportLoss float64
+	// HostReportCorrupt is the per-host probability that a host-agent
+	// snapshot arrives corrupted (rejected or clamped at admission).
+	HostReportCorrupt float64
 	// LinkFlaps and BWDegrades are explicitly scheduled fabric faults.
 	LinkFlaps  []LinkFlap
 	BWDegrades []BWDegrade
@@ -78,7 +84,8 @@ type Schedule struct {
 func (s *Schedule) IsZero() bool {
 	return s.PollLoss == 0 && s.PollDup == 0 && s.TelemetryEpochLoss == 0 &&
 		s.MeterCorrupt == 0 && s.StatusCorrupt == 0 && s.CollectDrop == 0 &&
-		s.CollectLagMax == 0 && len(s.LinkFlaps) == 0 && len(s.BWDegrades) == 0
+		s.CollectLagMax == 0 && s.HostReportLoss == 0 && s.HostReportCorrupt == 0 &&
+		len(s.LinkFlaps) == 0 && len(s.BWDegrades) == 0
 }
 
 // Validate checks probability ranges and fault windows.
@@ -90,6 +97,7 @@ func (s *Schedule) Validate() error {
 		{"poll-loss", s.PollLoss}, {"poll-dup", s.PollDup},
 		{"tel-loss", s.TelemetryEpochLoss}, {"meter-corrupt", s.MeterCorrupt},
 		{"status-corrupt", s.StatusCorrupt}, {"collect-drop", s.CollectDrop},
+		{"host-loss", s.HostReportLoss}, {"host-corrupt", s.HostReportCorrupt},
 	}
 	for _, p := range probs {
 		if p.v < 0 || p.v > 1 {
@@ -126,6 +134,8 @@ func (s *Schedule) String() string {
 	add("meter-corrupt", s.MeterCorrupt)
 	add("status-corrupt", s.StatusCorrupt)
 	add("collect-drop", s.CollectDrop)
+	add("host-loss", s.HostReportLoss)
+	add("host-corrupt", s.HostReportCorrupt)
 	if s.CollectLagMax > 0 {
 		parts = append(parts, fmt.Sprintf("collect-lag=%dus", int64(s.CollectLagMax/sim.Microsecond)))
 	}
@@ -153,6 +163,8 @@ func (s *Schedule) String() string {
 //	status-corrupt=0.05    PFC status register corruption probability
 //	collect-drop=0.1       report-batch drop probability
 //	collect-lag=2ms        max extra controller lag per delivery
+//	host-loss=0.2          host-agent snapshot loss probability
+//	host-corrupt=0.1       host-agent snapshot corruption probability
 //	flap=N/P@T+D           link (node N, port P) down at T for D
 //	bw=N/P@T+D*F           link derated to factor F at T for D
 //
@@ -189,6 +201,10 @@ func ParseSchedule(spec string) (*Schedule, error) {
 			s.CollectDrop, err = parseProb(val)
 		case "collect-lag":
 			s.CollectLagMax, err = parseDuration(val)
+		case "host-loss":
+			s.HostReportLoss, err = parseProb(val)
+		case "host-corrupt":
+			s.HostReportCorrupt, err = parseProb(val)
 		case "flap":
 			var f LinkFlap
 			f, err = parseFlap(val)

@@ -39,6 +39,24 @@ type Config struct {
 	// switches it approves (§5 partial deployment). PFC causality
 	// analysis stays fabric-wide. Nil means full deployment.
 	FlowTelemetryAt func(topo.NodeID) bool
+	// HostTelemetry enables the host-agent counter channel: every
+	// detection trigger snapshots the NIC counters of all hosts, and the
+	// diagnosis ingests them as provenance host leaves. Off, the
+	// analyzer still declares its host-coverage expectation, so
+	// host-facing verdicts are graded as running on the network's word
+	// alone (the degraded mode).
+	HostTelemetry bool
+}
+
+// HostFaults injects faults into the host-agent counter channel
+// (internal/chaos implements it): drop a host's snapshot for one
+// trigger, or corrupt it in flight.
+type HostFaults interface {
+	// DropHostReport reports whether the host's snapshot for the current
+	// trigger is lost.
+	DropHostReport(id topo.NodeID) bool
+	// CorruptHostReport may mutate the snapshot in flight.
+	CorruptHostReport(id topo.NodeID, r *telemetry.HostReport)
 }
 
 // DefaultConfig returns the evaluation defaults.
@@ -51,6 +69,7 @@ func DefaultConfig() Config {
 		BurstRateFrac:     0.15,
 		BurstMaxEpochs:    3,
 		CorrelationWindow: 2 * sim.Millisecond,
+		HostTelemetry:     true,
 	}
 }
 
@@ -59,6 +78,9 @@ func DefaultConfig() Config {
 type Session struct {
 	Trigger host.Trigger
 	Reports map[topo.NodeID]*telemetry.Report
+	// HostReports are the host-agent counter snapshots taken at trigger
+	// time (less any the fault model dropped).
+	HostReports map[topo.NodeID]*telemetry.HostReport
 	// Tagged marks switches whose collection was explicitly triggered by
 	// THIS diagnosis's polling (vs shared via the collection interval).
 	Tagged map[topo.NodeID]bool
@@ -96,6 +118,10 @@ type System struct {
 	sessions   map[uint32]*Session
 	deliveries []collect.Delivery
 	triggers   []host.Trigger
+
+	// HostFaults, if set, filters the host-agent channel (chaos wires
+	// itself in here).
+	HostFaults HostFaults
 
 	// OnTrigger, if set, observes every detection event (after the
 	// session is created). Experiments use it to take comparison
@@ -146,13 +172,53 @@ func Install(cl *cluster.Cluster, cfg Config) (*System, error) {
 
 func (sys *System) onTrigger(tr host.Trigger) {
 	sys.triggers = append(sys.triggers, tr)
-	sys.sessions[tr.DiagID] = &Session{
-		Trigger: tr,
-		Reports: make(map[topo.NodeID]*telemetry.Report),
-		Tagged:  make(map[topo.NodeID]bool),
+	s := &Session{
+		Trigger:     tr,
+		Reports:     make(map[topo.NodeID]*telemetry.Report),
+		HostReports: make(map[topo.NodeID]*telemetry.HostReport),
+		Tagged:      make(map[topo.NodeID]bool),
+	}
+	sys.sessions[tr.DiagID] = s
+	if sys.Cfg.HostTelemetry {
+		sys.snapshotHosts(s)
 	}
 	if sys.OnTrigger != nil {
 		sys.OnTrigger(tr)
+	}
+}
+
+// snapshotHosts reads every host agent's NIC counters at the trigger
+// instant. Snapshots are pure register reads — no events are scheduled,
+// so enabling the channel cannot perturb the simulated packet sequence.
+// Hosts are visited in ID order so the fault model's random stream is
+// consumed deterministically.
+func (sys *System) snapshotHosts(s *Session) {
+	ids := make([]topo.NodeID, 0, len(sys.Cl.Hosts))
+	for id := range sys.Cl.Hosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	now := sys.Cl.Eng.Now()
+	for _, id := range ids {
+		if sys.HostFaults != nil && sys.HostFaults.DropHostReport(id) {
+			continue
+		}
+		c := sys.Cl.Hosts[id].NICCounters()
+		hr := &telemetry.HostReport{
+			Host:          id,
+			Taken:         now,
+			RxBufferBytes: c.RxBufferBytes,
+			RxBufferCap:   c.RxBufferCap,
+			DrainBps:      c.DrainBps,
+			PauseTx:       c.PauseTx,
+			PauseRx:       c.PauseRx,
+			ProcLatencyNS: c.ProcLatencyNS,
+			ActiveQPs:     c.ActiveQPs,
+		}
+		if sys.HostFaults != nil {
+			sys.HostFaults.CorruptHostReport(id, hr)
+		}
+		s.HostReports[id] = hr
 	}
 }
 
@@ -278,6 +344,7 @@ func (sys *System) diagnose(s *Session) *Result {
 	// switches. Under collection faults some never report; coverage feeds
 	// the diagnosis confidence instead of failing silently.
 	g.Coverage.SetExpected(sys.victimPathSwitches(s.Trigger.Victim))
+	sys.admitHostReports(s, g)
 	d := diagnosis.Diagnose(sys.Cfg.Diagnosis, g, sys.Cl.Topo, s.Trigger.Victim)
 	polled := len(s.Tagged)
 	if polled == 0 {
@@ -293,6 +360,64 @@ func (sys *System) diagnose(s *Session) *Result {
 		ReadyAt:        s.LastArrival,
 		Detail:         diagnosis.Refine(d.PrimaryCause(), sys.Cl.Routing, sys.Cl.Topo),
 	}
+}
+
+// admitHostReports runs the session's host snapshots through the same
+// admission discipline as switch telemetry — semantic validation,
+// magnitude clamping, coverage accounting — and installs the survivors
+// as provenance host leaves. The coverage EXPECTATION is declared
+// whether or not the channel is enabled: the analyzer always wants host
+// corroboration for the hosts hanging off the victim's path, and a
+// host-facing verdict reached without it must grade as degraded.
+func (sys *System) admitHostReports(s *Session, g *provenance.Graph) {
+	ids := make([]topo.NodeID, 0, len(s.HostReports))
+	for id := range s.HostReports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	lim := telemetry.HostLimitsFor(sys.Cl.Topo.LinkBandwidth)
+	for _, id := range ids {
+		hr := s.HostReports[id]
+		if err := hr.Validate(); err != nil {
+			g.Coverage.NoteHostRejected(hr.Host)
+			continue
+		}
+		g.Coverage.Clamped += telemetry.SanitizeHostReport(hr, lim)
+		g.AddHostReport(hr, sys.Cl.Topo)
+	}
+	// Declared after admission: the missing set is computed against the
+	// snapshots that actually survived.
+	g.Coverage.SetExpectedHosts(sys.victimPathHosts(s.Trigger.Victim))
+}
+
+// victimPathHosts lists the hosts whose agents the diagnosis expects to
+// hear from: the victim's endpoints plus every host hanging off a
+// victim-path switch's host-facing ports — the candidate culprits for a
+// host-caused stall on this path.
+func (sys *System) victimPathHosts(ft packet.FiveTuple) []topo.NodeID {
+	seen := make(map[topo.NodeID]bool)
+	var out []topo.NodeID
+	add := func(id topo.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	if src, ok := sys.Cl.Topo.HostByIP(ft.SrcIP); ok {
+		add(src)
+	}
+	if dst, ok := sys.Cl.Topo.HostByIP(ft.DstIP); ok {
+		add(dst)
+	}
+	for _, sw := range sys.victimPathSwitches(ft) {
+		for _, p := range sys.Cl.Topo.Node(sw).Ports {
+			if sys.Cl.Topo.Node(p.Peer).Kind == topo.KindHost {
+				add(p.Peer)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // victimPathSwitches lists the switches on the victim's ECMP-resolved

@@ -141,8 +141,14 @@ func TestEndToEndPFCStorm(t *testing.T) {
 		t.Fatalf("type = %v, want pfc-storm\n%v\n%v", res.Diagnosis.Type, res.Diagnosis, res.Graph)
 	}
 	cause := res.Diagnosis.PrimaryCause()
-	if cause.Kind != diagnosis.CauseHostInjection {
-		t.Fatalf("cause kind = %v, want host injection", cause.Kind)
+	// With host telemetry on, the generic injection verdict refines to the
+	// pause-storm pathology: the rogue's counters show pauses emitted with
+	// an empty RX buffer.
+	if cause.Kind != diagnosis.CauseHostPauseStorm {
+		t.Fatalf("cause kind = %v, want host pause storm", cause.Kind)
+	}
+	if cause.Host != rogue {
+		t.Fatalf("cause host = %v, want rogue %v", cause.Host, rogue)
 	}
 	// The terminal must be the ToR's host-facing port toward the rogue.
 	if cause.Port.Node != d.Switches[1] || !cause.InjectorHostFacing {
@@ -251,8 +257,8 @@ func TestEndToEndOutOfLoopDeadlockInjection(t *testing.T) {
 			res.Diagnosis.Type, res.Diagnosis, res.Graph)
 	}
 	cause := res.Diagnosis.PrimaryCause()
-	if cause.Kind != diagnosis.CauseHostInjection || !cause.InjectorHostFacing {
-		t.Fatalf("cause = %+v, want host injection at host-facing port", cause)
+	if !cause.Kind.IsHostSide() || !cause.InjectorHostFacing {
+		t.Fatalf("cause = %+v, want host-side cause at host-facing port", cause)
 	}
 	peer, _ := cl.Topo.PeerOf(cause.Port.Node, cause.Port.Port)
 	if peer != rogue {

@@ -87,15 +87,42 @@ type CauseKind int
 const (
 	// CauseFlowContention: flows overfilling a queue.
 	CauseFlowContention CauseKind = iota
-	// CauseHostInjection: a host emitting PFC frames.
+	// CauseHostInjection: a host emitting PFC frames for no reason the
+	// telemetry can name — the generic host-side verdict when no
+	// host-agent counters are available to refine it.
 	CauseHostInjection
+	// CauseSlowReceiver: the host's RX buffer sits full because the
+	// application drains it below line rate; the PFC is legitimate
+	// backpressure from a host that cannot keep up.
+	CauseSlowReceiver
+	// CauseHostProcessingBound: the NIC's per-packet processing cost
+	// degraded under QP fan-in (cache thrash); the buffer backs up even
+	// though the drain path is nominally fast.
+	CauseHostProcessingBound
+	// CauseHostPauseStorm: the host emits PFC decoupled from its buffer
+	// state — spurious pauses from a malfunctioning NIC.
+	CauseHostPauseStorm
 )
 
 func (k CauseKind) String() string {
-	if k == CauseHostInjection {
+	switch k {
+	case CauseHostInjection:
 		return "host-pfc-injection"
+	case CauseSlowReceiver:
+		return "host-slow-receiver"
+	case CauseHostProcessingBound:
+		return "host-processing-bound"
+	case CauseHostPauseStorm:
+		return "host-pause-storm"
+	default:
+		return "flow-contention"
 	}
-	return "flow-contention"
+}
+
+// IsHostSide reports whether the kind blames the host behind the
+// terminal port rather than network flow contention.
+func (k CauseKind) IsHostSide() bool {
+	return k != CauseFlowContention
 }
 
 // RootCause pins one initial congestion point.
@@ -109,6 +136,9 @@ type RootCause struct {
 	BurstFlows []packet.FiveTuple
 	// InjectorHostFacing is true when Port faces the injecting host.
 	InjectorHostFacing bool
+	// Host is the implicated host behind Port. Only meaningful when
+	// InjectorHostFacing is true.
+	Host topo.NodeID
 }
 
 // Config tunes signature matching.
@@ -121,11 +151,23 @@ type Config struct {
 	// ContributorFrac additionally requires a contributor to reach this
 	// fraction of the top contributor's weight.
 	ContributorFrac float64
+	// HostProcLatencyNS: a host leaf whose per-packet processing-latency
+	// proxy is at or above this (and whose fan-in reaches HostFanIn)
+	// is processing-bound rather than merely slow to drain.
+	HostProcLatencyNS uint64
+	// HostFanIn is the active-QP count above which degraded processing
+	// latency is attributed to cache thrash under fan-in.
+	HostFanIn uint32
 }
 
 // DefaultConfig returns the evaluation defaults.
 func DefaultConfig() Config {
-	return Config{MinContribution: 2.0, ContributorFrac: 0.1}
+	return Config{
+		MinContribution:   2.0,
+		ContributorFrac:   0.1,
+		HostProcLatencyNS: 600,
+		HostFanIn:         4,
+	}
 }
 
 // Confidence grades how well the telemetry behind a diagnosis supports
@@ -330,7 +372,7 @@ func (a *analyzer) assess() {
 	// records lost to telemetry faults, so they cap the grade.
 	switchFacing, incomplete := false, false
 	for _, c := range r.Causes {
-		if c.Kind != CauseHostInjection {
+		if !c.Kind.IsHostSide() {
 			continue
 		}
 		if !c.InjectorHostFacing && !r.Type.IsDeadlock() {
@@ -351,6 +393,37 @@ func (a *analyzer) assess() {
 		score *= 0.7
 		r.Missing = append(r.Missing,
 			"an injection conclusion rests on an epoch-incomplete report; the missing epochs may hold the real contention")
+	}
+	// Host-agent coverage. When the analyzer queried host agents
+	// (HostsExpected > 0), a root cause anchored at a host-facing port —
+	// whichever side it blames — is only fully trustworthy if the host
+	// behind that port delivered its counter snapshot. Without it a
+	// host-caused anomaly and a network-caused one look identical from
+	// the switch side, so the grade must stay below high: this is the
+	// monotone-penalty contract of the degraded mode. Rejected host
+	// snapshots are graded like rejected switch telemetry: heard from
+	// and disbelieved.
+	if cov := a.g.Coverage; cov != nil && cov.HostsExpected > 0 {
+		hostGap := false
+		for _, c := range r.Causes {
+			if !a.t.IsHostFacing(c.Port.Node, c.Port.Port) {
+				continue
+			}
+			peer, _ := a.t.PeerOf(c.Port.Node, c.Port.Port)
+			if a.g.Hosts[peer] == nil {
+				hostGap = true
+			}
+		}
+		if hostGap {
+			score *= 0.55
+			r.Missing = append(r.Missing,
+				"no host-agent snapshot from the host behind the initial congestion point; host-vs-network attribution is uncorroborated")
+		}
+		if cov.HostsRejected > 0 {
+			score *= 0.7
+			r.Missing = append(r.Missing, fmt.Sprintf(
+				"%d host-agent snapshots rejected at admission", cov.HostsRejected))
+		}
 	}
 	// The causality chain is only as strong as its weakest wait-for edge.
 	minEv := -1
@@ -416,19 +489,62 @@ func (a *analyzer) checkPortNode(p topo.PortRef, stack []topo.PortRef) {
 // port-flow edges mean contention; none means the PFC was injected by
 // the port's peer device.
 func (a *analyzer) analyzeFlowContention(p topo.PortRef) RootCause {
+	if a.hostPauser(p) {
+		// The port faces a host whose own counters show it transmitting
+		// PFC. Any positive flow weights here are artifacts of the
+		// inter-pause drain — the flows behind the port are victims of
+		// the pausing endpoint, not contributors — so the terminal is an
+		// injection, refined by the host signature.
+		return a.analyzeInjection(p)
+	}
 	flows := a.contributors(p)
 	if len(flows) == 0 {
-		return RootCause{
-			Kind:               CauseHostInjection,
-			Port:               p,
-			InjectorHostFacing: a.t.IsHostFacing(p.Node, p.Port),
-		}
+		return a.analyzeInjection(p)
 	}
 	rc := RootCause{Kind: CauseFlowContention, Port: p, Flows: flows}
 	for _, f := range flows {
 		if a.g.IsBurstFlow(f, p) {
 			rc.BurstFlows = append(rc.BurstFlows, f)
 		}
+	}
+	return rc
+}
+
+// analyzeInjection classifies an empty-contributor terminal. Without
+// host-agent counters the verdict stays the generic host-PFC-injection
+// of Algorithm 2. When the host behind the port delivered a counter
+// snapshot, its signature refines the pathology (extended Table 2):
+// pauses with an empty RX buffer are spurious (pause storm); a full
+// buffer with degraded per-packet latency under fan-in is a
+// processing-bound NIC; a full buffer otherwise is a slow receiver.
+func (a *analyzer) analyzeInjection(p topo.PortRef) RootCause {
+	rc := RootCause{
+		Kind:               CauseHostInjection,
+		Port:               p,
+		InjectorHostFacing: a.t.IsHostFacing(p.Node, p.Port),
+	}
+	if !rc.InjectorHostFacing {
+		return rc
+	}
+	rc.Host, _ = a.t.PeerOf(p.Node, p.Port)
+	hi := a.g.Hosts[rc.Host]
+	if hi == nil || hi.Report.PauseTx == 0 {
+		// No host evidence, or the host denies pausing at all: keep the
+		// generic verdict and let assess grade the gap.
+		return rc
+	}
+	rep := hi.Report
+	switch {
+	case rep.RxBufferCap == 0 || rep.RxBufferBytes*8 < rep.RxBufferCap:
+		// Pausing with a (near-)empty buffer: the PFC is decoupled from
+		// buffer state.
+		rc.Kind = CauseHostPauseStorm
+	case rep.RxBufferBytes*4 >= rep.RxBufferCap &&
+		rep.ProcLatencyNS >= a.cfg.HostProcLatencyNS &&
+		rep.ActiveQPs >= a.cfg.HostFanIn:
+		rc.Kind = CauseHostProcessingBound
+	case rep.RxBufferBytes*4 >= rep.RxBufferCap:
+		rc.Kind = CauseSlowReceiver
 	}
 	return rc
 }
@@ -479,7 +595,15 @@ func (a *analyzer) classify() {
 		a.classifyDeadlock()
 	case len(r.PFCPaths) > 0 && a.pathBeyondVictim():
 		// PFC spreading exists: contention or storm by terminal analysis.
-		if cause, ok := a.firstCause(CauseFlowContention); ok {
+		// A host pathology corroborated by the host's own counters outranks
+		// a contention terminal: the counters are direct evidence of an
+		// endpoint defect, while contention weights are inference — and the
+		// differential flow motion a pausing sick host induces upstream can
+		// fabricate small contention pairs at secondary terminals.
+		if cause, ok := a.firstHostPathology(); ok {
+			r.Type = TypePFCStorm
+			a.promoteCause(cause)
+		} else if cause, ok := a.firstCause(CauseFlowContention); ok {
 			r.Type = TypePFCContention
 			a.promoteCause(cause)
 		} else {
@@ -536,7 +660,7 @@ func (a *analyzer) classifyDeadlock() {
 		for _, c := range r.Causes {
 			if !inLoop[c.Port] {
 				a.promoteCause(c)
-				if c.Kind == CauseHostInjection {
+				if c.Kind.IsHostSide() {
 					r.Type = TypeOutLoopDeadlockInjection
 				} else {
 					r.Type = TypeOutLoopDeadlockContention
@@ -587,6 +711,39 @@ func (a *analyzer) classifyNoPFC() {
 	}
 	r.Type = TypeNormalContention
 	r.Causes = []RootCause{cause}
+}
+
+// hostPauser reports whether the port faces a host whose counter
+// snapshot shows it asserting PFC toward the fabric. An incast target
+// never pauses (the switch buffer does), so this cleanly separates a
+// sick endpoint from ordinary receiver-side contention.
+func (a *analyzer) hostPauser(p topo.PortRef) bool {
+	// Hand-built graphs in tests may reference ports the topology never
+	// wired; an unresolvable port cannot face a host.
+	if int(p.Node) < 0 || int(p.Node) >= len(a.t.Nodes) {
+		return false
+	}
+	if n := a.t.Node(p.Node); n == nil || p.Port < 0 || p.Port >= len(n.Ports) {
+		return false
+	}
+	if !a.t.IsHostFacing(p.Node, p.Port) {
+		return false
+	}
+	peer, _ := a.t.PeerOf(p.Node, p.Port)
+	h := a.g.Hosts[peer]
+	return h != nil && h.Report.PauseTx > 0
+}
+
+// firstHostPathology returns the first cause whose kind was refined past
+// the generic injection verdict by host-agent counters — a pathology the
+// host itself corroborates, as opposed to one inferred from the fabric.
+func (a *analyzer) firstHostPathology() (RootCause, bool) {
+	for _, c := range a.rep.Causes {
+		if c.Kind.IsHostSide() && c.Kind != CauseHostInjection {
+			return c, true
+		}
+	}
+	return RootCause{}, false
 }
 
 // firstCause returns the first recorded cause of the given kind.

@@ -69,6 +69,10 @@ type TrialConfig struct {
 	// trial's identity stays one number unless the sweep needs
 	// independent fault draws).
 	ChaosSeed uint64
+	// DisableHostAgents turns the host-agent counter channel off: no NIC
+	// snapshots are taken at triggers, so host-vs-network attribution
+	// runs blind (the degraded-mode ablation).
+	DisableHostAgents bool
 	// EnableWatchdog attaches a PFC storm watchdog to every switch:
 	// mitigation running alongside diagnosis (§2.2 — operators deploy
 	// both; the diagnosis must survive the mitigation's evidence
@@ -179,6 +183,7 @@ func RunTrial(cfg TrialConfig) (*Trial, error) {
 	score := core.DefaultConfig()
 	score.Telemetry.EpochBits = cfg.EpochBits
 	score.Telemetry.NumEpochs = cfg.NumEpochs
+	score.HostTelemetry = !cfg.DisableHostAgents
 	if cfg.pollDedup != nil {
 		score.Polling.Dedup = *cfg.pollDedup
 	}

@@ -246,10 +246,10 @@ func (h *Host) InjectPFC(start, stop sim.Time, quanta uint16) {
 	tick = func() {
 		now := h.eng.Now()
 		if now >= stop {
-			h.net.SendPFC(h.ID, 0, packet.NewResume(packet.ClassLossless))
+			h.sendPFC(packet.NewResume(packet.ClassLossless))
 			return
 		}
-		h.net.SendPFC(h.ID, 0, packet.NewPause(packet.ClassLossless, quanta))
+		h.sendPFC(packet.NewPause(packet.ClassLossless, quanta))
 		h.eng.After(refresh, tick)
 	}
 	h.eng.At(start, tick)

@@ -80,6 +80,10 @@ type Host struct {
 
 	agent *Agent
 
+	// pathology, when non-nil, is the installed host-side anomaly model
+	// (slow receiver, cache-thrash NIC, pause storm).
+	pathology *rxPathology
+
 	nextSrcPort uint16
 	hostIndex   uint32
 
@@ -89,6 +93,7 @@ type Host struct {
 	// Counters.
 	PolledReceived uint64
 	RxPFCFrames    uint64
+	TxPFCFrames    uint64
 	TxDataPackets  uint64
 }
 
@@ -139,7 +144,7 @@ func (h *Host) Receive(pkt *packet.Packet, port int) {
 	case packet.TypePFC:
 		h.receivePFC(pkt)
 	case packet.TypeData:
-		h.receiveData(pkt)
+		h.rxIngress(pkt)
 	case packet.TypeACK:
 		h.receiveACK(pkt)
 	case packet.TypeNACK:

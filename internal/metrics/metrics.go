@@ -119,10 +119,21 @@ func ScoreResults(cfg ScoreConfig, results []*core.Result, gt *workload.GroundTr
 		return score
 	}
 	switch cause.Kind {
-	case diagnosis.CauseHostInjection:
+	case diagnosis.CauseHostInjection, diagnosis.CauseSlowReceiver,
+		diagnosis.CauseHostProcessingBound, diagnosis.CauseHostPauseStorm:
 		peer, _ := t.PeerOf(cause.Port.Node, cause.Port.Port)
 		if peer != gt.Injector {
 			score.Reason = fmt.Sprintf("injector %v, want %v", peer, gt.Injector)
+			return score
+		}
+		// A host-pathology ground truth admits the refined kind or the
+		// generic injection verdict (the degraded form when host-agent
+		// counters are unavailable) — but never a DIFFERENT refined
+		// pathology: misnaming the host's failure mode sends the operator
+		// down the wrong runbook.
+		if gt.HostCause.IsHostSide() &&
+			cause.Kind != gt.HostCause && cause.Kind != diagnosis.CauseHostInjection {
+			score.Reason = fmt.Sprintf("host pathology %v, want %v", cause.Kind, gt.HostCause)
 			return score
 		}
 	case diagnosis.CauseFlowContention:

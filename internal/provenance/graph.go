@@ -145,6 +145,12 @@ type Graph struct {
 	// injection that is the difference between a conclusion and a guess.
 	PortEdgeEvidence map[topo.PortRef]map[topo.PortRef]int
 
+	// Hosts holds the host leaf nodes: admitted host-agent counter
+	// snapshots, keyed by host. The pause-propagation walk consults them
+	// when it terminates at a host-facing port — the endpoint evidence
+	// that separates a host-caused pause from an in-network one.
+	Hosts map[topo.NodeID]*HostInfo
+
 	// Coverage describes how much of the wanted telemetry this graph was
 	// actually built from. Always non-nil after Build.
 	Coverage *Coverage
@@ -152,6 +158,22 @@ type Graph struct {
 	// contention holds the per-epoch flow populations per port, the raw
 	// material for queue replay (kept epoch-separated on purpose).
 	contention map[topo.PortRef][]epochFlows
+}
+
+// HostInfo is one host leaf node of the wait-for graph: the freshest
+// admitted host-agent counter snapshot for the host.
+type HostInfo struct {
+	Host   topo.NodeID
+	Report telemetry.HostReport
+}
+
+// BufferFrac is the RX-buffer occupancy as a fraction of capacity (0
+// when the host runs no bounded buffer).
+func (h *HostInfo) BufferFrac() float64 {
+	if h.Report.RxBufferCap == 0 {
+		return 0
+	}
+	return float64(h.Report.RxBufferBytes) / float64(h.Report.RxBufferCap)
 }
 
 // Coverage quantifies the telemetry the graph was built from versus what
@@ -187,6 +209,18 @@ type Coverage struct {
 	// being non-zero means some accepted evidence was corrupt.
 	Clamped int
 	Suspect int
+
+	// Host-agent channel coverage, mirroring the switch fields: which
+	// hosts the analyzer wanted counter snapshots from, which delivered,
+	// and how many host reports failed admission. Missing or disbelieved
+	// host telemetry is exactly the blind spot that turns a host-caused
+	// anomaly into a confident-looking network verdict, so diagnosis
+	// reads these when a conclusion implicates a host.
+	HostsExpected  int
+	Hosts          map[topo.NodeID]bool
+	MissingHosts   []topo.NodeID
+	HostsRejected  int
+	RejectedByHost map[topo.NodeID]int
 }
 
 // NoteRejected records a report that failed admission validation. Pass
@@ -199,6 +233,43 @@ func (c *Coverage) NoteRejected(sw topo.NodeID) {
 		}
 		c.RejectedBySwitch[sw]++
 	}
+}
+
+// NoteHostRejected records a host-agent report that failed admission.
+// Pass id < 0 when the report could not be credibly attributed.
+func (c *Coverage) NoteHostRejected(id topo.NodeID) {
+	c.HostsRejected++
+	if id >= 0 {
+		if c.RejectedByHost == nil {
+			c.RejectedByHost = make(map[topo.NodeID]int)
+		}
+		c.RejectedByHost[id]++
+	}
+}
+
+// SetExpectedHosts declares the host set the analyzer queried for
+// counter snapshots (the victim's endpoints and the hosts hanging off
+// its path edge switches) and computes the missing set.
+func (c *Coverage) SetExpectedHosts(expected []topo.NodeID) {
+	c.HostsExpected = len(expected)
+	c.MissingHosts = nil
+	for _, id := range expected {
+		if !c.Hosts[id] {
+			c.MissingHosts = append(c.MissingHosts, id)
+		}
+	}
+	sort.Slice(c.MissingHosts, func(i, j int) bool {
+		return c.MissingHosts[i] < c.MissingHosts[j]
+	})
+}
+
+// HostFrac is the fraction of expected hosts that delivered an admitted
+// snapshot (1 when the expectation is unknown).
+func (c *Coverage) HostFrac() float64 {
+	if c.HostsExpected == 0 {
+		return 1
+	}
+	return float64(c.HostsExpected-len(c.MissingHosts)) / float64(c.HostsExpected)
 }
 
 // SetExpected declares the switch set the analyzer wanted telemetry from
@@ -258,11 +329,29 @@ func NewGraph(cfg Config) *Graph {
 		FlowPort:         make(map[packet.FiveTuple]map[topo.PortRef]float64),
 		PortFlow:         make(map[topo.PortRef]map[packet.FiveTuple]float64),
 		PortEdgeEvidence: make(map[topo.PortRef]map[topo.PortRef]int),
+		Hosts:            make(map[topo.NodeID]*HostInfo),
 		Coverage: &Coverage{
 			Switches:       make(map[topo.NodeID]bool),
 			EpochsBySwitch: make(map[topo.NodeID]int),
+			Hosts:          make(map[topo.NodeID]bool),
 		},
 	}
+}
+
+// AddHostReport ingests one admitted host-agent snapshot as a host leaf
+// node. Out-of-topology or non-host records are skipped and counted
+// Suspect, mirroring Build's own-invariant discipline; when the same
+// host reports twice the freshest snapshot wins.
+func (g *Graph) AddHostReport(hr *telemetry.HostReport, t *topo.Topology) {
+	if int(hr.Host) < 0 || int(hr.Host) >= len(t.Nodes) || t.Nodes[hr.Host].Kind != topo.KindHost {
+		g.Coverage.Suspect++
+		return
+	}
+	cur := g.Hosts[hr.Host]
+	if cur == nil || hr.Taken >= cur.Report.Taken {
+		g.Hosts[hr.Host] = &HostInfo{Host: hr.Host, Report: *hr}
+	}
+	g.Coverage.Hosts[hr.Host] = true
 }
 
 // EdgeEvidence returns the telemetry-sample count backing the a -> b
@@ -403,6 +492,16 @@ func (g *Graph) String() string {
 		for _, p := range g.VictimPorts(f) {
 			fmt.Fprintf(&b, "  flow %v paused-at %v (w=%.0f)\n", f, p, g.FlowPort[f][p])
 		}
+	}
+	hosts := make([]topo.NodeID, 0, len(g.Hosts))
+	for id := range g.Hosts {
+		hosts = append(hosts, id)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	for _, id := range hosts {
+		r := &g.Hosts[id].Report
+		fmt.Fprintf(&b, "  host %d rxbuf=%d/%dB drain=%dbps pauseTx=%d pauseRx=%d proc=%dns qps=%d\n",
+			id, r.RxBufferBytes, r.RxBufferCap, r.DrainBps, r.PauseTx, r.PauseRx, r.ProcLatencyNS, r.ActiveQPs)
 	}
 	return b.String()
 }

@@ -48,3 +48,56 @@ func FuzzDecodeReport(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHostReport exercises the host-agent counter decoder. The frame is
+// fixed-width, so the invariants are sharper than the switch report's:
+// exactly HostReportWire bytes are accepted, every accepted frame
+// re-encodes byte-identically, sanitization is idempotent, and a frame
+// that survives sanitization then passes Validate (clamps restore
+// internal consistency, they never create new contradictions).
+func FuzzHostReport(f *testing.F) {
+	good, err := (&HostReport{
+		Host: 3, Taken: 1 << 20,
+		RxBufferBytes: 200 << 10, RxBufferCap: 512 << 10,
+		DrainBps: 20e9, PauseTx: 41, PauseRx: 2,
+		ProcLatencyNS: 415, ActiveQPs: 3,
+	}).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])                      // truncated
+	f.Add(append(append([]byte{}, good...), 0xEE)) // trailing byte
+	f.Add([]byte{})
+	// Occupancy above capacity: decodes, but Validate must refuse it.
+	inconsistent := append([]byte(nil), good...)
+	inconsistent[12] = 0xFF
+	f.Add(inconsistent)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r HostReport
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if len(data) != HostReportWire {
+			t.Fatalf("accepted %d bytes, want exactly %d", len(data), HostReportWire)
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted host report refused re-encoding: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical host encoding accepted")
+		}
+		lim := HostLimitsFor(100e9)
+		n := SanitizeHostReport(&r, lim)
+		if SanitizeHostReport(&r, lim) != 0 {
+			t.Fatalf("host sanitize not idempotent (first pass clamped %d)", n)
+		}
+		if r.Taken >= 0 {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("sanitized host report still inconsistent: %v", err)
+			}
+		}
+	})
+}

@@ -36,6 +36,10 @@ const (
 	// one JSON store record — a few hundred bytes normally, a few KB
 	// with a long culprit list. 64 KiB is corruption, not a record.
 	capReplRecord = 64 << 10
+	// capHostReport bounds one host-agent counter snapshot: the record is
+	// a fixed 64-byte register dump, so even with format growth a frame
+	// beyond a few hundred bytes is hostile, not telemetry.
+	capHostReport = 256
 )
 
 // payloadCaps maps each known message type to its maximum payload size.
@@ -75,6 +79,7 @@ var payloadCaps = [...]int{
 	MsgRecordList:       MaxFrame, // a fabric's full retained record set
 	MsgCutover:          capRequest,
 	MsgCutoverOK:        capRequest,
+	MsgHostReport:       capHostReport,
 }
 
 // PayloadCap returns the maximum payload size for t. Unknown types get
@@ -297,6 +302,31 @@ func (v *Validator) CheckReport(r *telemetry.Report) error {
 		return reject(sw, true, "snapshot time %d regressed below admitted %d", r.Taken, last)
 	}
 	v.lastTaken[sw] = int64(r.Taken)
+	return nil
+}
+
+// CheckHostReport admits or rejects one decoded host-agent counter
+// snapshot: the mirror image of CheckReport — the reporting node must be
+// a *host* in the handshake topology, the counters must be internally
+// consistent, and snapshot times advance monotonically per host (node
+// IDs are disjoint between kinds, so hosts share the same watermark
+// map). The returned ReportError carries the host ID in Switch when the
+// ID itself was credible.
+func (v *Validator) CheckHostReport(r *telemetry.HostReport) error {
+	id := r.Host
+	if int(id) < 0 || int(id) >= len(v.ports) {
+		return reject(id, false, "host %d outside the handshake topology (%d nodes)", id, len(v.ports))
+	}
+	if v.isSwitch[id] {
+		return reject(id, false, "node %d is a switch, not a host", id)
+	}
+	if err := r.Validate(); err != nil {
+		return reject(id, true, "%v", err)
+	}
+	if last, ok := v.lastTaken[id]; ok && int64(r.Taken) < last {
+		return reject(id, true, "snapshot time %d regressed below admitted %d", r.Taken, last)
+	}
+	v.lastTaken[id] = int64(r.Taken)
 	return nil
 }
 

@@ -123,12 +123,16 @@ const (
 	MsgCutover MsgType = 34
 	// MsgCutoverOK is the reply: JSON CutoverReply payload.
 	MsgCutoverOK MsgType = 35
+	// MsgHostReport carries one host-agent counter snapshot (binary
+	// telemetry.HostReport encoding): the endpoint-side evidence for
+	// host-vs-network PFC attribution.
+	MsgHostReport MsgType = 36
 )
 
 // Known reports whether t is a frame type this protocol version
 // defines. Readers skip unknown types instead of failing the session,
 // so a newer peer can add frames without breaking older tails.
-func Known(t MsgType) bool { return t >= MsgHello && t <= MsgCutoverOK }
+func Known(t MsgType) bool { return t >= MsgHello && t <= MsgHostReport }
 
 // MaxFrame bounds a frame body; a full fat-tree telemetry report is tens
 // of KB, the topology spec of a large pod a few hundred KB.

@@ -191,12 +191,12 @@ func TestUnknownTypeSkippable(t *testing.T) {
 		t.Fatalf("frame after skip: type=%d payload=%q err=%v", mt, payload, err)
 	}
 	// Every defined type is Known; the neighbors are not.
-	for mt := MsgHello; mt <= MsgCutoverOK; mt++ {
+	for mt := MsgHello; mt <= MsgHostReport; mt++ {
 		if !Known(mt) {
 			t.Fatalf("Known(%d) = false for defined type", mt)
 		}
 	}
-	if Known(0) || Known(MsgCutoverOK+1) {
+	if Known(0) || Known(MsgHostReport+1) {
 		t.Fatal("Known accepts undefined neighbors")
 	}
 }

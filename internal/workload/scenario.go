@@ -30,6 +30,10 @@ type GroundTruth struct {
 	Culprits map[packet.FiveTuple]bool
 	// Injector is the PFC-injecting host (injection cases).
 	Injector topo.NodeID
+	// HostCause is the refined host-side pathology behind the PFC
+	// (host scenarios). CauseFlowContention — the zero value — means
+	// the anomaly is not host-caused.
+	HostCause diagnosis.CauseKind
 	// InitialSwitches are the switches that may legitimately host the
 	// initial congestion point (funnel effects can move it one hop).
 	InitialSwitches map[topo.NodeID]bool
@@ -133,13 +137,31 @@ func ByName(name string) (Builder, error) {
 		return BuildOutLoopContention, nil
 	case NameNormal:
 		return BuildNormalContention, nil
+	case NameSlowReceiver:
+		return BuildSlowReceiver, nil
+	case NameCacheThrash:
+		return BuildCacheThrash, nil
+	case NameHostPauseStorm:
+		return BuildHostPauseStorm, nil
 	}
 	return nil, fmt.Errorf("workload: unknown scenario %q", name)
 }
 
 // AllScenarios lists the evaluation scenarios in paper order.
 func AllScenarios() []string {
-	return []string{NameIncast, NameStorm, NameInLoop, NameOutLoopInject, NameOutLoopBurst, NameNormal}
+	return []string{NameIncast, NameStorm, NameInLoop, NameOutLoopInject, NameOutLoopBurst, NameNormal,
+		NameSlowReceiver, NameCacheThrash, NameHostPauseStorm}
+}
+
+// HostScenarios lists the host-pathology scenarios.
+func HostScenarios() []string {
+	return []string{NameSlowReceiver, NameCacheThrash, NameHostPauseStorm}
+}
+
+// MixedScenarios interleaves network- and host-caused anomalies: the
+// workload of the host-vs-network attribution evaluation.
+func MixedScenarios() []string {
+	return []string{NameIncast, NameSlowReceiver, NameStorm, NameCacheThrash, NameNormal, NameHostPauseStorm}
 }
 
 // pathSwitches collects the switches on a flow's path.
